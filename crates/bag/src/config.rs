@@ -1,0 +1,221 @@
+use std::fmt;
+use std::str::FromStr;
+
+use scg_perm::{Perm, PermError};
+
+/// A configuration of the ball-arrangement game: which ball is outside and
+/// how the rest are distributed over the boxes.
+///
+/// Internally a permutation of `1..=k`: position 1 is the outside ball,
+/// positions `(i-1)n + 2 ..= i·n + 1` are box `i` read left to right. Ball 1
+/// has color 0, ball `s >= 2` has color `⌈(s − 1) / n⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use scg_bag::BagConfig;
+///
+/// # fn main() -> Result<(), scg_perm::PermError> {
+/// let c = BagConfig::from_symbols(&[7, 1, 2, 3, 4, 5, 6])?;
+/// assert_eq!(c.outside_ball(), 7);
+/// assert_eq!(c.boxed(3), vec![vec![1, 2, 3], vec![4, 5, 6]]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BagConfig(Perm);
+
+impl BagConfig {
+    /// The solved configuration with `k` balls (identity permutation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PermError`] for an invalid degree.
+    pub fn solved(k: usize) -> Result<Self, PermError> {
+        if !(1..=scg_perm::MAX_DEGREE).contains(&k) {
+            return Err(PermError::DegreeOutOfRange { degree: k });
+        }
+        Ok(BagConfig(Perm::identity(k)))
+    }
+
+    /// Builds a configuration from an explicit ball sequence (outside ball
+    /// first, then boxes left to right).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PermError`] if the sequence is not a permutation.
+    pub fn from_symbols(symbols: &[u8]) -> Result<Self, PermError> {
+        Perm::from_symbols(symbols).map(BagConfig)
+    }
+
+    /// The underlying node label of the corresponding super Cayley graph.
+    #[must_use]
+    pub fn as_perm(&self) -> &Perm {
+        &self.0
+    }
+
+    /// Consumes the configuration, returning the label.
+    #[must_use]
+    pub fn into_perm(self) -> Perm {
+        self.0
+    }
+
+    /// Number of balls `k`.
+    #[must_use]
+    pub fn num_balls(&self) -> usize {
+        self.0.degree()
+    }
+
+    /// The ball currently outside the boxes.
+    #[must_use]
+    pub fn outside_ball(&self) -> u8 {
+        self.0.symbol_at(1)
+    }
+
+    /// The box contents for box size `n`, as `l` rows of `n` balls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k − 1` is not a multiple of `n`.
+    #[must_use]
+    pub fn boxed(&self, n: usize) -> Vec<Vec<u8>> {
+        let k = self.num_balls();
+        assert!(n >= 1 && (k - 1).is_multiple_of(n), "k - 1 must be a multiple of n");
+        self.0.symbols()[1..].chunks(n).map(<[u8]>::to_vec).collect()
+    }
+
+    /// The color of ball `s` (0 for ball 1, else the box it belongs to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a ball of this game or `n` does not divide
+    /// `k − 1`.
+    #[must_use]
+    pub fn color_of(&self, s: u8, n: usize) -> usize {
+        let k = self.num_balls();
+        assert!(s >= 1 && (s as usize) <= k, "no such ball");
+        assert!(n >= 1 && (k - 1).is_multiple_of(n), "k - 1 must be a multiple of n");
+        if s == 1 {
+            0
+        } else {
+            (s as usize - 2) / n + 1
+        }
+    }
+
+    /// Whether the game is won: every ball in its home position.
+    #[must_use]
+    pub fn is_solved(&self) -> bool {
+        self.0.is_identity()
+    }
+
+    /// Whether each box contains only balls of its own color (the order
+    /// inside boxes may still be wrong) and ball 1 is outside. This is the
+    /// coset-level "color sorted" relaxation of the win condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not divide `k − 1`.
+    #[must_use]
+    pub fn is_color_sorted(&self, n: usize) -> bool {
+        if self.outside_ball() != 1 {
+            return false;
+        }
+        self.boxed(n)
+            .iter()
+            .enumerate()
+            .all(|(b, balls)| balls.iter().all(|&s| self.color_of(s, n) == b + 1))
+    }
+
+    /// Renders the configuration with box boundaries for box size `n`, e.g.
+    /// `1 | 2 3 | 4 5 | 6 7`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not divide `k − 1`.
+    #[must_use]
+    pub fn render(&self, n: usize) -> String {
+        let mut out = self.outside_ball().to_string();
+        for chunk in self.boxed(n) {
+            out.push_str(" |");
+            for ball in chunk {
+                out.push(' ');
+                out.push_str(&ball.to_string());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for BagConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for BagConfig {
+    type Err = PermError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<Perm>().map(BagConfig)
+    }
+}
+
+impl From<Perm> for BagConfig {
+    fn from(p: Perm) -> Self {
+        BagConfig(p)
+    }
+}
+
+impl From<BagConfig> for Perm {
+    fn from(c: BagConfig) -> Self {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solved_is_identity() {
+        let c = BagConfig::solved(7).unwrap();
+        assert!(c.is_solved());
+        assert!(c.is_color_sorted(2));
+        assert!(c.is_color_sorted(3));
+        assert_eq!(c.outside_ball(), 1);
+    }
+
+    #[test]
+    fn colors_partition_balls() {
+        let c = BagConfig::solved(7).unwrap();
+        // n = 3: balls 2,3,4 are color 1; 5,6,7 color 2.
+        assert_eq!(c.color_of(1, 3), 0);
+        assert_eq!(c.color_of(2, 3), 1);
+        assert_eq!(c.color_of(4, 3), 1);
+        assert_eq!(c.color_of(5, 3), 2);
+        assert_eq!(c.color_of(7, 3), 2);
+    }
+
+    #[test]
+    fn color_sorted_but_not_solved() {
+        // Boxes hold the right colors but box 1 is internally reversed.
+        let c = BagConfig::from_symbols(&[1, 4, 3, 2, 5, 6, 7]).unwrap();
+        assert!(!c.is_solved());
+        assert!(c.is_color_sorted(3));
+        assert!(!c.is_color_sorted(2));
+    }
+
+    #[test]
+    fn render_shows_boxes() {
+        let c = BagConfig::from_symbols(&[7, 1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(c.render(3), "7 | 1 2 3 | 4 5 6");
+        assert_eq!(c.render(2), "7 | 1 2 | 3 4 | 5 6");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let c: BagConfig = "3 1 2".parse().unwrap();
+        assert_eq!(c.to_string(), "3 1 2");
+        assert_eq!(c.num_balls(), 3);
+    }
+}

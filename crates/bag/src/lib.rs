@@ -1,0 +1,42 @@
+//! The ball-arrangement game (BAG) of §2.
+//!
+//! The game: `l` boxes and `k = nl + 1` distinct balls — one ball of color 0
+//! and `n` balls of color `i` for each `i = 1..=l`. One ball sits outside;
+//! each box holds `n` balls. Per step the player may (1) rearrange the
+//! leftmost `n + 1` balls (the outside ball plus the leftmost box) with a
+//! *nucleus* move, or (2) rearrange boxes with a *super* move. The goal is
+//! the sorted configuration: ball 1 outside, balls of color `i` in box `i`,
+//! in order.
+//!
+//! The state-transition graph of the game **is** the corresponding super
+//! Cayley graph: configurations are permutations, legal moves are
+//! generators, solving the game is routing to the identity, and the game's
+//! "God's number" is the network diameter. [`BagGame`] makes the
+//! correspondence executable: it wraps a [`SuperCayleyGraph`] and exposes
+//! play, solving, and scrambling in game vocabulary.
+//!
+//! [`SuperCayleyGraph`]: scg_core::SuperCayleyGraph
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_bag::{BagConfig, BagGame};
+//! use scg_core::SuperCayleyGraph;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Macro-star rules: 3 boxes of 2 balls.
+//! let game = BagGame::new(SuperCayleyGraph::macro_star(3, 2)?);
+//! let start = BagConfig::from_symbols(&[3, 2, 1, 4, 5, 6, 7])?;
+//! let solution = game.solve(&start)?;
+//! assert_eq!(game.replay(&start, &solution)?, BagConfig::solved(7)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod game;
+
+pub use config::BagConfig;
+pub use game::{BagGame, MoveKind};

@@ -1,0 +1,74 @@
+//! Experiment `tab_cor4`: complete-binary-tree embeddings. Certifies the
+//! dilation-1 tree-into-star premise by exact search (including the
+//! height-(2k−5) = height-5 tree in the 5-star, the paper's k = 5 case)
+//! and measures the composed dilations: 2 into IS, 3 into MS/Complete-RS,
+//! 4 into MIS/Complete-RIS.
+
+use scg_bench::Table;
+use scg_core::SuperCayleyGraph;
+use scg_embed::{tree_into_scg, tree_into_star};
+use scg_graph::SearchBudget;
+
+fn main() {
+    println!("== Corollary 4: complete binary trees ==\n");
+
+    // Premise: dilation-1 embeddings into the star (searched, exact).
+    let mut t = Table::new(&["tree height", "nodes", "host", "dilation", "status"]);
+    for (height, k) in [(2u32, 4usize), (3, 5), (4, 5), (5, 5), (5, 6), (6, 6), (7, 6)] {
+        let budget = &mut SearchBudget::new(2_000_000_000);
+        match tree_into_star(height, k, budget) {
+            Ok(e) => t.row(&[
+                height.to_string(),
+                ((1u64 << (height + 1)) - 1).to_string(),
+                format!("{k}-star"),
+                e.dilation().to_string(),
+                "found (certified)".into(),
+            ]),
+            Err(scg_embed::EmbedError::Unsupported { .. }) => t.row(&[
+                height.to_string(),
+                ((1u64 << (height + 1)) - 1).to_string(),
+                format!("{k}-star"),
+                "-".into(),
+                "none exists (exhausted)".into(),
+            ]),
+            Err(scg_embed::EmbedError::SearchInconclusive) => t.row(&[
+                height.to_string(),
+                ((1u64 << (height + 1)) - 1).to_string(),
+                format!("{k}-star"),
+                "-".into(),
+                "inconclusive (budget)".into(),
+            ]),
+            Err(e) => t.row(&[
+                height.to_string(),
+                String::new(),
+                format!("{k}-star"),
+                "-".into(),
+                format!("error: {e}"),
+            ]),
+        }
+    }
+    print!("{}", t.render());
+    println!("\npaper premise [5]: height 2k-5 embeds in the k-star with dilation 1 —");
+    println!("certified here for k = 5 (height 5) and k = 6 (height 7).\n");
+
+    // Composition into super Cayley hosts.
+    let mut t2 = Table::new(&["tree height", "host", "dilation", "claimed"]);
+    let hosts: Vec<(SuperCayleyGraph, &str)> = vec![
+        (SuperCayleyGraph::insertion_selection(5).unwrap(), "2"),
+        (SuperCayleyGraph::macro_star(2, 2).unwrap(), "3"),
+        (SuperCayleyGraph::complete_rotation_star(2, 2).unwrap(), "3"),
+        (SuperCayleyGraph::macro_is(2, 2).unwrap(), "4"),
+        (SuperCayleyGraph::complete_rotation_is(2, 2).unwrap(), "4"),
+    ];
+    for (host, claim) in hosts {
+        let budget = &mut SearchBudget::new(2_000_000_000);
+        let e = tree_into_scg(4, &host, budget).expect("height-4 tree embeds in 5-star");
+        t2.row(&[
+            "4".into(),
+            scg_core::CayleyNetwork::name(&host),
+            e.dilation().to_string(),
+            (*claim).to_string(),
+        ]);
+    }
+    print!("{}", t2.render());
+}

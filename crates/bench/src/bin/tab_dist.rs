@@ -1,0 +1,42 @@
+//! Experiment `tab_dist`: distance distributions behind the §2 diameter
+//! claims. For each network, the histogram of node counts per distance from
+//! the identity — the raw data behind diameter/mean-distance comparisons —
+//! printed as CSV for plotting.
+
+use scg_bench::all_class_hosts_k5;
+use scg_core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+use scg_graph::DistanceStats;
+
+fn print_csv(name: &str, hist: &[u64]) {
+    print!("{name}");
+    for c in hist {
+        print!(",{c}");
+    }
+    println!();
+}
+
+fn main() {
+    const CAP: u64 = 50_000;
+    println!("network,count_at_distance_0,1,2,...");
+    for k in 4..=7 {
+        let star = StarGraph::new(k).unwrap();
+        let g = star.to_graph(CAP).unwrap();
+        print_csv(&star.name(), &DistanceStats::single_source(&g, 0).histogram);
+    }
+    for host in all_class_hosts_k5().unwrap() {
+        let g = host.to_graph(CAP).unwrap();
+        print_csv(&host.name(), &DistanceStats::single_source(&g, 0).histogram);
+    }
+    for host in [
+        SuperCayleyGraph::macro_star(3, 2).unwrap(),
+        SuperCayleyGraph::macro_star(2, 3).unwrap(),
+        SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(),
+        SuperCayleyGraph::insertion_selection(7).unwrap(),
+        SuperCayleyGraph::macro_is(3, 2).unwrap(),
+    ] {
+        let g = host.to_graph(CAP).unwrap();
+        print_csv(&host.name(), &DistanceStats::single_source(&g, 0).histogram);
+    }
+    eprintln!("\n(rows are node counts at distances 0..diameter from the identity;");
+    eprintln!("the rightmost nonzero column index is the diameter of tab_networks)");
+}

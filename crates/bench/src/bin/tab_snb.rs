@@ -1,0 +1,50 @@
+//! Experiment `tab_snb`: the single-source prototype tasks (single-node
+//! broadcast, scatter, gather) from the paper's reference task set
+//! (Bertsekas–Tsitsiklis; Johnsson–Ho), measured on star baselines and
+//! super Cayley hosts.
+
+use scg_bench::{f3, Table};
+use scg_comm::{gather_all_port, scatter_all_port, snb_all_port};
+use scg_core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+
+fn main() {
+    const CAP: u64 = 50_000;
+    let nets: Vec<Box<dyn CayleyNetwork>> = vec![
+        Box::new(StarGraph::new(5).unwrap()),
+        Box::new(StarGraph::new(6).unwrap()),
+        Box::new(SuperCayleyGraph::macro_star(2, 2).unwrap()),
+        Box::new(SuperCayleyGraph::macro_star(3, 2).unwrap()),
+        Box::new(SuperCayleyGraph::complete_rotation_star(3, 2).unwrap()),
+        Box::new(SuperCayleyGraph::insertion_selection(6).unwrap()),
+        Box::new(SuperCayleyGraph::macro_is(2, 2).unwrap()),
+        Box::new(SuperCayleyGraph::macro_rotator(2, 2).unwrap()),
+    ];
+    let mut t = Table::new(&[
+        "network", "N", "degree", "SNB steps", "DL(d,N)", "scatter", "⌈(N-1)/d⌉", "gather",
+    ]);
+    println!("== Single-source prototype tasks (SNB / scatter / gather) ==\n");
+    for net in &nets {
+        let snb = snb_all_port(net.as_ref(), CAP).unwrap();
+        let (scatter, gather) = if net.num_nodes() <= 1_000 {
+            let s = scatter_all_port(net.as_ref(), CAP, 1_000_000).unwrap();
+            let g = gather_all_port(net.as_ref(), CAP, 1_000_000).unwrap();
+            (s.steps.to_string(), g.steps.to_string())
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row(&[
+            snb.network.clone(),
+            snb.num_nodes.to_string(),
+            snb.degree.to_string(),
+            snb.steps.to_string(),
+            snb.lower_bound.to_string(),
+            scatter,
+            (snb.num_nodes - 1).div_ceil(snb.degree as u64).to_string(),
+            gather,
+        ]);
+        let _ = f3(snb.optimality_ratio());
+    }
+    print!("{}", t.render());
+    println!("\nSNB time equals the source eccentricity (= diameter, by transitivity);");
+    println!("scatter/gather track the source-link volume bound ⌈(N-1)/d⌉.");
+}

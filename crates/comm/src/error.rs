@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use scg_core::CoreError;
+use scg_emu::EmuError;
+use scg_graph::GraphError;
+
+/// Error produced by communication-task algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// Underlying network error (too large, invalid parameters, …).
+    Core(CoreError),
+    /// Underlying simulator error.
+    Emu(EmuError),
+    /// Underlying graph search error.
+    Graph(GraphError),
+    /// A schedule-construction search was inconclusive (e.g. the
+    /// Hamiltonian-word search for the optimal SDC broadcast ran out of
+    /// budget).
+    SearchInconclusive,
+    /// The algorithm failed to complete the task (a bug guard: some node
+    /// ended up missing packets).
+    Incomplete {
+        /// Explanation of what was missing.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Core(e) => write!(f, "network error: {e}"),
+            CommError::Emu(e) => write!(f, "simulator error: {e}"),
+            CommError::Graph(e) => write!(f, "graph error: {e}"),
+            CommError::SearchInconclusive => write!(f, "search budget exhausted"),
+            CommError::Incomplete { reason } => write!(f, "task incomplete: {reason}"),
+        }
+    }
+}
+
+impl Error for CommError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CommError::Core(e) => Some(e),
+            CommError::Emu(e) => Some(e),
+            CommError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CommError {
+    fn from(e: CoreError) -> Self {
+        CommError::Core(e)
+    }
+}
+
+impl From<EmuError> for CommError {
+    fn from(e: EmuError) -> Self {
+        CommError::Emu(e)
+    }
+}
+
+impl From<GraphError> for CommError {
+    fn from(e: GraphError) -> Self {
+        CommError::Graph(e)
+    }
+}

@@ -1,0 +1,179 @@
+//! Single-source prototype tasks: single-node broadcast (SNB), scatter
+//! (single-node personalized send), and gather.
+//!
+//! These are the remaining basic communication tasks of the paper's
+//! reference set (Bertsekas & Tsitsiklis; Johnsson & Ho): the paper's MNB
+//! and TE are their all-to-all counterparts. They complete the prototype
+//! task suite and calibrate the simulator:
+//!
+//! * **SNB** floods one packet; under all-port flooding the completion time
+//!   is exactly the source's eccentricity, lower-bounded by the Moore bound
+//!   `DL(d, N)`;
+//! * **scatter** sends `N − 1` personalized packets from one source, so the
+//!   source's out-links bound the time by `⌈(N−1)/d⌉`;
+//! * **gather** is the reverse (every node sends to one sink), bounded by
+//!   the sink's in-links.
+
+use scg_core::CayleyNetwork;
+use scg_emu::{Packet, PortModel, SyncSim, TableRouter};
+use scg_graph::{moore_diameter_lower_bound, NodeId, UNREACHABLE};
+
+use crate::error::CommError;
+
+/// Measured completion of a single-source task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnbReport {
+    /// Network name.
+    pub network: String,
+    /// Number of nodes.
+    pub num_nodes: u64,
+    /// Node degree.
+    pub degree: usize,
+    /// Steps to completion.
+    pub steps: u64,
+    /// Task-specific lower bound.
+    pub lower_bound: u64,
+}
+
+impl SnbReport {
+    /// `steps / lower_bound`.
+    #[must_use]
+    pub fn optimality_ratio(&self) -> f64 {
+        self.steps as f64 / self.lower_bound as f64
+    }
+}
+
+/// Single-node broadcast by all-port flooding: completion time is the
+/// eccentricity of the source (node 0), compared against the universal
+/// Moore bound.
+///
+/// # Errors
+///
+/// * [`CommError::Core`] — network exceeds `cap` nodes;
+/// * [`CommError::Incomplete`] — some node unreachable.
+pub fn snb_all_port(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<SnbReport, CommError> {
+    let graph = net.to_graph(cap)?;
+    let dist = graph.bfs_distances(0);
+    let mut ecc = 0u64;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return Err(CommError::Incomplete {
+                reason: "network not strongly connected".into(),
+            });
+        }
+        ecc = ecc.max(u64::from(d));
+    }
+    Ok(SnbReport {
+        network: net.name(),
+        num_nodes: net.num_nodes(),
+        degree: net.node_degree(),
+        steps: ecc,
+        lower_bound: u64::from(moore_diameter_lower_bound(
+            net.node_degree() as u64,
+            net.num_nodes(),
+        )),
+    })
+}
+
+/// Scatter: node 0 sends one personalized packet to every other node,
+/// measured on the store-and-forward simulator with shortest-path routing.
+///
+/// # Errors
+///
+/// * [`CommError::Core`] — network exceeds `cap` nodes;
+/// * [`CommError::Emu`] — simulation failure or `max_steps` exceeded.
+pub fn scatter_all_port(
+    net: &(impl CayleyNetwork + ?Sized),
+    cap: u64,
+    max_steps: u64,
+) -> Result<SnbReport, CommError> {
+    let graph = net.to_graph(cap)?;
+    let router = TableRouter::new(&graph)?;
+    let mut sim = SyncSim::new(&graph, PortModel::AllPort);
+    let n = graph.num_nodes() as NodeId;
+    for dst in 1..n {
+        sim.inject(0, Packet { src: 0, dst, payload: 0 }, &router)?;
+    }
+    let stats = sim.run(&router, max_steps)?;
+    Ok(SnbReport {
+        network: net.name(),
+        num_nodes: net.num_nodes(),
+        degree: net.node_degree(),
+        steps: stats.steps,
+        lower_bound: (net.num_nodes() - 1).div_ceil(net.node_degree() as u64),
+    })
+}
+
+/// Gather: every node sends one packet to node 0.
+///
+/// # Errors
+///
+/// As [`scatter_all_port`].
+pub fn gather_all_port(
+    net: &(impl CayleyNetwork + ?Sized),
+    cap: u64,
+    max_steps: u64,
+) -> Result<SnbReport, CommError> {
+    let graph = net.to_graph(cap)?;
+    let router = TableRouter::new(&graph)?;
+    let mut sim = SyncSim::new(&graph, PortModel::AllPort);
+    let n = graph.num_nodes() as NodeId;
+    for src in 1..n {
+        sim.inject(src, Packet { src, dst: 0, payload: 0 }, &router)?;
+    }
+    let stats = sim.run(&router, max_steps)?;
+    Ok(SnbReport {
+        network: net.name(),
+        num_nodes: net.num_nodes(),
+        degree: net.node_degree(),
+        steps: stats.steps,
+        lower_bound: (net.num_nodes() - 1).div_ceil(net.node_degree() as u64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scg_core::{StarGraph, SuperCayleyGraph};
+
+    #[test]
+    fn snb_time_is_eccentricity() {
+        let star = StarGraph::new(5).unwrap();
+        let r = snb_all_port(&star, 1_000).unwrap();
+        assert_eq!(r.steps, 6); // star diameter ⌊3·4/2⌋
+        assert!(r.steps >= r.lower_bound);
+    }
+
+    #[test]
+    fn scatter_is_source_link_bound() {
+        let star = StarGraph::new(5).unwrap();
+        let r = scatter_all_port(&star, 1_000, 100_000).unwrap();
+        assert_eq!(r.lower_bound, 30); // ⌈119/4⌉
+        assert!(r.steps >= r.lower_bound);
+        assert!(r.optimality_ratio() < 2.0, "scatter ratio {}", r.optimality_ratio());
+    }
+
+    #[test]
+    fn gather_mirrors_scatter_on_undirected_hosts() {
+        let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let s = scatter_all_port(&ms, 1_000, 100_000).unwrap();
+        let g = gather_all_port(&ms, 1_000, 100_000).unwrap();
+        assert!(s.steps >= s.lower_bound);
+        assert!(g.steps >= g.lower_bound);
+        // Same volume through the mirrored bottleneck: times are close.
+        let ratio = s.steps as f64 / g.steps as f64;
+        assert!((0.5..=2.0).contains(&ratio), "scatter {} vs gather {}", s.steps, g.steps);
+    }
+
+    #[test]
+    fn snb_on_every_class() {
+        for host in [
+            SuperCayleyGraph::insertion_selection(5).unwrap(),
+            SuperCayleyGraph::macro_rotator(2, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_is(2, 2).unwrap(),
+        ] {
+            let r = snb_all_port(&host, 1_000).unwrap();
+            assert!(r.steps >= r.lower_bound, "{}", r.network);
+        }
+    }
+}

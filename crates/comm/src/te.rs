@@ -1,0 +1,228 @@
+//! The total exchange (TE): every node sends a distinct personalized packet
+//! to every other node (Corollary 3).
+//!
+//! * Under the **SDC** model each node receives at most one packet per
+//!   step, and routing offset `w`'s packets along translated shortest
+//!   paths makes every receive useful, so the optimum is exactly
+//!   `Σ_{w≠e} dist(e, w)` — `N` times the mean internodal distance, the
+//!   `Θ(N·k)` behind Mišić–Jovanović's `(k+1)! + o((k+1)!)`.
+//! * Under the **all-port** model the same packet-hop volume spreads over
+//!   `d` links per node, giving the `Σ_w dist(w) / d` lower bound — the
+//!   `Θ(N)` (star/IS) and `Θ(N·√(log N / log log N))` (MS etc.) of
+//!   Corollary 3. [`te_all_port`] measures the actual completion time on
+//!   the store-and-forward simulator with shortest-path table routing.
+
+use scg_core::CayleyNetwork;
+use scg_emu::{Packet, PortModel, SyncSim, TableRouter};
+use scg_graph::{NodeId, UNREACHABLE};
+
+use crate::error::CommError;
+
+/// Measured completion of a total exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeReport {
+    /// Network name.
+    pub network: String,
+    /// Number of nodes `N`.
+    pub num_nodes: u64,
+    /// Node degree `d`.
+    pub degree: usize,
+    /// Steps taken (SDC: the exact optimum; all-port: simulator
+    /// measurement).
+    pub steps: u64,
+    /// Model lower bound (`Σ_w dist(w)` SDC; `⌈Σ_w dist(w) / d⌉` all-port).
+    pub lower_bound: u64,
+    /// Total packet transmissions performed.
+    pub transmissions: u64,
+    /// Per-link traffic summary (all-port simulation only; `None` for the
+    /// closed-form SDC optimum, whose translated-shortest-path traffic is
+    /// uniform by vertex symmetry).
+    pub traffic: Option<scg_emu::TrafficSummary>,
+}
+
+impl TeReport {
+    /// `steps / lower_bound` — 1.0 means matching the volume bound.
+    #[must_use]
+    pub fn optimality_ratio(&self) -> f64 {
+        self.steps as f64 / self.lower_bound as f64
+    }
+}
+
+/// Distance sum `Σ_{w≠e} dist(e, w)` of a vertex-transitive network.
+fn distance_sum(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<u64, CommError> {
+    let graph = net.to_graph(cap)?;
+    let dist = graph.bfs_distances(0);
+    let mut sum = 0u64;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return Err(CommError::Incomplete {
+                reason: "network not strongly connected".into(),
+            });
+        }
+        sum += u64::from(d);
+    }
+    Ok(sum)
+}
+
+/// The exact SDC total-exchange optimum: offset-by-offset translated
+/// shortest-path routing costs `Σ_{w≠e} dist(w)` steps, which matches the
+/// per-node receive bound (every receive is a packet's final or necessary
+/// intermediate hop).
+///
+/// # Examples
+///
+/// ```
+/// use scg_core::StarGraph;
+///
+/// # fn main() -> Result<(), scg_comm::CommError> {
+/// let report = scg_comm::te_sdc(&StarGraph::new(4)?, 100)?;
+/// assert_eq!(report.steps, 62); // Σ dist over the 4-star
+/// assert_eq!(report.optimality_ratio(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CommError::Core`] — network exceeds `cap` nodes;
+/// * [`CommError::Incomplete`] — network not strongly connected.
+pub fn te_sdc(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<TeReport, CommError> {
+    let sum = distance_sum(net, cap)?;
+    Ok(TeReport {
+        network: net.name(),
+        num_nodes: net.num_nodes(),
+        degree: net.node_degree(),
+        steps: sum,
+        lower_bound: sum,
+        transmissions: net.num_nodes().saturating_mul(sum),
+        traffic: None,
+    })
+}
+
+/// All-port total exchange measured on the store-and-forward simulator:
+/// all `N(N−1)` packets are injected at time zero and routed along
+/// shortest paths (hash-balanced over ties).
+///
+/// # Errors
+///
+/// * [`CommError::Core`] — network exceeds `cap` nodes;
+/// * [`CommError::Emu`] — simulator failure or `max_steps` exceeded.
+pub fn te_all_port(
+    net: &(impl CayleyNetwork + ?Sized),
+    cap: u64,
+    max_steps: u64,
+) -> Result<TeReport, CommError> {
+    te_simulated(net, cap, max_steps, PortModel::AllPort)
+}
+
+/// Single-port total exchange: as [`te_all_port`] but each node drives one
+/// outgoing link per step, so the per-node send volume `Σ_w dist(w)`
+/// governs (the same figure as the SDC optimum).
+///
+/// # Errors
+///
+/// As [`te_all_port`].
+pub fn te_single_port(
+    net: &(impl CayleyNetwork + ?Sized),
+    cap: u64,
+    max_steps: u64,
+) -> Result<TeReport, CommError> {
+    te_simulated(net, cap, max_steps, PortModel::SinglePort)
+}
+
+fn te_simulated(
+    net: &(impl CayleyNetwork + ?Sized),
+    cap: u64,
+    max_steps: u64,
+    model: PortModel,
+) -> Result<TeReport, CommError> {
+    let graph = net.to_graph(cap)?;
+    let router = TableRouter::new(&graph)?;
+    let mut sim = SyncSim::new(&graph, model);
+    let n = graph.num_nodes() as NodeId;
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                sim.inject(src, Packet { src, dst, payload: 0 }, &router)?;
+            }
+        }
+    }
+    let stats = sim.run(&router, max_steps)?;
+    let traffic = scg_emu::TrafficSummary::from_counts(sim.link_traffic().iter().copied());
+    let sum = distance_sum(net, cap)?;
+    let lower_bound = match model {
+        PortModel::AllPort => sum.div_ceil(net.node_degree() as u64),
+        PortModel::SinglePort => sum,
+    };
+    Ok(TeReport {
+        network: net.name(),
+        num_nodes: net.num_nodes(),
+        degree: net.node_degree(),
+        steps: stats.steps,
+        lower_bound,
+        transmissions: stats.transmissions,
+        traffic: Some(traffic),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scg_core::{StarGraph, SuperCayleyGraph};
+
+    #[test]
+    fn te_sdc_matches_distance_sum_on_star() {
+        let star = StarGraph::new(4).unwrap();
+        let r = te_sdc(&star, 100).unwrap();
+        // 4-star distance distribution from the identity: known histogram;
+        // the sum must equal N × mean distance.
+        let g = star.to_graph(100).unwrap();
+        let stats = scg_graph::DistanceStats::single_source(&g, 0);
+        let by_hist: u64 = stats
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        assert_eq!(r.steps, by_hist);
+        assert_eq!(r.optimality_ratio(), 1.0);
+    }
+
+    #[test]
+    fn te_all_port_on_star_is_near_volume_bound() {
+        let star = StarGraph::new(5).unwrap();
+        let r = te_all_port(&star, 1_000, 100_000).unwrap();
+        assert!(r.steps >= r.lower_bound);
+        assert!(
+            r.optimality_ratio() < 3.0,
+            "TE too slow: {} vs bound {}",
+            r.steps,
+            r.lower_bound
+        );
+        // Shortest-path routing: transmissions equal N × Σ dist exactly.
+        let sum = r.lower_bound * r.degree as u64;
+        assert!(r.transmissions >= r.num_nodes * (sum / r.degree as u64) / 2);
+    }
+
+    #[test]
+    fn te_all_port_on_super_cayley_hosts() {
+        for host in [
+            SuperCayleyGraph::macro_star(2, 2).unwrap(),
+            SuperCayleyGraph::insertion_selection(5).unwrap(),
+        ] {
+            let r = te_all_port(&host, 1_000, 100_000).unwrap();
+            assert!(r.steps >= r.lower_bound, "{}", r.network);
+            assert!(r.optimality_ratio() < 4.0, "{}", r.network);
+        }
+    }
+
+    #[test]
+    fn te_sdc_scales_with_degree_tradeoff() {
+        // Corollary 3's shape: the star (higher degree) has smaller mean
+        // distance than MS(2,2) (lower degree) on the same node set, so its
+        // SDC TE optimum is smaller.
+        let star = te_sdc(&StarGraph::new(5).unwrap(), 1_000).unwrap();
+        let ms = te_sdc(&SuperCayleyGraph::macro_star(2, 2).unwrap(), 1_000).unwrap();
+        assert!(star.steps < ms.steps);
+    }
+}

@@ -1,0 +1,639 @@
+//! The ten super Cayley graph classes of the paper, plus the classic Cayley
+//! reference networks (star, bubble-sort, transposition network) they are
+//! compared against.
+
+use scg_perm::{Perm, MAX_DEGREE};
+
+use crate::error::CoreError;
+use crate::generator::Generator;
+use crate::network::{dedup_by_action, CayleyNetwork};
+
+/// How the balls of the leftmost box are moved (the nucleus generator set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NucleusKind {
+    /// Transpositions `T_2 … T_{n+1}` (star-like nucleus).
+    Transposition,
+    /// Insertions `I_2 … I_{n+1}` only (rotator-like nucleus; directed).
+    Insertion,
+    /// Insertions and selections `I_i, I_i^{-1}` for `i = 2..=n+1`.
+    InsertionSelection,
+}
+
+/// How boxes are moved (the super generator set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuperKind {
+    /// No super generators (single-box games, `l = 1`).
+    None,
+    /// Swaps `S_{n,2} … S_{n,l}` (box 1 exchanges with any box).
+    Swap,
+    /// The single rotation `R` and its inverse `R^{-1} = R^{l-1}`.
+    Rotation,
+    /// The complete rotation set `R^1 … R^{l-1}`.
+    CompleteRotation,
+}
+
+/// The ten named classes of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScgClass {
+    /// `MS(l,n)`: transposition nucleus, swap super generators.
+    MacroStar,
+    /// `RS(l,n)`: transposition nucleus, `R^{±1}` super generators.
+    RotationStar,
+    /// `Complete-RS(l,n)`: transposition nucleus, all rotations.
+    CompleteRotationStar,
+    /// `MR(l,n)`: insertion nucleus, swap super generators.
+    MacroRotator,
+    /// `RR(l,n)`: insertion nucleus, `R^{±1}`.
+    RotationRotator,
+    /// `Complete-RR(l,n)`: insertion nucleus, all rotations.
+    CompleteRotationRotator,
+    /// `IS(k)`: one box, insertion + selection nucleus.
+    InsertionSelection,
+    /// `MIS(l,n)`: insertion + selection nucleus, swaps.
+    MacroIs,
+    /// `RIS(l,n)`: insertion + selection nucleus, `R^{±1}`.
+    RotationIs,
+    /// `Complete-RIS(l,n)`: insertion + selection nucleus, all rotations.
+    CompleteRotationIs,
+}
+
+impl ScgClass {
+    /// All ten classes, in the order the paper lists them.
+    pub const ALL: [ScgClass; 10] = [
+        ScgClass::MacroStar,
+        ScgClass::RotationStar,
+        ScgClass::CompleteRotationStar,
+        ScgClass::MacroRotator,
+        ScgClass::RotationRotator,
+        ScgClass::CompleteRotationRotator,
+        ScgClass::InsertionSelection,
+        ScgClass::MacroIs,
+        ScgClass::RotationIs,
+        ScgClass::CompleteRotationIs,
+    ];
+
+    /// The nucleus generator family of the class.
+    #[must_use]
+    pub fn nucleus(self) -> NucleusKind {
+        match self {
+            ScgClass::MacroStar | ScgClass::RotationStar | ScgClass::CompleteRotationStar => {
+                NucleusKind::Transposition
+            }
+            ScgClass::MacroRotator
+            | ScgClass::RotationRotator
+            | ScgClass::CompleteRotationRotator => NucleusKind::Insertion,
+            ScgClass::InsertionSelection
+            | ScgClass::MacroIs
+            | ScgClass::RotationIs
+            | ScgClass::CompleteRotationIs => NucleusKind::InsertionSelection,
+        }
+    }
+
+    /// The super generator family of the class.
+    #[must_use]
+    pub fn super_kind(self) -> SuperKind {
+        match self {
+            ScgClass::MacroStar | ScgClass::MacroRotator | ScgClass::MacroIs => SuperKind::Swap,
+            ScgClass::RotationStar | ScgClass::RotationRotator | ScgClass::RotationIs => {
+                SuperKind::Rotation
+            }
+            ScgClass::CompleteRotationStar
+            | ScgClass::CompleteRotationRotator
+            | ScgClass::CompleteRotationIs => SuperKind::CompleteRotation,
+            ScgClass::InsertionSelection => SuperKind::None,
+        }
+    }
+
+    /// The paper's abbreviation, e.g. `"MS"`.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ScgClass::MacroStar => "MS",
+            ScgClass::RotationStar => "RS",
+            ScgClass::CompleteRotationStar => "Complete-RS",
+            ScgClass::MacroRotator => "MR",
+            ScgClass::RotationRotator => "RR",
+            ScgClass::CompleteRotationRotator => "Complete-RR",
+            ScgClass::InsertionSelection => "IS",
+            ScgClass::MacroIs => "MIS",
+            ScgClass::RotationIs => "RIS",
+            ScgClass::CompleteRotationIs => "Complete-RIS",
+        }
+    }
+}
+
+/// A super Cayley graph `SCG(l, n)`: the state-transition graph of the
+/// ball-arrangement game with `l` boxes of `n` balls (plus one outside
+/// ball), under one of the ten generator regimes of [`ScgClass`].
+///
+/// # Examples
+///
+/// ```
+/// use scg_core::{CayleyNetwork, SuperCayleyGraph};
+///
+/// # fn main() -> Result<(), scg_core::CoreError> {
+/// let ms = SuperCayleyGraph::macro_star(3, 2)?; // k = 7, 5040 nodes
+/// assert_eq!(ms.num_nodes(), 5040);
+/// assert_eq!(ms.node_degree(), 2 + 2); // n transpositions + (l-1) swaps
+/// assert_eq!(ms.name(), "MS(3,2)");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperCayleyGraph {
+    class: ScgClass,
+    l: usize,
+    n: usize,
+    generators: Vec<Generator>,
+}
+
+impl SuperCayleyGraph {
+    /// Constructs a network of the given class with `l` boxes of `n` balls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `n = 0`, if
+    /// `k = nl + 1 > 20`, if a class with super generators is given `l < 2`,
+    /// or if [`ScgClass::InsertionSelection`] is given `l != 1`.
+    pub fn new(class: ScgClass, l: usize, n: usize) -> Result<Self, CoreError> {
+        let invalid = CoreError::InvalidParameters { l, n };
+        if n == 0 || l == 0 {
+            return Err(invalid);
+        }
+        let k = n
+            .checked_mul(l)
+            .and_then(|nl| nl.checked_add(1))
+            .ok_or(invalid)?;
+        if k > MAX_DEGREE {
+            return Err(invalid);
+        }
+        match class.super_kind() {
+            SuperKind::None => {
+                if l != 1 {
+                    return Err(invalid);
+                }
+            }
+            _ => {
+                if l < 2 {
+                    return Err(invalid);
+                }
+            }
+        }
+
+        let mut gens = Vec::new();
+        match class.nucleus() {
+            NucleusKind::Transposition => {
+                gens.extend((2..=n + 1).map(Generator::transposition));
+            }
+            NucleusKind::Insertion => {
+                gens.extend((2..=n + 1).map(Generator::insertion));
+            }
+            NucleusKind::InsertionSelection => {
+                gens.extend((2..=n + 1).map(Generator::insertion));
+                gens.extend((2..=n + 1).map(Generator::selection));
+            }
+        }
+        match class.super_kind() {
+            SuperKind::None => {}
+            SuperKind::Swap => {
+                gens.extend((2..=l).map(|i| Generator::swap(n, i)));
+            }
+            SuperKind::Rotation => {
+                gens.push(Generator::rotation(n, 1));
+                gens.push(Generator::rotation(n, l - 1));
+            }
+            SuperKind::CompleteRotation => {
+                gens.extend((1..l).map(|i| Generator::rotation(n, i)));
+            }
+        }
+        let generators = dedup_by_action(k, gens);
+        Ok(SuperCayleyGraph {
+            class,
+            l,
+            n,
+            generators,
+        })
+    }
+
+    /// The macro-star network `MS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn macro_star(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::MacroStar, l, n)
+    }
+
+    /// The rotation-star network `RS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn rotation_star(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::RotationStar, l, n)
+    }
+
+    /// The complete-rotation-star network `Complete-RS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn complete_rotation_star(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::CompleteRotationStar, l, n)
+    }
+
+    /// The macro-rotator network `MR(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn macro_rotator(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::MacroRotator, l, n)
+    }
+
+    /// The rotation-rotator network `RR(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn rotation_rotator(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::RotationRotator, l, n)
+    }
+
+    /// The complete-rotation-rotator network `Complete-RR(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn complete_rotation_rotator(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::CompleteRotationRotator, l, n)
+    }
+
+    /// The `k`-dimensional insertion-selection network `IS(k)` (one box,
+    /// `n = k − 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `k < 2` or `k > 20`.
+    pub fn insertion_selection(k: usize) -> Result<Self, CoreError> {
+        if k < 2 {
+            return Err(CoreError::InvalidParameters { l: 1, n: 0 });
+        }
+        Self::new(ScgClass::InsertionSelection, 1, k - 1)
+    }
+
+    /// The macro-insertion-selection network `MIS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn macro_is(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::MacroIs, l, n)
+    }
+
+    /// The rotation-insertion-selection network `RIS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn rotation_is(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::RotationIs, l, n)
+    }
+
+    /// The complete-rotation-insertion-selection network
+    /// `Complete-RIS(l, n)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SuperCayleyGraph::new`].
+    pub fn complete_rotation_is(l: usize, n: usize) -> Result<Self, CoreError> {
+        Self::new(ScgClass::CompleteRotationIs, l, n)
+    }
+
+    /// The network class.
+    #[must_use]
+    pub fn class(&self) -> ScgClass {
+        self.class
+    }
+
+    /// Number of boxes `l` (the network is `l`-level).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.l
+    }
+
+    /// Balls per box `n` (the super-symbol size).
+    #[must_use]
+    pub fn box_size(&self) -> usize {
+        self.n
+    }
+}
+
+impl CayleyNetwork for SuperCayleyGraph {
+    fn degree_k(&self) -> usize {
+        self.n * self.l + 1
+    }
+
+    fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    fn name(&self) -> String {
+        if self.class == ScgClass::InsertionSelection {
+            format!("IS({})", self.degree_k())
+        } else {
+            format!("{}({},{})", self.class.abbrev(), self.l, self.n)
+        }
+    }
+}
+
+/// The `k`-dimensional star graph: generators `T_2 … T_k`.
+///
+/// # Examples
+///
+/// ```
+/// use scg_core::{CayleyNetwork, StarGraph};
+///
+/// let s4 = StarGraph::new(4).expect("valid degree");
+/// assert_eq!(s4.num_nodes(), 24);
+/// assert_eq!(s4.node_degree(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarGraph {
+    k: usize,
+    generators: Vec<Generator>,
+}
+
+impl StarGraph {
+    /// The `k`-star, `2 <= k <= 20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] otherwise.
+    pub fn new(k: usize) -> Result<Self, CoreError> {
+        if !(2..=MAX_DEGREE).contains(&k) {
+            return Err(CoreError::InvalidParameters { l: 1, n: k });
+        }
+        Ok(StarGraph {
+            k,
+            generators: (2..=k).map(Generator::transposition).collect(),
+        })
+    }
+}
+
+impl CayleyNetwork for StarGraph {
+    fn degree_k(&self) -> usize {
+        self.k
+    }
+
+    fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    fn name(&self) -> String {
+        format!("{}-star", self.k)
+    }
+}
+
+/// The `k`-dimensional bubble-sort graph: adjacent transpositions
+/// `T_{1,2} … T_{k-1,k}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BubbleSortGraph {
+    k: usize,
+    generators: Vec<Generator>,
+}
+
+impl BubbleSortGraph {
+    /// The `k`-dimensional bubble-sort graph, `2 <= k <= 20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] otherwise.
+    pub fn new(k: usize) -> Result<Self, CoreError> {
+        if !(2..=MAX_DEGREE).contains(&k) {
+            return Err(CoreError::InvalidParameters { l: 1, n: k });
+        }
+        Ok(BubbleSortGraph {
+            k,
+            generators: (1..k).map(|i| Generator::exchange(i, i + 1)).collect(),
+        })
+    }
+}
+
+impl CayleyNetwork for BubbleSortGraph {
+    fn degree_k(&self) -> usize {
+        self.k
+    }
+
+    fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    fn name(&self) -> String {
+        format!("{}-bubble-sort", self.k)
+    }
+}
+
+/// The `k`-dimensional transposition network `k-TN`: all `k(k-1)/2`
+/// transpositions `T_{i,j}`. Contains the `k`-star and the `k`-dimensional
+/// bubble-sort graph as subgraphs (Latifi & Srimani).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranspositionNetwork {
+    k: usize,
+    generators: Vec<Generator>,
+}
+
+impl TranspositionNetwork {
+    /// The `k`-TN, `2 <= k <= 20`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] otherwise.
+    pub fn new(k: usize) -> Result<Self, CoreError> {
+        if !(2..=MAX_DEGREE).contains(&k) {
+            return Err(CoreError::InvalidParameters { l: 1, n: k });
+        }
+        let mut generators = Vec::with_capacity(k * (k - 1) / 2);
+        for i in 1..=k {
+            for j in i + 1..=k {
+                generators.push(Generator::exchange(i, j));
+            }
+        }
+        Ok(TranspositionNetwork { k, generators })
+    }
+}
+
+impl CayleyNetwork for TranspositionNetwork {
+    fn degree_k(&self) -> usize {
+        self.k
+    }
+
+    fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    fn name(&self) -> String {
+        format!("{}-TN", self.k)
+    }
+}
+
+/// Applies a generator sequence to a label, returning the endpoint.
+///
+/// # Errors
+///
+/// Propagates the first generator application failure.
+pub fn apply_path(u: &Perm, path: &[Generator]) -> Result<Perm, CoreError> {
+    let mut cur = *u;
+    for g in path {
+        cur = g.apply(&cur)?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_star_generator_set() {
+        let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
+        assert_eq!(ms.degree_k(), 7);
+        assert_eq!(ms.node_degree(), 4); // T2, T3, S2, S3
+        assert!(ms.is_inverse_closed());
+        assert_eq!(ms.name(), "MS(3,2)");
+        assert_eq!(ms.levels(), 3);
+        assert_eq!(ms.box_size(), 2);
+    }
+
+    #[test]
+    fn rotation_star_degree() {
+        // RS(4,2): T2, T3, R, R^-1 → degree 4.
+        let rs = SuperCayleyGraph::rotation_star(4, 2).unwrap();
+        assert_eq!(rs.node_degree(), 4);
+        assert!(rs.is_inverse_closed());
+        // l = 2 degenerates: R = R^{-1}.
+        let rs2 = SuperCayleyGraph::rotation_star(2, 2).unwrap();
+        assert_eq!(rs2.node_degree(), 3);
+    }
+
+    #[test]
+    fn complete_rotation_star_degree_matches_macro_star() {
+        for (l, n) in [(3, 2), (4, 3), (2, 4)] {
+            let crs = SuperCayleyGraph::complete_rotation_star(l, n).unwrap();
+            let ms = SuperCayleyGraph::macro_star(l, n).unwrap();
+            assert_eq!(crs.node_degree(), ms.node_degree(), "l={l} n={n}");
+        }
+    }
+
+    #[test]
+    fn insertion_selection_keeps_parallel_i2_links() {
+        // I_2 and I_2^{-1} have equal action but are kept as parallel links
+        // (the paper's directed-multigraph convention): degree 2(k-1).
+        let is5 = SuperCayleyGraph::insertion_selection(5).unwrap();
+        assert_eq!(is5.node_degree(), 8);
+        assert!(is5.is_inverse_closed());
+        assert_eq!(is5.name(), "IS(5)");
+    }
+
+    #[test]
+    fn rotator_classes_are_directed() {
+        let mr = SuperCayleyGraph::macro_rotator(2, 3).unwrap();
+        assert!(!mr.is_inverse_closed());
+        let rr = SuperCayleyGraph::rotation_rotator(2, 2).unwrap();
+        // n = 2 nucleus: I_2 (self-inverse), I_3 (not) → directed.
+        assert!(!rr.is_inverse_closed());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SuperCayleyGraph::macro_star(1, 3).is_err());
+        assert!(SuperCayleyGraph::macro_star(0, 3).is_err());
+        assert!(SuperCayleyGraph::macro_star(2, 0).is_err());
+        assert!(SuperCayleyGraph::macro_star(7, 3).is_err()); // k = 22 > 20
+        assert!(SuperCayleyGraph::new(ScgClass::InsertionSelection, 2, 2).is_err());
+        assert!(SuperCayleyGraph::insertion_selection(1).is_err());
+    }
+
+    #[test]
+    fn star_graph_matches_macro_star_with_one_box_nucleus() {
+        // MS with l boxes and the star have the same node set; spot-check
+        // neighbor counts on the 7-star.
+        let star = StarGraph::new(7).unwrap();
+        assert_eq!(star.node_degree(), 6);
+        assert_eq!(star.num_nodes(), 5040);
+        assert!(star.is_inverse_closed());
+    }
+
+    #[test]
+    fn tn_degree_and_name() {
+        let tn = TranspositionNetwork::new(5).unwrap();
+        assert_eq!(tn.node_degree(), 10);
+        assert_eq!(tn.name(), "5-TN");
+        assert!(tn.is_inverse_closed());
+        let bs = BubbleSortGraph::new(5).unwrap();
+        assert_eq!(bs.node_degree(), 4);
+    }
+
+    #[test]
+    fn apply_path_walks_links() {
+        let u = Perm::identity(7);
+        let path = [
+            Generator::swap(2, 3),
+            Generator::transposition(2),
+            Generator::swap(2, 3),
+        ];
+        let v = apply_path(&u, &path).unwrap();
+        // This is the Theorem-1 emulation of T_6 on MS(3,2): k=7, j=6 →
+        // j0 = 0, j1 = 2, box 3.
+        assert_eq!(v, Generator::transposition(6).apply(&u).unwrap());
+    }
+
+    #[test]
+    fn connectivity_matches_group_generation() {
+        // The algebraic connectivity test (Schreier–Sims) agrees with BFS
+        // reachability on every materializable class…
+        for class in ScgClass::ALL {
+            let net = if class == ScgClass::InsertionSelection {
+                SuperCayleyGraph::insertion_selection(5).unwrap()
+            } else {
+                SuperCayleyGraph::new(class, 2, 2).unwrap()
+            };
+            let graph = net.to_graph(1_000).unwrap();
+            assert_eq!(
+                net.generates_symmetric_group(),
+                graph.is_connected_from_zero(),
+                "{}",
+                net.name()
+            );
+            assert!(net.generates_symmetric_group(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn all_classes_connected_beyond_materialization() {
+        // …and certifies connectivity where BFS cannot go: k up to 19-20.
+        for net in [
+            SuperCayleyGraph::macro_star(6, 3).unwrap(),         // k = 19
+            SuperCayleyGraph::complete_rotation_star(9, 2).unwrap(), // k = 19
+            SuperCayleyGraph::macro_rotator(4, 4).unwrap(),      // k = 17
+            SuperCayleyGraph::insertion_selection(20).unwrap(),  // k = 20
+            SuperCayleyGraph::rotation_is(6, 3).unwrap(),        // k = 19
+            SuperCayleyGraph::complete_rotation_rotator(9, 2).unwrap(),
+        ] {
+            assert!(net.generates_symmetric_group(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn all_classes_construct_at_small_sizes() {
+        for class in ScgClass::ALL {
+            let net = if class == ScgClass::InsertionSelection {
+                SuperCayleyGraph::insertion_selection(5).unwrap()
+            } else {
+                SuperCayleyGraph::new(class, 2, 2).unwrap()
+            };
+            assert_eq!(net.num_nodes(), 120);
+            assert!(net.node_degree() >= 2);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Classic guest topologies (hypercubes, meshes, linear arrays, rings) as
+//! explicit graphs. These are the embedding guests of §5; they are not
+//! Cayley graphs over `S_k`, so they materialize directly as
+//! [`DenseGraph`]s.
+
+use scg_graph::{DenseGraph, NodeId};
+
+/// The `d`-dimensional hypercube (`2^d` nodes, ids are bit strings).
+///
+/// # Panics
+///
+/// Panics if `d > 25` (graph would not fit in memory).
+///
+/// # Examples
+///
+/// ```
+/// let q3 = scg_core::hypercube(3);
+/// assert_eq!(q3.num_nodes(), 8);
+/// assert_eq!(q3.out_degree(0), 3);
+/// ```
+#[must_use]
+pub fn hypercube(d: u32) -> DenseGraph {
+    assert!(d <= 25, "hypercube dimension too large");
+    let n = 1usize << d;
+    DenseGraph::from_neighbor_fn(n, |u| (0..d).map(|b| u ^ (1 << b)).collect())
+}
+
+/// A multi-dimensional mesh (grid, no wraparound) with the given extents.
+/// Node ids are mixed-radix encoded, dimension 0 fastest.
+///
+/// # Panics
+///
+/// Panics if the node count overflows `u32` or an extent is zero.
+#[must_use]
+pub fn mesh(extents: &[usize]) -> DenseGraph {
+    assert!(extents.iter().all(|&e| e >= 1), "extent must be >= 1");
+    let n: usize = extents.iter().product();
+    assert!(u32::try_from(n).is_ok(), "mesh too large");
+    DenseGraph::from_neighbor_fn(n, |u| {
+        let mut coords = Vec::with_capacity(extents.len());
+        let mut rem = u as usize;
+        for &e in extents {
+            coords.push(rem % e);
+            rem /= e;
+        }
+        let mut out = Vec::new();
+        let mut weight = 1usize;
+        for (d, &e) in extents.iter().enumerate() {
+            if coords[d] > 0 {
+                out.push((u as usize - weight) as NodeId);
+            }
+            if coords[d] + 1 < e {
+                out.push((u as usize + weight) as NodeId);
+            }
+            weight *= e;
+        }
+        out
+    })
+}
+
+/// The `n`-node linear array (path graph).
+#[must_use]
+pub fn linear_array(n: usize) -> DenseGraph {
+    mesh(&[n])
+}
+
+/// The `n`-node ring.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn ring(n: usize) -> DenseGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    DenseGraph::from_neighbor_fn(n, |u| {
+        vec![(u + 1) % n as NodeId, (u + n as NodeId - 1) % n as NodeId]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scg_graph::DistanceStats;
+
+    #[test]
+    fn hypercube_distance_is_hamming() {
+        let q4 = hypercube(4);
+        let d = q4.bfs_distances(0);
+        for v in 0..16u32 {
+            assert_eq!(d[v as usize], v.count_ones());
+        }
+        assert!(q4.is_symmetric());
+    }
+
+    #[test]
+    fn mesh_2x3_structure() {
+        let m = mesh(&[2, 3]);
+        assert_eq!(m.num_nodes(), 6);
+        // Corner (0,0) has 2 neighbors; center column nodes have 3.
+        assert_eq!(m.out_degree(0), 2);
+        assert_eq!(m.out_degree(2), 3);
+        assert!(m.is_symmetric());
+        let s = DistanceStats::all_pairs(&m);
+        assert_eq!(s.diameter, 3); // (0,0) → (1,2)
+    }
+
+    #[test]
+    fn linear_array_and_ring() {
+        assert_eq!(linear_array(5).num_edges(), 8);
+        let r = ring(5);
+        assert_eq!(r.num_edges(), 10);
+        assert!(r.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_extents() {
+        let m = mesh(&[1, 4]);
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.num_edges(), 6); // a path of 4
+    }
+}

@@ -1,0 +1,149 @@
+//! The [`CayleyNetwork`] trait: a network defined by a generator set.
+
+use scg_graph::{DenseGraph, NodeId};
+use scg_perm::{factorial, Perm};
+
+use crate::error::CoreError;
+use crate::generator::Generator;
+
+/// A (directed) Cayley graph over `S_k`, defined by its generator list.
+///
+/// Nodes are the `k!` permutations of `1..=k`; node `U` has one out-link per
+/// generator `g`, leading to `g.apply(U)`. Lexicographic permutation ranks
+/// provide dense node ids, so any network small enough can be materialized
+/// as a [`DenseGraph`] via [`CayleyNetwork::to_graph`].
+pub trait CayleyNetwork {
+    /// The permutation degree `k` (number of balls in the game).
+    fn degree_k(&self) -> usize;
+
+    /// The defining generator list (duplicates by action already removed).
+    fn generators(&self) -> &[Generator];
+
+    /// Human-readable name, e.g. `MS(3,2)`.
+    fn name(&self) -> String;
+
+    /// Number of nodes, `k!`.
+    fn num_nodes(&self) -> u64 {
+        factorial(self.degree_k())
+    }
+
+    /// In-/out-degree: the number of generators.
+    fn node_degree(&self) -> usize {
+        self.generators().len()
+    }
+
+    /// The neighbor reached from `u` through generator index `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range or `u` has the wrong degree (generator
+    /// lists are validated at network construction, so application cannot
+    /// fail for a degree-correct label).
+    fn neighbor(&self, u: &Perm, g: usize) -> Perm {
+        self.generators()[g]
+            .apply(u)
+            .expect("validated generator applies to degree-correct label")
+    }
+
+    /// All out-neighbors of `u`, in generator order.
+    fn neighbors(&self, u: &Perm) -> Vec<Perm> {
+        self.generators()
+            .iter()
+            .map(|g| g.apply(u).expect("validated generator"))
+            .collect()
+    }
+
+    /// Whether the generator set is closed under inverses, i.e. the network
+    /// can be viewed as an undirected graph.
+    fn is_inverse_closed(&self) -> bool {
+        let k = self.degree_k();
+        let gens = self.generators();
+        let perms: Vec<Perm> = gens
+            .iter()
+            .map(|g| g.as_perm(k).expect("validated generator"))
+            .collect();
+        perms.iter().all(|p| perms.contains(&p.inverse()))
+    }
+
+    /// Whether the generator set generates the full symmetric group `S_k` —
+    /// equivalently, whether the network is (strongly) connected. Decided
+    /// algebraically via a Schreier–Sims stabilizer chain, so it works at
+    /// any `k ≤ 20`, far beyond graph materialization.
+    fn generates_symmetric_group(&self) -> bool {
+        let k = self.degree_k();
+        let perms: Vec<Perm> = self
+            .generators()
+            .iter()
+            .map(|g| g.as_perm(k).expect("validated generator"))
+            .collect();
+        scg_perm::StabilizerChain::new(&perms).is_symmetric_group()
+    }
+
+    /// Materializes the network as a rank-indexed [`DenseGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TooLarge`] if `k! > cap` (materialization is
+    /// `Θ(k! · degree)` space).
+    fn to_graph(&self, cap: u64) -> Result<DenseGraph, CoreError> {
+        let n = self.num_nodes();
+        if n > cap {
+            return Err(CoreError::TooLarge { num_nodes: n, cap });
+        }
+        let k = self.degree_k();
+        Ok(DenseGraph::from_neighbor_fn(n as usize, |u| {
+            let label = Perm::from_rank(k, u64::from(u)).expect("rank below k!");
+            self.neighbors(&label)
+                .into_iter()
+                .map(|v| v.rank() as NodeId)
+                .collect()
+        }))
+    }
+
+    /// The node id (lexicographic rank) of a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DegreeMismatch`] if the label's degree differs
+    /// from the network's.
+    fn node_id(&self, u: &Perm) -> Result<u64, CoreError> {
+        if u.degree() != self.degree_k() {
+            return Err(CoreError::DegreeMismatch {
+                expected: self.degree_k(),
+                found: u.degree(),
+            });
+        }
+        Ok(u.rank())
+    }
+
+    /// The label of a node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError::Perm`] error if `id >= k!`.
+    fn node_label(&self, id: u64) -> Result<Perm, CoreError> {
+        Ok(Perm::from_rank(self.degree_k(), id)?)
+    }
+}
+
+/// Removes literal duplicates and identity-action generators from a
+/// generator list, preserving order (e.g. `R^{l-1}` duplicates `R` when
+/// `l = 2`).
+///
+/// Generators with *distinct labels but equal action* — only `I_2` and
+/// `I_2^{-1}` — are deliberately **kept**: the paper treats them as parallel
+/// links of a directed Cayley multigraph, and the all-port link-load
+/// arithmetic of Theorems 4–5 depends on that convention.
+pub(crate) fn dedup_by_action(k: usize, gens: Vec<Generator>) -> Vec<Generator> {
+    let mut out: Vec<Generator> = Vec::with_capacity(gens.len());
+    for g in gens {
+        let p = g.as_perm(k).expect("validated generator");
+        if p.is_identity() {
+            continue;
+        }
+        if !out.contains(&g) {
+            out.push(g);
+        }
+    }
+    out
+}

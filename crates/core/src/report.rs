@@ -1,0 +1,127 @@
+//! Topological property reports for networks (the `tab_networks`
+//! experiment): size, degree, diameter, mean distance, and the Moore bound
+//! the paper's "optimal diameter" claims are measured against.
+
+use std::fmt;
+
+use scg_graph::{looks_vertex_transitive, moore_diameter_lower_bound, DistanceStats};
+
+use crate::error::CoreError;
+use crate::network::CayleyNetwork;
+
+/// Measured topological properties of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Network name (e.g. `MS(3,2)`).
+    pub name: String,
+    /// Permutation degree `k`.
+    pub k: usize,
+    /// Number of nodes `k!`.
+    pub num_nodes: u64,
+    /// Node (out-)degree.
+    pub degree: usize,
+    /// Measured diameter.
+    pub diameter: u32,
+    /// Measured mean internodal distance.
+    pub mean_distance: f64,
+    /// Directed Moore lower bound `DL(d, N)` for the same size and degree.
+    pub moore_bound: u32,
+    /// Whether the generator set is inverse-closed (undirected view exists).
+    pub inverse_closed: bool,
+    /// Whether sampled distance profiles are consistent with vertex
+    /// transitivity (they must be, for a Cayley graph).
+    pub transitive_check: bool,
+}
+
+impl NetworkReport {
+    /// Materializes the network and measures its properties.
+    ///
+    /// Distance statistics are taken single-source from the identity node,
+    /// which equals the all-pairs statistics for vertex-transitive graphs
+    /// (and the `transitive_check` field cross-checks that premise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TooLarge`] if the network exceeds `cap` nodes.
+    pub fn measure(net: &impl CayleyNetwork, cap: u64) -> Result<Self, CoreError> {
+        let graph = net.to_graph(cap)?;
+        let stats = DistanceStats::single_source(&graph, 0);
+        Ok(NetworkReport {
+            name: net.name(),
+            k: net.degree_k(),
+            num_nodes: net.num_nodes(),
+            degree: net.node_degree(),
+            diameter: stats.diameter,
+            mean_distance: stats.mean,
+            moore_bound: moore_diameter_lower_bound(net.node_degree() as u64, net.num_nodes()),
+            inverse_closed: net.is_inverse_closed(),
+            transitive_check: looks_vertex_transitive(&graph, 8),
+        })
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} k={:<2} N={:<8} d={:<2} diam={:<3} mean={:<6.3} DL={:<3} {} {}",
+            self.name,
+            self.k,
+            self.num_nodes,
+            self.degree,
+            self.diameter,
+            self.mean_distance,
+            self.moore_bound,
+            if self.inverse_closed { "undirected" } else { "directed  " },
+            if self.transitive_check { "transitive" } else { "NOT-TRANSITIVE" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{StarGraph, SuperCayleyGraph};
+
+    #[test]
+    fn star_5_report() {
+        let r = NetworkReport::measure(&StarGraph::new(5).unwrap(), 1_000).unwrap();
+        assert_eq!(r.num_nodes, 120);
+        assert_eq!(r.degree, 4);
+        assert_eq!(r.diameter, 6); // ⌊3·4/2⌋
+        assert!(r.inverse_closed);
+        assert!(r.transitive_check);
+        assert!(r.moore_bound <= r.diameter);
+    }
+
+    #[test]
+    fn macro_star_2_2_report() {
+        let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let r = NetworkReport::measure(&ms, 1_000).unwrap();
+        assert_eq!(r.num_nodes, 120);
+        assert_eq!(r.degree, 3);
+        assert!(r.transitive_check);
+        assert!(r.diameter >= r.moore_bound);
+        // Display renders all fields.
+        let line = r.to_string();
+        assert!(line.contains("MS(2,2)"));
+        assert!(line.contains("undirected"));
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let ms = SuperCayleyGraph::macro_star(4, 3).unwrap(); // 13! nodes
+        assert!(matches!(
+            NetworkReport::measure(&ms, 1_000_000),
+            Err(CoreError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn rotator_report_is_directed_but_transitive() {
+        let mr = SuperCayleyGraph::macro_rotator(2, 2).unwrap();
+        let r = NetworkReport::measure(&mr, 1_000).unwrap();
+        assert!(!r.inverse_closed);
+        assert!(r.transitive_check);
+    }
+}

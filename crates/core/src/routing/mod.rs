@@ -1,0 +1,242 @@
+//! Routing: optimal star-graph routing, emulation-based routing on super
+//! Cayley graphs, and exact BFS routing for validation.
+
+mod expand;
+mod sort;
+mod star_route;
+
+pub use expand::{star_dimension_parts, StarEmulation};
+pub use sort::{
+    bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance,
+    tn_sort_sequence,
+};
+pub use star_route::{
+    star_diameter, star_distance, star_distance_between, star_route, star_sort_sequence,
+};
+
+use std::collections::HashMap;
+
+use scg_perm::Perm;
+
+use crate::classes::SuperCayleyGraph;
+use crate::error::CoreError;
+use crate::generator::Generator;
+use crate::network::CayleyNetwork;
+
+/// Routes `from → to` on a super Cayley graph by emulating the optimal
+/// star-graph route (each star link expands per Theorems 1–3).
+///
+/// The resulting path length is at most `star_dilation() ×
+/// star_distance(from, to)`; it is not necessarily a shortest path in the
+/// host, but it is within the constant factor the paper proves.
+///
+/// Works on all ten classes — the rotator-nucleus classes route via the
+/// insertion-cycle realization of transpositions (`T_x = I_{x-1}^{x-2}∘I_x`),
+/// an extension beyond the paper's stated theorems.
+///
+/// # Errors
+///
+/// * [`CoreError::DegreeMismatch`] — label degrees do not match the network.
+pub fn scg_route(
+    net: &SuperCayleyGraph,
+    from: &Perm,
+    to: &Perm,
+) -> Result<Vec<Generator>, CoreError> {
+    let k = net.degree_k();
+    for p in [from, to] {
+        if p.degree() != k {
+            return Err(CoreError::DegreeMismatch {
+                expected: k,
+                found: p.degree(),
+            });
+        }
+    }
+    let emu = StarEmulation::new(net)?;
+    let mut out = Vec::new();
+    for g in star_route(from, to) {
+        let Generator::Transposition { i } = g else {
+            unreachable!("star routes consist of transpositions")
+        };
+        out.extend(emu.expand_star_link(i as usize)?);
+    }
+    Ok(out)
+}
+
+/// Exact shortest-path routing by breadth-first search over labels.
+///
+/// Works on any network (including the directed rotator classes) but costs
+/// up to `O(k! · degree)` time and memory; `cap` bounds the number of nodes
+/// that may be expanded.
+///
+/// # Errors
+///
+/// * [`CoreError::DegreeMismatch`] — label degrees do not match the network;
+/// * [`CoreError::TooLarge`] — more than `cap` nodes were expanded;
+/// * [`CoreError::NoRoute`] — `to` is unreachable from `from` (possible only
+///   in directed classes if the generator set does not generate `S_k`).
+pub fn bfs_route(
+    net: &impl CayleyNetwork,
+    from: &Perm,
+    to: &Perm,
+    cap: u64,
+) -> Result<Vec<Generator>, CoreError> {
+    let k = net.degree_k();
+    for p in [from, to] {
+        if p.degree() != k {
+            return Err(CoreError::DegreeMismatch {
+                expected: k,
+                found: p.degree(),
+            });
+        }
+    }
+    if from == to {
+        return Ok(Vec::new());
+    }
+    let gens = net.generators();
+    let mut prev: HashMap<Perm, (Perm, usize)> = HashMap::new();
+    let mut frontier = vec![*from];
+    let mut expanded = 0u64;
+    prev.insert(*from, (*from, usize::MAX));
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for u in frontier {
+            expanded += 1;
+            if expanded > cap {
+                return Err(CoreError::TooLarge {
+                    num_nodes: expanded,
+                    cap,
+                });
+            }
+            for (gi, g) in gens.iter().enumerate() {
+                let v = g.apply(&u)?;
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(v) {
+                    e.insert((u, gi));
+                    if v == *to {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut cur = v;
+                        while cur != *from {
+                            let (p, gi) = prev[&cur];
+                            path.push(gens[gi]);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Ok(path);
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Err(CoreError::NoRoute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{apply_path, SuperCayleyGraph};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn scg_route_reaches_destination() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let hosts = [
+            SuperCayleyGraph::macro_star(3, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(),
+            SuperCayleyGraph::rotation_star(3, 2).unwrap(),
+            SuperCayleyGraph::insertion_selection(7).unwrap(),
+            SuperCayleyGraph::macro_is(3, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_is(3, 2).unwrap(),
+            SuperCayleyGraph::rotation_is(3, 2).unwrap(),
+        ];
+        for host in &hosts {
+            for _ in 0..20 {
+                let from = Perm::random(7, &mut rng);
+                let to = Perm::random(7, &mut rng);
+                let path = scg_route(host, &from, &to).unwrap();
+                assert_eq!(apply_path(&from, &path).unwrap(), to, "{}", host.name());
+                let emu = StarEmulation::new(host).unwrap();
+                assert!(
+                    path.len() as u32
+                        <= emu.star_dilation() as u32 * star_distance_between(&from, &to)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scg_route_path_uses_only_host_generators(/* links must exist */) {
+        let host = SuperCayleyGraph::macro_is(2, 3).unwrap();
+        let from = Perm::from_symbols(&[7, 6, 5, 4, 3, 2, 1]).unwrap();
+        let to = Perm::identity(7);
+        for g in scg_route(&host, &from, &to).unwrap() {
+            assert!(
+                host.generators().contains(&g),
+                "{g} is not a generator of {}",
+                host.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_route_is_shortest_on_star() {
+        let star = crate::classes::StarGraph::new(5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let from = Perm::random(5, &mut rng);
+            let to = Perm::random(5, &mut rng);
+            let path = bfs_route(&star, &from, &to, 1_000_000).unwrap();
+            assert_eq!(path.len() as u32, star_distance_between(&from, &to));
+            assert_eq!(apply_path(&from, &path).unwrap(), to);
+        }
+    }
+
+    #[test]
+    fn routing_on_directed_rotator_classes() {
+        let mr = SuperCayleyGraph::macro_rotator(2, 2).unwrap();
+        let from = Perm::identity(5);
+        let to = Perm::from_symbols(&[2, 3, 1, 4, 5]).unwrap();
+        // Exact BFS and the insertion-cycle emulation both reach the target;
+        // BFS is never longer.
+        let bfs = bfs_route(&mr, &from, &to, 1_000_000).unwrap();
+        assert_eq!(apply_path(&from, &bfs).unwrap(), to);
+        let emu = scg_route(&mr, &from, &to).unwrap();
+        assert_eq!(apply_path(&from, &emu).unwrap(), to);
+        assert!(bfs.len() <= emu.len());
+        for g in &emu {
+            assert!(mr.generators().contains(g));
+        }
+    }
+
+    #[test]
+    fn bfs_route_cap_enforced() {
+        let star = crate::classes::StarGraph::new(6).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let from = Perm::random(6, &mut rng);
+        let mut to = Perm::random(6, &mut rng);
+        while to == from {
+            to = Perm::random(6, &mut rng);
+        }
+        assert!(matches!(
+            bfs_route(&star, &from, &to, 1),
+            Err(CoreError::TooLarge { .. }) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn emulated_routes_are_within_dilation_of_bfs() {
+        // Sanity: emulation-based routing is never better than exact BFS and
+        // never worse than dilation × star distance.
+        let host = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let from = Perm::random(5, &mut rng);
+            let to = Perm::random(5, &mut rng);
+            let emu_len = scg_route(&host, &from, &to).unwrap().len();
+            let bfs_len = bfs_route(&host, &from, &to, 1_000_000).unwrap().len();
+            assert!(bfs_len <= emu_len);
+        }
+        let _ = rng.gen::<u8>();
+    }
+}

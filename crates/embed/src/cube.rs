@@ -1,0 +1,163 @@
+//! Hypercube embeddings (Corollary 5).
+//!
+//! The paper cites Miller–Pritikin–Sudborough for dilation-O(1) embeddings
+//! of `d`-cubes into `k`-stars with `d` up to `k·log₂k − 3k/2 + o(k)`; the
+//! corollary's own content is the composition with Theorems 1–3/6–7. We
+//! supply a fully constructive constant-dilation guest of smaller dimension
+//! — `d = ⌊(k−1)/2⌋` pairwise-disjoint transpositions give a dilation-1
+//! embedding of the `d`-cube into the `k`-TN — and compose it through the
+//! Theorem 6/7 machinery (substitution documented in DESIGN.md).
+
+use scg_core::{CayleyNetwork, Generator, SuperCayleyGraph, TranspositionNetwork};
+use scg_graph::NodeId;
+use scg_perm::Perm;
+
+use crate::cayley::CayleyEmbedding;
+use crate::embedding::Embedding;
+use crate::error::EmbedError;
+
+/// The hypercube dimension realized by the disjoint-transposition
+/// construction in the `k`-TN: `⌊(k−1)/2⌋`.
+#[must_use]
+pub fn cube_dimension_for(k: usize) -> u32 {
+    ((k - 1) / 2) as u32
+}
+
+/// Dilation-1 embedding of the `⌊(k−1)/2⌋`-cube into the `k`-TN.
+///
+/// Bit `i` of a cube node toggles the disjoint transposition
+/// `T_{2i+2, 2i+3}`; disjoint transpositions commute, so each cube node maps
+/// to a well-defined permutation and each cube edge is a single TN link.
+///
+/// # Errors
+///
+/// * [`EmbedError::Core`] — invalid `k` or TN too large to materialize
+///   within `cap` nodes.
+pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
+    let tn = TranspositionNetwork::new(k)?;
+    let host = tn.to_graph(cap)?;
+    let d = cube_dimension_for(k);
+    let guest = scg_core::hypercube(d);
+    let node_map: Vec<NodeId> = (0..guest.num_nodes() as u64)
+        .map(|bits| {
+            let mut p = Perm::identity(k);
+            for i in 0..d {
+                if bits >> i & 1 == 1 {
+                    let a = 2 * i as usize + 2;
+                    p = p.swapped(a, a + 1).expect("positions within degree");
+                }
+            }
+            p.rank() as NodeId
+        })
+        .collect();
+    let paths: Vec<Vec<NodeId>> = guest
+        .edges()
+        .map(|(u, v)| vec![node_map[u as usize], node_map[v as usize]])
+        .collect();
+    Embedding::new(guest, host, node_map, paths)
+}
+
+/// Corollary 5: a constant-dilation hypercube embedding into a super Cayley
+/// host, via cube → `k`-TN (dilation 1) composed with the Theorem 6/7
+/// transposition-network embedding.
+///
+/// # Errors
+///
+/// As [`hypercube_into_tn`] plus [`CayleyEmbedding::build`] failures.
+pub fn hypercube_into_scg(host: &SuperCayleyGraph, cap: u64) -> Result<Embedding, EmbedError> {
+    let k = host.degree_k();
+    let cube_in_tn = hypercube_into_tn(k, cap)?;
+    let tn = TranspositionNetwork::new(k)?;
+    let tn_in_host = CayleyEmbedding::build(&tn, host, cap)?;
+    cube_in_tn.compose(tn_in_host.embedding())
+}
+
+/// A dilation-3 embedding of the same cube directly into the `k`-star:
+/// each disjoint transposition `T_{a,a+1}` expands as `T_a T_{a+1} T_a`
+/// (star links), giving the constant-dilation star-guest variant of
+/// Corollary 5 without going through the TN.
+///
+/// # Errors
+///
+/// * [`EmbedError::Core`] — invalid `k` or star too large within `cap`.
+pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
+    let star = scg_core::StarGraph::new(k)?;
+    let host = star.to_graph(cap)?;
+    let d = cube_dimension_for(k);
+    let guest = scg_core::hypercube(d);
+    let label_of = |bits: u64| {
+        let mut p = Perm::identity(k);
+        for i in 0..d {
+            if bits >> i & 1 == 1 {
+                let a = 2 * i as usize + 2;
+                p = p.swapped(a, a + 1).expect("positions within degree");
+            }
+        }
+        p
+    };
+    let node_map: Vec<NodeId> = (0..guest.num_nodes() as u64)
+        .map(|bits| label_of(bits).rank() as NodeId)
+        .collect();
+    let paths: Vec<Vec<NodeId>> = guest
+        .edges()
+        .map(|(u, v)| {
+            // The flipped bit is the lowest differing bit.
+            let diff = u ^ v;
+            let i = diff.trailing_zeros();
+            let a = 2 * i as usize + 2;
+            let start = label_of(u64::from(u));
+            let mut path = vec![node_map[u as usize]];
+            let mut cur = start;
+            for g in [
+                Generator::transposition(a),
+                Generator::transposition(a + 1),
+                Generator::transposition(a),
+            ] {
+                cur = g.apply(&cur).expect("valid star generator");
+                path.push(cur.rank() as NodeId);
+            }
+            path
+        })
+        .collect();
+    Embedding::new(guest, host, node_map, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_into_tn_is_dilation_1() {
+        let e = hypercube_into_tn(5, 1_000).unwrap();
+        assert_eq!(e.guest().num_nodes(), 4); // d = 2
+        assert_eq!(e.dilation(), 1);
+        assert_eq!(e.load(), 1);
+        assert_eq!(e.congestion(), 1);
+    }
+
+    #[test]
+    fn cube_into_star_is_dilation_3() {
+        let e = hypercube_into_star(7, 10_000).unwrap();
+        assert_eq!(e.guest().num_nodes(), 8); // d = 3
+        assert_eq!(e.dilation(), 3);
+        assert_eq!(e.load(), 1);
+    }
+
+    #[test]
+    fn corollary_5_cube_into_hosts() {
+        // Constant dilation on every emulation-capable host class.
+        let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let e = hypercube_into_scg(&ms, 1_000).unwrap();
+        assert!(e.dilation() <= 5, "cube → TN → MS(2,·): ≤ 1 × 5");
+        let is5 = SuperCayleyGraph::insertion_selection(5).unwrap();
+        let e2 = hypercube_into_scg(&is5, 1_000).unwrap();
+        assert!(e2.dilation() <= 6, "cube → TN → IS: ≤ 1 × 6");
+    }
+
+    #[test]
+    fn dimension_formula() {
+        assert_eq!(cube_dimension_for(5), 2);
+        assert_eq!(cube_dimension_for(7), 3);
+        assert_eq!(cube_dimension_for(8), 3);
+    }
+}

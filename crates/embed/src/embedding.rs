@@ -1,0 +1,393 @@
+//! The embedding data structure and its quality metrics.
+
+use scg_graph::{DenseGraph, NodeId};
+
+use crate::error::EmbedError;
+
+/// An embedding of a guest graph into a host graph: a node map plus, for
+/// every directed guest edge, a routing path in the host.
+///
+/// The four standard quality metrics follow the paper's definitions:
+///
+/// * **load** — most guest nodes mapped onto one host node;
+/// * **expansion** — `|V_host| / |V_guest|`;
+/// * **dilation** — longest routing path (in host links);
+/// * **congestion** — most routing paths crossing one host link.
+///
+/// Construction validates every path (endpoints match the node map,
+/// consecutive nodes are host-adjacent), so a value of this type is a
+/// *certificate*: the metrics it reports are facts about a checked object,
+/// not about intentions.
+///
+/// # Examples
+///
+/// ```
+/// use scg_core::{StarGraph, SuperCayleyGraph};
+/// use scg_embed::CayleyEmbedding;
+///
+/// # fn main() -> Result<(), scg_embed::EmbedError> {
+/// let star = StarGraph::new(5)?;
+/// let host = SuperCayleyGraph::insertion_selection(5)?;
+/// let e = CayleyEmbedding::build(&star, &host, 1_000)?.into_embedding();
+/// assert_eq!(e.dilation(), 2);      // Theorem 2
+/// assert_eq!(e.load(), 1);
+/// assert_eq!(e.expansion(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    guest: DenseGraph,
+    host: DenseGraph,
+    node_map: Vec<NodeId>,
+    edge_paths: Vec<Vec<NodeId>>,
+}
+
+impl Embedding {
+    /// Builds and validates an embedding.
+    ///
+    /// `edge_paths[e]` must be the full node sequence (both endpoints
+    /// included) routing guest edge `e` — edges are indexed in the guest's
+    /// CSR order. A guest edge between nodes mapped to the same host node
+    /// may use a single-node path.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbedError::InvalidMap`] — map length/node ids wrong;
+    /// * [`EmbedError::InvalidPath`] — a path is empty, has wrong endpoints,
+    ///   or leaves the host's adjacency.
+    pub fn new(
+        guest: DenseGraph,
+        host: DenseGraph,
+        node_map: Vec<NodeId>,
+        edge_paths: Vec<Vec<NodeId>>,
+    ) -> Result<Self, EmbedError> {
+        if node_map.len() != guest.num_nodes() {
+            return Err(EmbedError::InvalidMap {
+                reason: "node map length differs from guest order",
+            });
+        }
+        if node_map
+            .iter()
+            .any(|&h| h as usize >= host.num_nodes())
+        {
+            return Err(EmbedError::InvalidMap {
+                reason: "node map target out of host range",
+            });
+        }
+        if edge_paths.len() != guest.num_edges() {
+            return Err(EmbedError::InvalidMap {
+                reason: "one path per guest edge required",
+            });
+        }
+        for (e, (u, v)) in guest.edges().enumerate() {
+            let path = &edge_paths[e];
+            let ok = !path.is_empty()
+                && path[0] == node_map[u as usize]
+                && *path.last().expect("non-empty") == node_map[v as usize]
+                && path
+                    .windows(2)
+                    .all(|w| host.edge_index(w[0], w[1]).is_some());
+            if !ok {
+                return Err(EmbedError::InvalidPath { guest_edge: e });
+            }
+        }
+        Ok(Embedding {
+            guest,
+            host,
+            node_map,
+            edge_paths,
+        })
+    }
+
+    /// The guest graph.
+    #[must_use]
+    pub fn guest(&self) -> &DenseGraph {
+        &self.guest
+    }
+
+    /// The host graph.
+    #[must_use]
+    pub fn host(&self) -> &DenseGraph {
+        &self.host
+    }
+
+    /// The guest → host node map.
+    #[must_use]
+    pub fn node_map(&self) -> &[NodeId] {
+        &self.node_map
+    }
+
+    /// The routing path of guest edge `e` (guest CSR edge order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn edge_path(&self, e: usize) -> &[NodeId] {
+        &self.edge_paths[e]
+    }
+
+    /// Most guest nodes mapped onto a single host node.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        let mut count = vec![0usize; self.host.num_nodes()];
+        for &h in &self.node_map {
+            count[h as usize] += 1;
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// `|V_host| / |V_guest|`.
+    #[must_use]
+    pub fn expansion(&self) -> f64 {
+        self.host.num_nodes() as f64 / self.guest.num_nodes() as f64
+    }
+
+    /// Longest routing path, in host links.
+    #[must_use]
+    pub fn dilation(&self) -> usize {
+        self.edge_paths
+            .iter()
+            .map(|p| p.len() - 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean routing path length, in host links.
+    #[must_use]
+    pub fn mean_path_length(&self) -> f64 {
+        if self.edge_paths.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.edge_paths.iter().map(|p| p.len() - 1).sum();
+        total as f64 / self.edge_paths.len() as f64
+    }
+
+    /// Most routing paths crossing a single directed host link, counting
+    /// every guest edge.
+    #[must_use]
+    pub fn congestion(&self) -> usize {
+        self.congestion_filtered(|_| true)
+    }
+
+    /// Congestion counting only the guest edges accepted by `filter`
+    /// (indexed in guest CSR edge order). Used for the paper's
+    /// per-dimension congestion claims.
+    #[must_use]
+    pub fn congestion_filtered(&self, filter: impl Fn(usize) -> bool) -> usize {
+        let mut count = vec![0usize; self.host.num_edges()];
+        for (e, path) in self.edge_paths.iter().enumerate() {
+            if !filter(e) {
+                continue;
+            }
+            for w in path.windows(2) {
+                let link = self
+                    .host
+                    .edge_index(w[0], w[1])
+                    .expect("validated at construction");
+                count[link] += 1;
+            }
+        }
+        count.into_iter().max().unwrap_or(0)
+    }
+
+    /// Per-host-link traffic counts (validated paths only), for traffic
+    /// uniformity analyses ("the traffic on all the links … is uniform
+    /// within a constant factor").
+    #[must_use]
+    pub fn link_traffic(&self) -> Vec<usize> {
+        let mut count = vec![0usize; self.host.num_edges()];
+        for path in &self.edge_paths {
+            for w in path.windows(2) {
+                count[self.host.edge_index(w[0], w[1]).expect("validated")] += 1;
+            }
+        }
+        count
+    }
+
+    /// Composes two embeddings: guest → mid (`self`) and mid → host
+    /// (`inner`), producing guest → host. Dilation multiplies at worst.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmbedError::Unsupported`] if `inner`'s guest is not
+    /// structurally equal to `self`'s host (same graph required), and
+    /// propagates validation failures.
+    pub fn compose(&self, inner: &Embedding) -> Result<Embedding, EmbedError> {
+        if inner.guest != self.host {
+            return Err(EmbedError::Unsupported {
+                reason: "composition requires inner.guest == outer.host".into(),
+            });
+        }
+        let node_map: Vec<NodeId> = self
+            .node_map
+            .iter()
+            .map(|&m| inner.node_map[m as usize])
+            .collect();
+        let mut edge_paths = Vec::with_capacity(self.edge_paths.len());
+        for path in &self.edge_paths {
+            let mut out = vec![inner.node_map[path[0] as usize]];
+            for w in path.windows(2) {
+                let mid_edge = self
+                    .host
+                    .edge_index(w[0], w[1])
+                    .expect("validated at construction");
+                let seg = &inner.edge_paths[mid_edge];
+                out.extend_from_slice(&seg[1..]);
+            }
+            edge_paths.push(out);
+        }
+        Embedding::new(
+            self.guest.clone(),
+            inner.host.clone(),
+            node_map,
+            edge_paths,
+        )
+    }
+
+    /// Builds an embedding from a node map alone, routing every guest edge
+    /// along a BFS shortest path in the host ("greedy" embedding; useful as
+    /// a measured baseline).
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbedError::InvalidMap`] — map malformed;
+    /// * [`EmbedError::Unsupported`] — some mapped pair is disconnected.
+    pub fn from_node_map(
+        guest: DenseGraph,
+        host: DenseGraph,
+        node_map: Vec<NodeId>,
+    ) -> Result<Embedding, EmbedError> {
+        if node_map.len() != guest.num_nodes() {
+            return Err(EmbedError::InvalidMap {
+                reason: "node map length differs from guest order",
+            });
+        }
+        // One BFS per distinct source host node.
+        let mut edge_paths = Vec::with_capacity(guest.num_edges());
+        let mut cache: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for (u, v) in guest.edges() {
+            let (hu, hv) = (node_map[u as usize], node_map[v as usize]);
+            let parents = cache
+                .entry(hu)
+                .or_insert_with(|| host.bfs_parents(hu));
+            if hu == hv {
+                edge_paths.push(vec![hu]);
+                continue;
+            }
+            if parents[hv as usize] == NodeId::MAX {
+                return Err(EmbedError::Unsupported {
+                    reason: format!("host nodes {hu} and {hv} are disconnected"),
+                });
+            }
+            let mut path = vec![hv];
+            let mut cur = hv;
+            while cur != hu {
+                cur = parents[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            edge_paths.push(path);
+        }
+        Embedding::new(guest, host, node_map, edge_paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scg_core::{linear_array, ring};
+
+    #[test]
+    fn identity_embedding_metrics() {
+        let g = ring(5);
+        let map: Vec<NodeId> = (0..5).collect();
+        let paths: Vec<Vec<NodeId>> = g.edges().map(|(u, v)| vec![u, v]).collect();
+        let e = Embedding::new(g.clone(), g, map, paths).unwrap();
+        assert_eq!(e.load(), 1);
+        assert_eq!(e.dilation(), 1);
+        assert_eq!(e.congestion(), 1);
+        assert!((e.expansion() - 1.0).abs() < 1e-12);
+        assert!((e.mean_path_length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_into_ring_via_bfs() {
+        let guest = linear_array(4);
+        let host = ring(8);
+        // Spread the path around the ring with stride 2 → dilation 2.
+        let e = Embedding::from_node_map(guest, host, vec![0, 2, 4, 6]).unwrap();
+        assert_eq!(e.dilation(), 2);
+        assert_eq!(e.load(), 1);
+        assert_eq!(e.expansion(), 2.0);
+    }
+
+    #[test]
+    fn invalid_paths_rejected() {
+        let g = linear_array(2);
+        let h = linear_array(3);
+        // Wrong endpoint.
+        let bad = Embedding::new(
+            g.clone(),
+            h.clone(),
+            vec![0, 1],
+            vec![vec![0, 1], vec![1, 2]],
+        );
+        assert!(matches!(bad, Err(EmbedError::InvalidPath { .. })));
+        // Non-adjacent hop.
+        let bad2 = Embedding::new(g.clone(), h.clone(), vec![0, 2], vec![vec![0, 2], vec![2, 0]]);
+        assert!(matches!(bad2, Err(EmbedError::InvalidPath { .. })));
+        // Wrong map length.
+        let bad3 = Embedding::new(g, h, vec![0], vec![]);
+        assert!(matches!(bad3, Err(EmbedError::InvalidMap { .. })));
+    }
+
+    #[test]
+    fn congestion_counts_shared_links() {
+        // Two guest edges forced through the same host link.
+        let guest = DenseGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+        let host = linear_array(3);
+        let e = Embedding::new(
+            guest,
+            host,
+            vec![0, 0, 2],
+            vec![vec![0, 1, 2], vec![0, 1, 2]],
+        )
+        .unwrap();
+        assert_eq!(e.load(), 2);
+        assert_eq!(e.congestion(), 2);
+        assert_eq!(e.congestion_filtered(|edge| edge == 0), 1);
+        assert_eq!(e.link_traffic().iter().copied().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn compose_multiplies_dilation_at_worst() {
+        // guest: 2-path into mid: 4-ring (dilation 2), mid into host: 8-ring
+        // (dilation 2) → composed dilation ≤ 4.
+        let guest = linear_array(2);
+        let mid = ring(4);
+        let outer =
+            Embedding::from_node_map(guest, mid.clone(), vec![0, 2]).unwrap();
+        let host = ring(8);
+        let inner = Embedding::from_node_map(mid, host, vec![0, 2, 4, 6]).unwrap();
+        let composed = outer.compose(&inner).unwrap();
+        assert!(composed.dilation() <= outer.dilation() * inner.dilation());
+        assert_eq!(composed.node_map(), &[0, 4]);
+    }
+
+    #[test]
+    fn compose_requires_matching_middle() {
+        let guest = linear_array(2);
+        let mid = ring(4);
+        let outer = Embedding::from_node_map(guest, mid, vec![0, 2]).unwrap();
+        let other_mid = ring(5);
+        let inner =
+            Embedding::from_node_map(other_mid, ring(10), vec![0, 2, 4, 6, 8]).unwrap();
+        assert!(matches!(
+            outer.compose(&inner),
+            Err(EmbedError::Unsupported { .. })
+        ));
+    }
+}

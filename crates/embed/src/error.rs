@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use scg_core::CoreError;
+use scg_graph::GraphError;
+
+/// Error produced by embedding constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// A node map entry or path endpoint is out of range.
+    InvalidMap {
+        /// Explanation of the violated invariant.
+        reason: &'static str,
+    },
+    /// An edge path is not a walk in the host (consecutive nodes not
+    /// adjacent), or does not connect the mapped endpoints.
+    InvalidPath {
+        /// Guest edge index (CSR order) of the offending path.
+        guest_edge: usize,
+    },
+    /// The requested construction does not apply to these parameters.
+    Unsupported {
+        /// Explanation.
+        reason: String,
+    },
+    /// An underlying network error.
+    Core(CoreError),
+    /// An underlying graph error.
+    Graph(GraphError),
+    /// A search-based construction was inconclusive within its budget.
+    SearchInconclusive,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::InvalidMap { reason } => write!(f, "invalid node map: {reason}"),
+            EmbedError::InvalidPath { guest_edge } => {
+                write!(f, "invalid routing path for guest edge {guest_edge}")
+            }
+            EmbedError::Unsupported { reason } => write!(f, "unsupported construction: {reason}"),
+            EmbedError::Core(e) => write!(f, "network error: {e}"),
+            EmbedError::Graph(e) => write!(f, "graph error: {e}"),
+            EmbedError::SearchInconclusive => write!(f, "search budget exhausted"),
+        }
+    }
+}
+
+impl Error for EmbedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmbedError::Core(e) => Some(e),
+            EmbedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EmbedError {
+    fn from(e: CoreError) -> Self {
+        EmbedError::Core(e)
+    }
+}
+
+impl From<GraphError> for EmbedError {
+    fn from(e: GraphError) -> Self {
+        EmbedError::Graph(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! Constant-dilation embeddings in super Cayley graphs (§5 of the paper).
+//!
+//! The central type is [`Embedding`]: a validated node map plus per-edge
+//! routing paths, from which the standard quality metrics (load, expansion,
+//! dilation, congestion) are *measured*, not asserted. Constructions:
+//!
+//! * **Theorems 1–3** — star graphs into `MS`, `RS`, `Complete-RS`, `IS`,
+//!   `MIS`, `RIS`, `Complete-RIS` with dilation 3/2/4 and congestion
+//!   `max(2n, l)` ([`CayleyEmbedding`]);
+//! * **Theorems 6–7** — transposition networks (and bubble-sort graphs)
+//!   with dilation 5/7/6/O(1) ([`CayleyEmbedding`]);
+//! * **Corollary 4** — complete binary trees ([`tree_into_star`],
+//!   [`tree_into_scg`]);
+//! * **Corollary 5** — hypercubes ([`hypercube_into_tn`],
+//!   [`hypercube_into_star`], [`hypercube_into_scg`]);
+//! * **Corollaries 6–7** — meshes and linear arrays
+//!   ([`factorial_mesh_into_tn`], [`mesh2d_into_tn`],
+//!   [`linear_array_into_star`] and their `_into_scg` compositions).
+//!
+//! Embeddings compose ([`Embedding::compose`]), which is exactly how the
+//! paper derives its corollaries from the theorems.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_core::{StarGraph, SuperCayleyGraph};
+//! use scg_embed::CayleyEmbedding;
+//!
+//! # fn main() -> Result<(), scg_embed::EmbedError> {
+//! let star = StarGraph::new(5)?;
+//! let host = SuperCayleyGraph::macro_star(2, 2)?;
+//! let e = CayleyEmbedding::build(&star, &host, 10_000)?;
+//! assert_eq!(e.embedding().dilation(), 3); // Theorem 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cayley;
+mod cube;
+mod embedding;
+mod error;
+mod mesh_embed;
+mod tree;
+
+pub use cayley::CayleyEmbedding;
+pub use cube::{cube_dimension_for, hypercube_into_scg, hypercube_into_star, hypercube_into_tn};
+pub use embedding::Embedding;
+pub use error::EmbedError;
+pub use mesh_embed::{
+    factor_into_exchanges, factorial_coords_to_perm, factorial_mesh_into_scg,
+    factorial_mesh_into_tn, linear_array_into_star, mesh2d_into_scg, mesh2d_into_tn,
+};
+pub use tree::{tree_into_scg, tree_into_star};

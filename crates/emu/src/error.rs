@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+use scg_core::CoreError;
+
+/// Error produced by emulation scheduling and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// The host cannot emulate star links (insertion-only nucleus) or the
+    /// parameters are invalid.
+    Core(CoreError),
+    /// The scheduler could not find a conflict-free schedule within the
+    /// makespan limit and search budget.
+    ScheduleNotFound {
+        /// The largest makespan attempted.
+        makespan_limit: usize,
+    },
+    /// A schedule failed validation (used by the self-check API).
+    InvalidSchedule {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// The simulator was driven with an out-of-range node or link.
+    SimOutOfRange {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Core(e) => write!(f, "network error: {e}"),
+            EmuError::ScheduleNotFound { makespan_limit } => {
+                write!(f, "no conflict-free schedule within makespan {makespan_limit}")
+            }
+            EmuError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            EmuError::SimOutOfRange { reason } => write!(f, "simulator misuse: {reason}"),
+        }
+    }
+}
+
+impl Error for EmuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmuError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EmuError {
+    fn from(e: CoreError) -> Self {
+        EmuError::Core(e)
+    }
+}

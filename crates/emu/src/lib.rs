@@ -1,0 +1,45 @@
+//! Communication models, emulation schedules, and a network simulator for
+//! super Cayley graphs (§3–§4 of the paper).
+//!
+//! * [`SdcReport`] — single-dimension-communication emulation costs
+//!   (Theorems 1–3: slowdown 3 on `MS`/`Complete-RS`, 2 on `IS`, 4 on
+//!   `MIS`/`Complete-RIS`);
+//! * [`AllPortSchedule`] — conflict-free pipelined schedules emulating one
+//!   all-port star step (Theorems 4–5, Figure 1), with validation,
+//!   link-utilization statistics and an ASCII rendering of the Figure 1
+//!   grid;
+//! * [`SyncSim`] — a synchronous store-and-forward link-level simulator
+//!   (all-port / single-port) with a shortest-path [`TableRouter`], used by
+//!   the `scg-comm` crate to measure multinode-broadcast and total-exchange
+//!   completion times.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_core::SuperCayleyGraph;
+//! use scg_emu::AllPortSchedule;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Figure 1b: emulating a 16-star on MS(5,3) takes max(2n, l+1) = 6
+//! // steps and keeps the links ~93% busy.
+//! let host = SuperCayleyGraph::macro_star(5, 3)?;
+//! let schedule = scg_emu::AllPortSchedule::build(&host)?;
+//! assert_eq!(schedule.makespan(), 6);
+//! assert!(schedule.utilization() > 0.92);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod schedule;
+mod sdc;
+mod sim;
+mod traffic;
+
+pub use error::EmuError;
+pub use schedule::{AllPortSchedule, DimSchedule, ScheduledHop};
+pub use sdc::{pipelined_dimension_cost, PipelinedCost, SdcReport};
+pub use sim::{Packet, PortModel, Router, SimStats, SyncSim, TableRouter};
+pub use traffic::TrafficSummary;

@@ -1,0 +1,396 @@
+//! A synchronous, link-level, store-and-forward network simulator.
+//!
+//! Time advances in unit steps; every directed link transmits at most one
+//! packet per step. Under the **all-port** model a node feeds all its
+//! outgoing links simultaneously; under the **single-port** model it feeds
+//! one per step (round-robin over non-empty queues). This is the machinery
+//! the MNB/TE experiments (Corollaries 2–3) run on.
+
+use std::collections::VecDeque;
+
+use scg_graph::{DenseGraph, NodeId, UNREACHABLE};
+
+use crate::error::EmuError;
+
+/// Port model: how many links a node may drive per step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortModel {
+    /// All incident links simultaneously.
+    AllPort,
+    /// One outgoing link per step.
+    SinglePort,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Caller-defined tag (e.g. a broadcast id).
+    pub payload: u64,
+}
+
+/// Chooses the outgoing link for a packet at a node.
+pub trait Router {
+    /// The local slot (index into `graph.out_neighbors(at)`) the packet
+    /// should leave through, or `None` if `at` is its destination.
+    fn next_hop(&self, at: NodeId, packet: &Packet) -> Option<usize>;
+}
+
+/// Shortest-path table router: for every destination, a BFS-built next-hop
+/// slot per node. Ties are broken by a deterministic hash of
+/// `(node, destination)` so traffic spreads over equally short links.
+#[derive(Debug, Clone)]
+pub struct TableRouter {
+    degree_cap: usize,
+    /// `slots[dst * n + u]` = out-slot at `u` toward `dst` (`u8::MAX` at
+    /// destination or unreachable).
+    slots: Vec<u8>,
+    n: usize,
+}
+
+impl TableRouter {
+    /// Builds the full `N × N` next-hop table (`O(N·E)` time, `N²` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 254
+    /// (slots are stored in a `u8`).
+    pub fn new(graph: &DenseGraph) -> Result<Self, EmuError> {
+        let n = graph.num_nodes();
+        let degree_cap = (0..n)
+            .map(|u| graph.out_degree(u as NodeId))
+            .max()
+            .unwrap_or(0);
+        if degree_cap >= u8::MAX as usize {
+            return Err(EmuError::SimOutOfRange {
+                reason: "out-degree too large for u8 slot table",
+            });
+        }
+        // Reverse adjacency for BFS *toward* each destination.
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (u, v) in graph.edges() {
+            rev[v as usize].push(u);
+        }
+        let mut slots = vec![u8::MAX; n * n];
+        let mut dist = vec![UNREACHABLE; n];
+        let mut queue = VecDeque::new();
+        for dst in 0..n {
+            dist.iter_mut().for_each(|d| *d = UNREACHABLE);
+            dist[dst] = 0;
+            queue.push_back(dst as NodeId);
+            while let Some(v) = queue.pop_front() {
+                for &u in &rev[v as usize] {
+                    if dist[u as usize] == UNREACHABLE {
+                        dist[u as usize] = dist[v as usize] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            for u in 0..n {
+                if u == dst || dist[u] == UNREACHABLE {
+                    continue;
+                }
+                let outs = graph.out_neighbors(u as NodeId);
+                let candidates: Vec<usize> = outs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| dist[v as usize] + 1 == dist[u])
+                    .map(|(slot, _)| slot)
+                    .collect();
+                debug_assert!(!candidates.is_empty());
+                let pick = (u
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(dst.wrapping_mul(0x85EB_CA6B)))
+                    % candidates.len();
+                slots[dst * n + u] = candidates[pick] as u8;
+            }
+        }
+        Ok(TableRouter {
+            degree_cap,
+            slots,
+            n,
+        })
+    }
+
+    /// The largest out-degree seen when building the table.
+    #[must_use]
+    pub fn degree_cap(&self) -> usize {
+        self.degree_cap
+    }
+}
+
+impl Router for TableRouter {
+    fn next_hop(&self, at: NodeId, packet: &Packet) -> Option<usize> {
+        if at == packet.dst {
+            return None;
+        }
+        let s = self.slots[packet.dst as usize * self.n + at as usize];
+        (s != u8::MAX).then_some(s as usize)
+    }
+}
+
+/// Statistics of a completed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Steps until every packet was delivered.
+    pub steps: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Total link transmissions (packet-hops).
+    pub transmissions: u64,
+    /// Most transmissions carried by any single directed link.
+    pub max_link_traffic: u64,
+}
+
+/// The synchronous store-and-forward simulator.
+#[derive(Debug, Clone)]
+pub struct SyncSim<'a> {
+    graph: &'a DenseGraph,
+    model: PortModel,
+    /// FIFO per directed link (CSR edge index).
+    queues: Vec<VecDeque<Packet>>,
+    /// Round-robin pointer per node (single-port fairness).
+    rr: Vec<usize>,
+    link_traffic: Vec<u64>,
+    delivered: u64,
+    transmissions: u64,
+    in_flight: u64,
+}
+
+impl<'a> SyncSim<'a> {
+    /// Creates an empty simulator over `graph`.
+    #[must_use]
+    pub fn new(graph: &'a DenseGraph, model: PortModel) -> Self {
+        SyncSim {
+            graph,
+            model,
+            queues: vec![VecDeque::new(); graph.num_edges()],
+            rr: vec![0; graph.num_nodes()],
+            link_traffic: vec![0; graph.num_edges()],
+            delivered: 0,
+            transmissions: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Injects a packet at `at`, routing it immediately (a packet already at
+    /// its destination is counted delivered without any transmission).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if `at`, the destination, or the
+    /// router's slot is out of range.
+    pub fn inject(&mut self, at: NodeId, packet: Packet, router: &impl Router) -> Result<(), EmuError> {
+        let n = self.graph.num_nodes();
+        if at as usize >= n || packet.dst as usize >= n {
+            return Err(EmuError::SimOutOfRange {
+                reason: "inject node out of range",
+            });
+        }
+        match router.next_hop(at, &packet) {
+            None => {
+                self.delivered += 1;
+            }
+            Some(slot) => {
+                if slot >= self.graph.out_degree(at) {
+                    return Err(EmuError::SimOutOfRange {
+                        reason: "router slot out of range",
+                    });
+                }
+                let base = self.edge_base(at);
+                self.queues[base + slot].push_back(packet);
+                self.in_flight += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn edge_base(&self, u: NodeId) -> usize {
+        self.graph.edge_range(u).start
+    }
+
+    /// Packets currently queued.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Runs one synchronous step; returns the number of packets moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates router slot violations.
+    pub fn step(&mut self, router: &impl Router) -> Result<u64, EmuError> {
+        let mut arrivals: Vec<(NodeId, Packet)> = Vec::new();
+        for u in 0..self.graph.num_nodes() as NodeId {
+            let deg = self.graph.out_degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let base = self.edge_base(u);
+            match self.model {
+                PortModel::AllPort => {
+                    for slot in 0..deg {
+                        if let Some(p) = self.queues[base + slot].pop_front() {
+                            let v = self.graph.out_neighbors(u)[slot];
+                            self.link_traffic[base + slot] += 1;
+                            arrivals.push((v, p));
+                        }
+                    }
+                }
+                PortModel::SinglePort => {
+                    let start = self.rr[u as usize];
+                    for off in 0..deg {
+                        let slot = (start + off) % deg;
+                        if let Some(p) = self.queues[base + slot].pop_front() {
+                            let v = self.graph.out_neighbors(u)[slot];
+                            self.link_traffic[base + slot] += 1;
+                            arrivals.push((v, p));
+                            self.rr[u as usize] = (slot + 1) % deg;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let moved = arrivals.len() as u64;
+        self.transmissions += moved;
+        self.in_flight -= moved;
+        for (v, p) in arrivals {
+            match router.next_hop(v, &p) {
+                None => self.delivered += 1,
+                Some(slot) => {
+                    if slot >= self.graph.out_degree(v) {
+                        return Err(EmuError::SimOutOfRange {
+                            reason: "router slot out of range",
+                        });
+                    }
+                    let base = self.edge_base(v);
+                    self.queues[base + slot].push_back(p);
+                    self.in_flight += 1;
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Runs until all packets are delivered, returning statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmuError::SimOutOfRange`] — router misbehavior;
+    /// * [`EmuError::InvalidSchedule`] — `max_steps` elapsed with packets
+    ///   still in flight (deadlock or bound blowout).
+    pub fn run(&mut self, router: &impl Router, max_steps: u64) -> Result<SimStats, EmuError> {
+        let mut steps = 0u64;
+        while self.in_flight > 0 {
+            if steps >= max_steps {
+                return Err(EmuError::InvalidSchedule {
+                    reason: format!("{} packets undelivered after {max_steps} steps", self.in_flight),
+                });
+            }
+            self.step(router)?;
+            steps += 1;
+        }
+        Ok(SimStats {
+            steps,
+            delivered: self.delivered,
+            transmissions: self.transmissions,
+            max_link_traffic: self.link_traffic.iter().copied().max().unwrap_or(0),
+        })
+    }
+
+    /// Per-link transmission counts so far (CSR edge order).
+    #[must_use]
+    pub fn link_traffic(&self) -> &[u64] {
+        &self.link_traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> DenseGraph {
+        DenseGraph::from_neighbor_fn(n, |u| {
+            vec![(u + 1) % n as NodeId, (u + n as NodeId - 1) % n as NodeId]
+        })
+    }
+
+    #[test]
+    fn table_router_routes_shortest() {
+        let g = ring(8);
+        let r = TableRouter::new(&g).unwrap();
+        let p = Packet { src: 0, dst: 3, payload: 0 };
+        // From 0 toward 3: slot leading to node 1 (forward around the ring).
+        let slot = r.next_hop(0, &p).unwrap();
+        assert_eq!(g.out_neighbors(0)[slot], 1);
+        assert_eq!(r.next_hop(3, &p), None);
+    }
+
+    #[test]
+    fn single_packet_takes_distance_steps() {
+        let g = ring(8);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(0, Packet { src: 0, dst: 3, payload: 0 }, &r).unwrap();
+        let stats = sim.run(&r, 100).unwrap();
+        assert_eq!(stats.steps, 3);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.transmissions, 3);
+    }
+
+    #[test]
+    fn all_port_beats_single_port_under_fanout() {
+        let g = ring(6);
+        let r = TableRouter::new(&g).unwrap();
+        // Node 0 sends to both neighbors; all-port: 1 step, single-port: 2.
+        let mk = |model| {
+            let mut sim = SyncSim::new(&g, model);
+            for dst in [1u32, 5] {
+                sim.inject(0, Packet { src: 0, dst, payload: 0 }, &r).unwrap();
+            }
+            sim.run(&r, 100).unwrap().steps
+        };
+        assert_eq!(mk(PortModel::AllPort), 1);
+        assert_eq!(mk(PortModel::SinglePort), 2);
+    }
+
+    #[test]
+    fn link_capacity_is_one_per_step() {
+        let g = ring(6);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        // Two packets from 0 to 2 must serialize on the 0→1 link.
+        for _ in 0..2 {
+            sim.inject(0, Packet { src: 0, dst: 2, payload: 0 }, &r).unwrap();
+        }
+        let stats = sim.run(&r, 100).unwrap();
+        assert_eq!(stats.steps, 3); // second packet starts one step late
+        assert_eq!(stats.max_link_traffic, 2);
+    }
+
+    #[test]
+    fn injection_at_destination_counts_delivered() {
+        let g = ring(4);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(2, Packet { src: 2, dst: 2, payload: 0 }, &r).unwrap();
+        assert_eq!(sim.in_flight(), 0);
+        let stats = sim.run(&r, 10).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn run_detects_step_blowout() {
+        let g = ring(8);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(0, Packet { src: 0, dst: 4, payload: 0 }, &r).unwrap();
+        assert!(sim.run(&r, 2).is_err());
+    }
+}

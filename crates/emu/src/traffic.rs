@@ -1,0 +1,113 @@
+//! Link-traffic uniformity statistics.
+//!
+//! The paper closes §1 and §6 with: *"The traffic on all the links of
+//! suitably constructed super Cayley graphs is uniform within a constant
+//! factor for all algorithms considered in this paper."* This module turns
+//! per-link traffic counts (from embeddings, schedules, or simulations)
+//! into the max/mean balance ratio that claim is about.
+
+/// Summary of a per-link traffic distribution.
+///
+/// # Examples
+///
+/// ```
+/// use scg_emu::TrafficSummary;
+///
+/// let s = TrafficSummary::from_counts([3, 4, 3, 4]);
+/// assert_eq!(s.max, 4);
+/// assert!((s.balance_ratio() - 4.0 / 3.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSummary {
+    /// Number of links measured.
+    pub links: usize,
+    /// Busiest link's traffic.
+    pub max: u64,
+    /// Quietest link's traffic.
+    pub min: u64,
+    /// Mean traffic per link.
+    pub mean: f64,
+}
+
+impl TrafficSummary {
+    /// Summarizes an iterator of per-link counts.
+    ///
+    /// Returns an all-zero summary for an empty iterator.
+    pub fn from_counts<I>(counts: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut links = 0usize;
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        let mut total = 0u128;
+        for c in counts {
+            links += 1;
+            max = max.max(c);
+            min = min.min(c);
+            total += u128::from(c);
+        }
+        if links == 0 {
+            return TrafficSummary { links: 0, max: 0, min: 0, mean: 0.0 };
+        }
+        TrafficSummary {
+            links,
+            max,
+            min,
+            mean: total as f64 / links as f64,
+        }
+    }
+
+    /// The balance ratio `max / mean` — 1.0 is perfectly uniform; the
+    /// paper's claim is that this stays `O(1)`.
+    #[must_use]
+    pub fn balance_ratio(&self) -> f64 {
+        if self.mean == 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+impl std::fmt::Display for TrafficSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} links, max {}, min {}, mean {:.2}, balance {:.2}",
+            self.links,
+            self.max,
+            self.min,
+            self.mean,
+            self.balance_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_has_ratio_1() {
+        let s = TrafficSummary::from_counts([5, 5, 5, 5]);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 5);
+        assert!((s.balance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_traffic_detected() {
+        let s = TrafficSummary::from_counts([0, 0, 0, 12]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.balance_ratio(), 4.0);
+        assert_eq!(s.min, 0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let s = TrafficSummary::from_counts(std::iter::empty());
+        assert_eq!(s.links, 0);
+        assert_eq!(s.balance_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Universal diameter lower bounds.
+//!
+//! The paper's optimality arguments (Corollaries 2 and 3) compare super
+//! Cayley graphs against *any* network of the same size and degree by way of
+//! the universal diameter lower bound `DL(d, N)`: a node of out-degree `d`
+//! can reach at most `d^t` new nodes at step `t`, so
+//! `N <= 1 + d + d² + … + d^D` forces `D >= DL(d, N)`.
+
+/// The smallest `D` with `1 + d + d² + … + d^D >= n` — the directed Moore
+/// bound. Returns 0 when `n <= 1`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` and `n > 1` (no such `D` exists).
+#[must_use]
+pub fn moore_diameter_lower_bound(d: u64, n: u64) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    assert!(d >= 1, "a degree-0 graph cannot reach {n} nodes");
+    let mut reach: u128 = 1;
+    let mut frontier: u128 = 1;
+    let mut depth = 0u32;
+    while reach < u128::from(n) {
+        frontier = frontier.saturating_mul(u128::from(d));
+        reach = reach.saturating_add(frontier);
+        depth += 1;
+    }
+    depth
+}
+
+/// The undirected Moore bound: smallest `D` with
+/// `1 + d·( (d-1)^D - 1 ) / (d - 2) >= n` (for `d >= 3`), i.e. each step
+/// beyond the first can only fan out `d - 1` ways.
+///
+/// Returns 0 when `n <= 1`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` and `n > 1`.
+#[must_use]
+pub fn moore_diameter_lower_bound_undirected(d: u64, n: u64) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    assert!(d >= 1, "a degree-0 graph cannot reach {n} nodes");
+    let mut reach: u128 = 1;
+    let mut frontier: u128 = 1;
+    let mut depth = 0u32;
+    while reach < u128::from(n) {
+        let fanout = if depth == 0 { d } else { d.saturating_sub(1).max(1) };
+        frontier = frontier.saturating_mul(u128::from(fanout));
+        reach = reach.saturating_add(frontier);
+        depth += 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(moore_diameter_lower_bound(3, 0), 0);
+        assert_eq!(moore_diameter_lower_bound(3, 1), 0);
+        assert_eq!(moore_diameter_lower_bound_undirected(3, 1), 0);
+    }
+
+    #[test]
+    fn directed_bound_matches_geometric_series() {
+        // 1 + 2 + 4 = 7 ≥ 7 at D = 2; 8 needs D = 3.
+        assert_eq!(moore_diameter_lower_bound(2, 7), 2);
+        assert_eq!(moore_diameter_lower_bound(2, 8), 3);
+        // degree 1: a ring; reach after D steps is D + 1.
+        assert_eq!(moore_diameter_lower_bound(1, 10), 9);
+    }
+
+    #[test]
+    fn undirected_bound_is_weaker_or_equal_fanout() {
+        // Petersen graph: d = 3, N = 10, undirected Moore bound = 2 (1+3+6).
+        assert_eq!(moore_diameter_lower_bound_undirected(3, 10), 2);
+        // Directed bound for the same parameters is also 2 (1+3+9 = 13 ≥ 10).
+        assert_eq!(moore_diameter_lower_bound(3, 10), 2);
+        // But undirected grows slower: 1+3+6+12 = 22 < 23.
+        assert_eq!(moore_diameter_lower_bound_undirected(3, 23), 4);
+        assert_eq!(moore_diameter_lower_bound(3, 23), 3);
+    }
+
+    #[test]
+    fn bounds_never_exceed_actual_small_examples() {
+        // 5-cycle (d = 2, N = 5) has diameter 2; bound must be ≤ 2.
+        assert!(moore_diameter_lower_bound(2, 5) <= 2);
+    }
+
+    #[test]
+    fn saturating_arithmetic_handles_huge_n() {
+        // Must terminate even with extreme parameters.
+        assert!(moore_diameter_lower_bound(2, u64::MAX) >= 62);
+        assert!(moore_diameter_lower_bound_undirected(1, 100) >= 1);
+    }
+}

@@ -1,0 +1,411 @@
+use std::collections::VecDeque;
+
+use crate::error::GraphError;
+use crate::{Dist, NodeId, UNREACHABLE};
+
+/// A directed graph in compressed-sparse-row form with contiguous node ids
+/// `0..num_nodes`.
+///
+/// All networks in this workspace are regular directed Cayley graphs, so the
+/// CSR layout is both compact and cache-friendly. Out-neighbor lists are kept
+/// sorted, which makes edge lookup a binary search and lets two graphs be
+/// compared structurally with `==`.
+///
+/// # Examples
+///
+/// ```
+/// use scg_graph::DenseGraph;
+///
+/// let ring = DenseGraph::from_neighbor_fn(5, |u| vec![(u + 1) % 5]);
+/// assert_eq!(ring.num_edges(), 5);
+/// assert_eq!(ring.out_neighbors(3), &[4]);
+/// assert!(!ring.is_symmetric());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl DenseGraph {
+    /// Builds a graph by evaluating `neighbors` for every node.
+    ///
+    /// Duplicate targets are retained (parallel edges are meaningful for
+    /// multigraph Cayley constructions); each list is sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any returned neighbor id is `>= num_nodes`.
+    #[must_use]
+    pub fn from_neighbor_fn<F>(num_nodes: usize, mut neighbors: F) -> Self
+    where
+        F: FnMut(NodeId) -> Vec<NodeId>,
+    {
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for u in 0..num_nodes {
+            let mut out = neighbors(u as NodeId);
+            out.sort_unstable();
+            for &v in &out {
+                assert!(
+                    (v as usize) < num_nodes,
+                    "neighbor {v} of node {u} out of range"
+                );
+            }
+            targets.extend_from_slice(&out);
+            offsets.push(targets.len());
+        }
+        DenseGraph { offsets, targets }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is out of range.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); num_nodes];
+        for (u, v) in edges {
+            for x in [u, v] {
+                if x as usize >= num_nodes {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u64::from(x),
+                        num_nodes,
+                    });
+                }
+            }
+            adj[u as usize].push(v);
+        }
+        Ok(DenseGraph::from_neighbor_fn(num_nodes, |u| {
+            std::mem::take(&mut adj[u as usize])
+        }))
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted out-neighbor list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[must_use]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// The CSR edge-index range of `u`'s out-edges: `out_neighbors(u)[i]`
+    /// is the target of edge `edge_range(u).start + i`. Unlike
+    /// [`DenseGraph::edge_index`], this is unambiguous in the presence of
+    /// parallel edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn edge_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        let u = u as usize;
+        self.offsets[u]..self.offsets[u + 1]
+    }
+
+    /// The CSR index of directed edge `(u, v)`, if present. Edge indices are
+    /// dense in `0..num_edges()` and are what congestion accounting uses.
+    /// With parallel edges, one of the duplicates' indices is returned.
+    #[must_use]
+    pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let base = self.offsets[u as usize];
+        let list = self.out_neighbors(u);
+        list.binary_search(&v).ok().map(|i| base + i)
+    }
+
+    /// The endpoints `(u, v)` of the directed edge with CSR index `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= num_edges()`.
+    #[must_use]
+    pub fn edge_endpoints(&self, e: usize) -> (NodeId, NodeId) {
+        assert!(e < self.num_edges(), "edge index out of range");
+        let u = match self.offsets.binary_search(&e) {
+            // `e` may coincide with the offset of an empty run; advance to the
+            // last node whose range starts at or before `e`.
+            Ok(mut i) => {
+                while self.offsets[i + 1] == e {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (u as NodeId, self.targets[e])
+    }
+
+    /// Iterates all directed edges in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.out_neighbors(u as NodeId)
+                .iter()
+                .map(move |&v| (u as NodeId, v))
+        })
+    }
+
+    /// Whether every directed edge has an antiparallel partner, i.e. the
+    /// graph can be viewed as undirected. Inverse-closed generator sets
+    /// always produce symmetric Cayley graphs.
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.edge_index(v, u).is_some())
+    }
+
+    /// Whether the graph is `d`-regular (every out-degree equals `d`).
+    #[must_use]
+    pub fn is_regular(&self) -> Option<usize> {
+        let d = self.out_degree(0);
+        (0..self.num_nodes())
+            .all(|u| self.out_degree(u as NodeId) == d)
+            .then_some(d)
+    }
+
+    /// BFS distances from `src` following out-edges; unreachable nodes get
+    /// [`UNREACHABLE`](crate::UNREACHABLE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<Dist> {
+        assert!((src as usize) < self.num_nodes(), "source out of range");
+        let mut dist = vec![UNREACHABLE; self.num_nodes()];
+        let mut queue = VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in self.out_neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS predecessor array from `src`: `parent[v]` is the node from which
+    /// `v` was first reached (`parent[src] = src`; unreachable nodes keep
+    /// `NodeId::MAX`). Useful for extracting shortest paths.
+    #[must_use]
+    pub fn bfs_parents(&self, src: NodeId) -> Vec<NodeId> {
+        assert!((src as usize) < self.num_nodes(), "source out of range");
+        let mut parent = vec![NodeId::MAX; self.num_nodes()];
+        let mut dist = vec![UNREACHABLE; self.num_nodes()];
+        let mut queue = VecDeque::new();
+        parent[src as usize] = src;
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.out_neighbors(u) {
+                if dist[v as usize] == UNREACHABLE {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    parent[v as usize] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// A shortest path `src → dst` (inclusive of both endpoints), or `None`
+    /// if unreachable.
+    #[must_use]
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let parent = self.bfs_parents(src);
+        if parent[dst as usize] == NodeId::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// The reverse graph (every edge flipped). For symmetric graphs this is
+    /// structurally equal to `self`.
+    #[must_use]
+    pub fn reversed(&self) -> DenseGraph {
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_nodes()];
+        for (u, v) in self.edges() {
+            rev[v as usize].push(u);
+        }
+        DenseGraph::from_neighbor_fn(self.num_nodes(), |u| std::mem::take(&mut rev[u as usize]))
+    }
+
+    /// A 2-coloring by BFS layers if one exists (treating edges as
+    /// undirected), i.e. whether the graph is bipartite. Cayley graphs of
+    /// even-permutation-free generator sets (e.g. star graphs, whose
+    /// generators are all transpositions) are bipartite by parity.
+    #[must_use]
+    pub fn bipartition(&self) -> Option<Vec<bool>> {
+        let n = self.num_nodes();
+        let mut color = vec![u8::MAX; n];
+        let rev = self.reversed();
+        for start in 0..n {
+            if color[start] != u8::MAX {
+                continue;
+            }
+            color[start] = 0;
+            let mut queue = VecDeque::from([start as NodeId]);
+            while let Some(u) = queue.pop_front() {
+                let cu = color[u as usize];
+                for &v in self
+                    .out_neighbors(u)
+                    .iter()
+                    .chain(rev.out_neighbors(u).iter())
+                {
+                    match color[v as usize] {
+                        c if c == u8::MAX => {
+                            color[v as usize] = 1 - cu;
+                            queue.push_back(v);
+                        }
+                        c if c == cu => return None,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Some(color.into_iter().map(|c| c == 1).collect())
+    }
+
+    /// Whether every node is reachable from node 0 (for vertex-transitive
+    /// graphs this is full strong connectivity).
+    #[must_use]
+    pub fn is_connected_from_zero(&self) -> bool {
+        self.num_nodes() == 0
+            || self
+                .bfs_distances(0)
+                .iter()
+                .all(|&d| d != UNREACHABLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> DenseGraph {
+        DenseGraph::from_neighbor_fn(n, |u| vec![(u + 1) % n as NodeId])
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = cycle(4);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(2), &[3]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.is_regular(), Some(1));
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn from_edges_validates() {
+        assert!(DenseGraph::from_edges(2, [(0, 5)]).is_err());
+        let g = DenseGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_index_roundtrip() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (0, 3), (1, 2), (3, 0)]).unwrap();
+        for (u, v) in g.edges() {
+            let e = g.edge_index(u, v).unwrap();
+            assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+        assert_eq!(g.edge_index(0, 2), None);
+    }
+
+    #[test]
+    fn edge_endpoints_skips_isolated_nodes() {
+        // Node 1 has no out-edges; endpoints of the edge after the empty run
+        // must still resolve to node 2.
+        let g = DenseGraph::from_edges(3, [(0, 1), (2, 0)]).unwrap();
+        assert_eq!(g.edge_endpoints(1), (2, 0));
+    }
+
+    #[test]
+    fn bfs_on_cycle() {
+        let g = cycle(6);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        assert!(g.is_connected_from_zero());
+    }
+
+    #[test]
+    fn shortest_path_follows_parents() {
+        let g = cycle(5);
+        assert_eq!(g.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+        let disconnected = DenseGraph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(disconnected.shortest_path(0, 2), None);
+        assert!(!disconnected.is_connected_from_zero());
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = cycle(4);
+        let r = g.reversed();
+        assert_eq!(r.out_neighbors(1), &[0]);
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn bipartition_of_even_cycle() {
+        let g = DenseGraph::from_neighbor_fn(6, |u| vec![(u + 1) % 6, (u + 5) % 6]);
+        let colors = g.bipartition().expect("even cycle is bipartite");
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u as usize], colors[v as usize]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_is_not_bipartite() {
+        let g = DenseGraph::from_neighbor_fn(5, |u| vec![(u + 1) % 5, (u + 4) % 5]);
+        assert!(g.bipartition().is_none());
+    }
+
+    #[test]
+    fn bipartition_handles_disconnected_graphs() {
+        let g = DenseGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        assert!(g.bipartition().is_some());
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let undirected =
+            DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        assert!(undirected.is_symmetric());
+    }
+}

@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by graph constructors and algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphError {
+    /// A node id was `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The graph order.
+        num_nodes: usize,
+    },
+    /// An algorithm that requires a symmetric (undirected-viewable) graph was
+    /// handed a graph with an unmatched directed edge.
+    NotSymmetric,
+    /// The guest handed to a tree algorithm is not a tree (wrong edge count
+    /// or disconnected).
+    NotATree,
+    /// A search exhausted its step budget without an answer either way.
+    BudgetExhausted,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::NotSymmetric => write!(f, "graph is not symmetric"),
+            GraphError::NotATree => write!(f, "guest graph is not a tree"),
+            GraphError::BudgetExhausted => write!(f, "search budget exhausted"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,198 @@
+//! Budget-limited Hamiltonian path/cycle search.
+//!
+//! Star graphs are Hamiltonian; a Hamiltonian path is exactly a dilation-1
+//! embedding of the `k!`-node linear array, which Corollary 6's mesh
+//! embeddings build on. The search is exact backtracking with the
+//! Warnsdorff least-free-degree heuristic, bounded by a [`SearchBudget`] so
+//! callers stay in control of worst-case cost.
+
+use crate::dense::DenseGraph;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// A step budget shared across a backtracking search.
+///
+/// Each recursive extension costs one unit; when the budget hits zero the
+/// search aborts with [`GraphError::BudgetExhausted`] so callers can
+/// distinguish "no solution" from "didn't look long enough".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    remaining: u64,
+}
+
+impl SearchBudget {
+    /// A budget of `steps` backtracking extensions.
+    #[must_use]
+    pub fn new(steps: u64) -> Self {
+        SearchBudget { remaining: steps }
+    }
+
+    /// Remaining steps.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Consumes one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BudgetExhausted`] when spent.
+    pub fn spend(&mut self) -> Result<(), GraphError> {
+        if self.remaining == 0 {
+            return Err(GraphError::BudgetExhausted);
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+/// Searches for a Hamiltonian path starting at `start`.
+///
+/// Returns the node sequence on success, `Ok(None)` if the (exhaustive)
+/// search proved none exists from `start`, or
+/// [`GraphError::BudgetExhausted`] if inconclusive.
+///
+/// # Errors
+///
+/// * [`GraphError::NodeOutOfRange`] — bad `start`;
+/// * [`GraphError::BudgetExhausted`] — inconclusive within `budget`.
+pub fn hamiltonian_path(
+    graph: &DenseGraph,
+    start: NodeId,
+    budget: &mut SearchBudget,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    search(graph, start, false, budget)
+}
+
+/// Searches for a Hamiltonian cycle through `start` (returned as a path whose
+/// final node is adjacent to `start`; the closing edge is implied).
+///
+/// # Errors
+///
+/// Same as [`hamiltonian_path`].
+pub fn hamiltonian_cycle(
+    graph: &DenseGraph,
+    start: NodeId,
+    budget: &mut SearchBudget,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    search(graph, start, true, budget)
+}
+
+fn search(
+    graph: &DenseGraph,
+    start: NodeId,
+    cycle: bool,
+    budget: &mut SearchBudget,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    let n = graph.num_nodes();
+    if start as usize >= n {
+        return Err(GraphError::NodeOutOfRange {
+            node: u64::from(start),
+            num_nodes: n,
+        });
+    }
+    let mut path = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    path.push(start);
+    used[start as usize] = true;
+    if extend(graph, start, cycle, &mut path, &mut used, budget)? {
+        Ok(Some(path))
+    } else {
+        Ok(None)
+    }
+}
+
+fn extend(
+    graph: &DenseGraph,
+    start: NodeId,
+    cycle: bool,
+    path: &mut Vec<NodeId>,
+    used: &mut Vec<bool>,
+    budget: &mut SearchBudget,
+) -> Result<bool, GraphError> {
+    if path.len() == graph.num_nodes() {
+        let last = *path.last().expect("path non-empty");
+        return Ok(!cycle || graph.edge_index(last, start).is_some());
+    }
+    budget.spend()?;
+    let u = *path.last().expect("path non-empty");
+    // Warnsdorff: try the neighbor with fewest free continuations first.
+    let mut candidates: Vec<(usize, NodeId)> = graph
+        .out_neighbors(u)
+        .iter()
+        .copied()
+        .filter(|&v| !used[v as usize])
+        .map(|v| {
+            let free = graph
+                .out_neighbors(v)
+                .iter()
+                .filter(|&&w| !used[w as usize])
+                .count();
+            (free, v)
+        })
+        .collect();
+    candidates.sort_unstable();
+    for (_, v) in candidates {
+        path.push(v);
+        used[v as usize] = true;
+        if extend(graph, start, cycle, path, used, budget)? {
+            return Ok(true);
+        }
+        used[v as usize] = false;
+        path.pop();
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube3() -> DenseGraph {
+        DenseGraph::from_neighbor_fn(8, |u| (0..3).map(|b| u ^ (1 << b)).collect())
+    }
+
+    #[test]
+    fn cube_has_hamiltonian_cycle() {
+        let g = cube3();
+        let p = hamiltonian_cycle(&g, 0, &mut SearchBudget::new(100_000))
+            .unwrap()
+            .expect("hypercube is Hamiltonian");
+        assert_eq!(p.len(), 8);
+        for w in p.windows(2) {
+            assert!(g.edge_index(w[0], w[1]).is_some());
+        }
+        assert!(g.edge_index(p[7], p[0]).is_some());
+    }
+
+    #[test]
+    fn path_graph_has_path_only_from_ends() {
+        let line = DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        assert!(hamiltonian_path(&line, 0, &mut SearchBudget::new(1000))
+            .unwrap()
+            .is_some());
+        assert!(hamiltonian_path(&line, 1, &mut SearchBudget::new(1000))
+            .unwrap()
+            .is_none());
+        assert!(hamiltonian_cycle(&line, 0, &mut SearchBudget::new(1000))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let g = cube3();
+        let r = hamiltonian_cycle(&g, 0, &mut SearchBudget::new(1));
+        assert_eq!(r.unwrap_err(), GraphError::BudgetExhausted);
+    }
+
+    #[test]
+    fn bad_start_rejected() {
+        let g = cube3();
+        assert!(matches!(
+            hamiltonian_path(&g, 99, &mut SearchBudget::new(10)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+}

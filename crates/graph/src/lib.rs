@@ -1,0 +1,55 @@
+//! Graph substrate for the super Cayley graph library.
+//!
+//! Interconnection networks in this workspace materialize as dense,
+//! contiguous-id graphs (node `i` of a Cayley graph is the permutation of
+//! lexicographic rank `i`). This crate supplies the generic graph machinery:
+//!
+//! * [`DenseGraph`] — a compressed-sparse-row directed graph with an
+//!   undirected view for inverse-closed generator sets;
+//! * BFS, eccentricities, diameter, mean internodal distance, and distance
+//!   distributions ([`DistanceStats`]);
+//! * the universal (Moore-style) diameter lower bound `DL(d, N)` used by the
+//!   paper's optimality arguments ([`moore_diameter_lower_bound`]);
+//! * vertex-transitivity spot checks;
+//! * a backtracking dilation-1 tree embedder ([`embed_tree`]) used to
+//!   certify Corollary 4's tree-into-star premise;
+//! * budget-limited Hamiltonian path search ([`hamiltonian_path`]) used by
+//!   the linear-array mesh embeddings of Corollary 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_graph::DenseGraph;
+//!
+//! // A 4-cycle.
+//! let g = DenseGraph::from_neighbor_fn(4, |u| vec![(u + 1) % 4, (u + 3) % 4]);
+//! assert!(g.is_symmetric());
+//! assert_eq!(g.bfs_distances(0)[2], 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bounds;
+mod dense;
+mod error;
+mod hamiltonian;
+mod stats;
+mod subgraph;
+mod transitivity;
+
+pub use bounds::{moore_diameter_lower_bound, moore_diameter_lower_bound_undirected};
+pub use dense::DenseGraph;
+pub use error::GraphError;
+pub use hamiltonian::{hamiltonian_cycle, hamiltonian_path, SearchBudget};
+pub use stats::DistanceStats;
+pub use subgraph::{complete_binary_tree, embed_tree, embed_tree_randomized};
+pub use transitivity::{eccentricity, looks_vertex_transitive};
+
+/// Node identifier inside a [`DenseGraph`].
+pub type NodeId = u32;
+
+/// Distance value returned by BFS; [`UNREACHABLE`] marks disconnected pairs.
+pub type Dist = u32;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: Dist = u32::MAX;

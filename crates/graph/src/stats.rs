@@ -1,0 +1,199 @@
+use crate::dense::DenseGraph;
+use crate::{Dist, NodeId, UNREACHABLE};
+
+/// Distance statistics of a graph (diameter, mean internodal distance,
+/// distance histogram).
+///
+/// For the vertex-transitive graphs this library studies, single-source
+/// statistics from any node equal the all-pairs statistics; both
+/// constructors are provided so the equivalence can itself be tested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStats {
+    /// Largest finite distance encountered.
+    pub diameter: Dist,
+    /// Mean distance over all ordered reachable pairs with distinct
+    /// endpoints.
+    pub mean: f64,
+    /// `histogram[d]` counts ordered pairs at distance `d`.
+    pub histogram: Vec<u64>,
+    /// Number of ordered pairs that were unreachable.
+    pub unreachable_pairs: u64,
+}
+
+impl DistanceStats {
+    /// Statistics of the BFS ball around a single source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn single_source(graph: &DenseGraph, src: NodeId) -> Self {
+        Self::from_distance_rows(std::iter::once(graph.bfs_distances(src)))
+    }
+
+    /// All-pairs statistics via one BFS per node (`O(N·E)`).
+    #[must_use]
+    pub fn all_pairs(graph: &DenseGraph) -> Self {
+        Self::from_distance_rows(
+            (0..graph.num_nodes()).map(|u| graph.bfs_distances(u as NodeId)),
+        )
+    }
+
+    /// All-pairs statistics computed on `threads` OS threads (scoped; no
+    /// external dependency). Produces exactly the same result as
+    /// [`DistanceStats::all_pairs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn all_pairs_parallel(graph: &DenseGraph, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        let n = graph.num_nodes();
+        let chunk = n.div_ceil(threads.min(n.max(1)));
+        let partials: Vec<DistanceStats> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for start in (0..n).step_by(chunk.max(1)) {
+                let end = (start + chunk).min(n);
+                handles.push(scope.spawn(move || {
+                    Self::from_distance_rows(
+                        (start..end).map(|u| graph.bfs_distances(u as NodeId)),
+                    )
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("BFS thread")).collect()
+        });
+        Self::merge(&partials)
+    }
+
+    /// Merges partial statistics (as produced from disjoint source sets).
+    fn merge(parts: &[DistanceStats]) -> Self {
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut unreachable_pairs = 0;
+        for p in parts {
+            if histogram.len() < p.histogram.len() {
+                histogram.resize(p.histogram.len(), 0);
+            }
+            for (d, &c) in p.histogram.iter().enumerate() {
+                histogram[d] += c;
+            }
+            unreachable_pairs += p.unreachable_pairs;
+        }
+        let diameter = (histogram.len().saturating_sub(1)) as Dist;
+        let (mut total, mut pairs) = (0u128, 0u128);
+        for (d, &count) in histogram.iter().enumerate().skip(1) {
+            total += (d as u128) * u128::from(count);
+            pairs += u128::from(count);
+        }
+        let mean = if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 };
+        DistanceStats {
+            diameter,
+            mean,
+            histogram,
+            unreachable_pairs,
+        }
+    }
+
+    fn from_distance_rows(rows: impl Iterator<Item = Vec<Dist>>) -> Self {
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut unreachable_pairs = 0u64;
+        for row in rows {
+            for &d in &row {
+                if d == UNREACHABLE {
+                    unreachable_pairs += 1;
+                } else {
+                    let d = d as usize;
+                    if histogram.len() <= d {
+                        histogram.resize(d + 1, 0);
+                    }
+                    histogram[d] += 1;
+                }
+            }
+        }
+        let diameter = (histogram.len().saturating_sub(1)) as Dist;
+        let (mut total, mut pairs) = (0u128, 0u128);
+        for (d, &count) in histogram.iter().enumerate().skip(1) {
+            total += (d as u128) * u128::from(count);
+            pairs += u128::from(count);
+        }
+        let mean = if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        };
+        DistanceStats {
+            diameter,
+            mean,
+            histogram,
+            unreachable_pairs,
+        }
+    }
+
+    /// Number of ordered reachable pairs with distinct endpoints.
+    #[must_use]
+    pub fn reachable_pairs(&self) -> u64 {
+        self.histogram.iter().skip(1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseGraph;
+
+    fn undirected_path(n: usize) -> DenseGraph {
+        DenseGraph::from_neighbor_fn(n, |u| {
+            let mut v = Vec::new();
+            if u > 0 {
+                v.push(u - 1);
+            }
+            if (u as usize) + 1 < n {
+                v.push(u + 1);
+            }
+            v
+        })
+    }
+
+    #[test]
+    fn path_graph_stats() {
+        let g = undirected_path(4);
+        let s = DistanceStats::all_pairs(&g);
+        assert_eq!(s.diameter, 3);
+        // Ordered pairs: 6 at distance 1, 4 at 2, 2 at 3 → mean = 20/12.
+        assert_eq!(s.histogram[1], 6);
+        assert_eq!(s.histogram[2], 4);
+        assert_eq!(s.histogram[3], 2);
+        assert!((s.mean - 20.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.unreachable_pairs, 0);
+        assert_eq!(s.reachable_pairs(), 12);
+    }
+
+    #[test]
+    fn single_source_matches_all_pairs_on_transitive_graph() {
+        let ring = DenseGraph::from_neighbor_fn(6, |u| vec![(u + 1) % 6, (u + 5) % 6]);
+        let single = DistanceStats::single_source(&ring, 0);
+        let all = DistanceStats::all_pairs(&ring);
+        assert_eq!(single.diameter, all.diameter);
+        assert!((single.mean - all.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_all_pairs_matches_sequential() {
+        let g = DenseGraph::from_neighbor_fn(50, |u| {
+            vec![(u + 1) % 50, (u + 7) % 50, (u + 49) % 50]
+        });
+        let seq = DistanceStats::all_pairs(&g);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = DistanceStats::all_pairs_parallel(&g, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_counted() {
+        let g = DenseGraph::from_edges(3, [(0, 1)]).unwrap();
+        let s = DistanceStats::single_source(&g, 0);
+        assert_eq!(s.unreachable_pairs, 1);
+        assert_eq!(s.diameter, 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Dilation-1 tree embedding by backtracking subgraph search.
+//!
+//! Corollary 4 of the paper rests on dilation-1 embeddings of complete binary
+//! trees into star graphs (Bouabdallah et al.). The construction of that
+//! cited paper is not reproducible from the citation alone, so we instead
+//! *certify existence* on the checkable instances: this module performs an
+//! exact backtracking search for the guest tree as a subgraph of the host.
+
+use crate::dense::DenseGraph;
+use crate::error::GraphError;
+use crate::hamiltonian::SearchBudget;
+use crate::NodeId;
+
+/// Attempts to embed the tree `guest` into `host` with dilation 1 (i.e. as a
+/// subgraph), rooting the guest at `guest_root` mapped onto `host_root`.
+///
+/// Returns the guest→host node map on success, `Ok(None)` if the search space
+/// was exhausted (no embedding with this root pair exists), and
+/// [`GraphError::BudgetExhausted`] if `budget` ran out first.
+///
+/// `guest` must be symmetric and a tree (`num_edges == 2·(num_nodes − 1)` and
+/// connected).
+///
+/// # Errors
+///
+/// * [`GraphError::NotATree`] — `guest` is not a symmetric tree;
+/// * [`GraphError::NodeOutOfRange`] — a root id is out of range;
+/// * [`GraphError::BudgetExhausted`] — inconclusive within `budget`.
+pub fn embed_tree(
+    guest: &DenseGraph,
+    host: &DenseGraph,
+    guest_root: NodeId,
+    host_root: NodeId,
+    budget: &mut SearchBudget,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    embed_tree_seeded(guest, host, guest_root, host_root, budget, None)
+}
+
+/// [`embed_tree`] with an optional xorshift seed perturbing the candidate
+/// order (used by [`embed_tree_randomized`]).
+fn embed_tree_seeded(
+    guest: &DenseGraph,
+    host: &DenseGraph,
+    guest_root: NodeId,
+    host_root: NodeId,
+    budget: &mut SearchBudget,
+    seed: Option<u64>,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    let mut rng = seed;
+    let gn = guest.num_nodes();
+    if guest_root as usize >= gn {
+        return Err(GraphError::NodeOutOfRange {
+            node: u64::from(guest_root),
+            num_nodes: gn,
+        });
+    }
+    if host_root as usize >= host.num_nodes() {
+        return Err(GraphError::NodeOutOfRange {
+            node: u64::from(host_root),
+            num_nodes: host.num_nodes(),
+        });
+    }
+    if !guest.is_symmetric() || guest.num_edges() != 2 * (gn - 1) {
+        return Err(GraphError::NotATree);
+    }
+    if gn > host.num_nodes() {
+        return Ok(None);
+    }
+
+    // Rooted DFS order; children[g] lists each node's children, subtree[g]
+    // counts descendants (used for pruning).
+    let mut parent = vec![NodeId::MAX; gn];
+    let mut order = Vec::with_capacity(gn);
+    let mut stack = vec![guest_root];
+    let mut seen = vec![false; gn];
+    seen[guest_root as usize] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in guest.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                stack.push(v);
+            }
+        }
+    }
+    if order.len() != gn {
+        return Err(GraphError::NotATree);
+    }
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); gn];
+    for &v in &order {
+        let p = parent[v as usize];
+        if p != NodeId::MAX {
+            children[p as usize].push(v);
+        }
+    }
+    let mut subtree = vec![1usize; gn];
+    for &v in order.iter().rev() {
+        let p = parent[v as usize];
+        if p != NodeId::MAX {
+            subtree[p as usize] += subtree[v as usize];
+        }
+    }
+    // Heavier subtrees first: fail fast on the hard branches.
+    for ch in &mut children {
+        ch.sort_by_key(|&c| std::cmp::Reverse(subtree[c as usize]));
+    }
+
+    let mut map = vec![NodeId::MAX; gn];
+    let mut used = vec![false; host.num_nodes()];
+    map[guest_root as usize] = host_root;
+    used[host_root as usize] = true;
+
+    // Process guest nodes in BFS-like order of `order` (parents before
+    // children is all that matters; DFS order satisfies it).
+    let result = place(
+        guest, host, &children, &subtree, &order, 0, &mut map, &mut used, budget, &mut rng,
+    )?;
+    Ok(result.then_some(map))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn place(
+    guest: &DenseGraph,
+    host: &DenseGraph,
+    children: &[Vec<NodeId>],
+    subtree: &[usize],
+    order: &[NodeId],
+    idx: usize,
+    map: &mut Vec<NodeId>,
+    used: &mut Vec<bool>,
+    budget: &mut SearchBudget,
+    rng: &mut Option<u64>,
+) -> Result<bool, GraphError> {
+    // Find the next guest node (in order) that has children to place; we
+    // place whole child lists at once to keep sibling choices coordinated.
+    let Some(&g) = order.get(idx) else {
+        return Ok(true);
+    };
+    budget.spend()?;
+    let kids = &children[g as usize];
+    if kids.is_empty() {
+        return place(guest, host, children, subtree, order, idx + 1, map, used, budget, rng);
+    }
+    let h = map[g as usize];
+    debug_assert_ne!(h, NodeId::MAX, "parent placed before children");
+    let mut free: Vec<NodeId> = host
+        .out_neighbors(h)
+        .iter()
+        .copied()
+        .filter(|&w| !used[w as usize])
+        .collect();
+    if free.len() < kids.len() {
+        return Ok(false);
+    }
+    if let Some(state) = rng {
+        // Fisher-Yates with a per-call xorshift stream: perturbs which
+        // sibling placements are explored first.
+        for i in (1..free.len()).rev() {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let j = (*state % (i as u64 + 1)) as usize;
+            free.swap(i, j);
+        }
+    }
+    assign_children(
+        guest, host, children, subtree, order, idx, kids, 0, &free, map, used, budget, rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_children(
+    guest: &DenseGraph,
+    host: &DenseGraph,
+    children: &[Vec<NodeId>],
+    subtree: &[usize],
+    order: &[NodeId],
+    idx: usize,
+    kids: &[NodeId],
+    kid_idx: usize,
+    free: &[NodeId],
+    map: &mut Vec<NodeId>,
+    used: &mut Vec<bool>,
+    budget: &mut SearchBudget,
+    rng: &mut Option<u64>,
+) -> Result<bool, GraphError> {
+    if kid_idx == kids.len() {
+        return place(guest, host, children, subtree, order, idx + 1, map, used, budget, rng);
+    }
+    let kid = kids[kid_idx];
+    for &cand in free {
+        if used[cand as usize] {
+            continue;
+        }
+        // Prune: the candidate must have enough (not-yet-used) neighbors to
+        // host the kid's own children.
+        let needed = children[kid as usize].len();
+        if needed > 0 {
+            let avail = host
+                .out_neighbors(cand)
+                .iter()
+                .filter(|&&w| !used[w as usize])
+                .count();
+            if avail < needed {
+                continue;
+            }
+        }
+        map[kid as usize] = cand;
+        used[cand as usize] = true;
+        if assign_children(
+            guest, host, children, subtree, order, idx, kids, kid_idx + 1, free, map, used,
+            budget, rng,
+        )? {
+            return Ok(true);
+        }
+        used[cand as usize] = false;
+        map[kid as usize] = NodeId::MAX;
+    }
+    Ok(false)
+}
+
+/// [`embed_tree`] with randomized candidate ordering and restarts: each
+/// attempt perturbs the order in which host neighbors are tried (seeded
+/// xorshift, deterministic per seed), escaping the deterministic search's
+/// worst-case corners. Returns the first embedding found, `Ok(None)` if
+/// any restart *exhaustively* proved non-existence, or
+/// [`GraphError::BudgetExhausted`] if all restarts were inconclusive.
+///
+/// # Errors
+///
+/// As [`embed_tree`].
+pub fn embed_tree_randomized(
+    guest: &DenseGraph,
+    host: &DenseGraph,
+    guest_root: NodeId,
+    host_root: NodeId,
+    restarts: u32,
+    budget_per_restart: u64,
+) -> Result<Option<Vec<NodeId>>, GraphError> {
+    for attempt in 0..restarts.max(1) {
+        let seed = 0x9E37_79B9_97F4_A7C5_u64.wrapping_mul(u64::from(attempt) + 1) | 1;
+        let mut budget = SearchBudget::new(budget_per_restart);
+        match embed_tree_seeded(guest, host, guest_root, host_root, &mut budget, Some(seed)) {
+            Ok(Some(map)) => return Ok(Some(map)),
+            Ok(None) => return Ok(None), // exhaustive: no embedding exists
+            Err(GraphError::BudgetExhausted) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(GraphError::BudgetExhausted)
+}
+
+/// Builds the complete binary tree of the given height as a symmetric
+/// [`DenseGraph`] (height 0 is a single node; height `h` has `2^(h+1) − 1`
+/// nodes). Node 0 is the root; node `i`'s children are `2i+1` and `2i+2`.
+///
+/// # Panics
+///
+/// Panics if `height > 30`.
+#[must_use]
+pub fn complete_binary_tree(height: u32) -> DenseGraph {
+    assert!(height <= 30, "tree too large");
+    let n = (1usize << (height + 1)) - 1;
+    DenseGraph::from_neighbor_fn(n, |u| {
+        let u = u as usize;
+        let mut v = Vec::new();
+        if u > 0 {
+            v.push(((u - 1) / 2) as NodeId);
+        }
+        for c in [2 * u + 1, 2 * u + 2] {
+            if c < n {
+                v.push(c as NodeId);
+            }
+        }
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::SearchBudget;
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let t = complete_binary_tree(3);
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.num_edges(), 28);
+        assert!(t.is_symmetric());
+    }
+
+    #[test]
+    fn embeds_path_into_cycle() {
+        // Path of 4 nodes into a 6-cycle.
+        let guest = DenseGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+            .unwrap();
+        let host = DenseGraph::from_neighbor_fn(6, |u| vec![(u + 1) % 6, (u + 5) % 6]);
+        let map = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(10_000))
+            .unwrap()
+            .expect("path embeds in cycle");
+        // Every guest edge must be a host edge.
+        for (a, b) in guest.edges() {
+            assert!(host.edge_index(map[a as usize], map[b as usize]).is_some());
+        }
+    }
+
+    #[test]
+    fn rejects_when_no_embedding_exists() {
+        // A 3-star (claw) cannot embed in a cycle (max degree 2).
+        let guest = DenseGraph::from_edges(
+            4,
+            [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
+        )
+        .unwrap();
+        let host = DenseGraph::from_neighbor_fn(8, |u| vec![(u + 1) % 8, (u + 7) % 8]);
+        let r = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(10_000)).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn rejects_non_tree_guest() {
+        let triangle =
+            DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+                .unwrap();
+        let host = DenseGraph::from_neighbor_fn(4, |u| vec![(u + 1) % 4, (u + 3) % 4]);
+        assert_eq!(
+            embed_tree(&triangle, &host, 0, 0, &mut SearchBudget::new(100)).unwrap_err(),
+            GraphError::NotATree
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let guest = complete_binary_tree(2);
+        let host = DenseGraph::from_neighbor_fn(32, |u| {
+            (0..5).map(|b| u ^ (1 << b)).collect()
+        });
+        let r = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(1));
+        assert_eq!(r.unwrap_err(), GraphError::BudgetExhausted);
+    }
+}

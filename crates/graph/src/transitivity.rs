@@ -1,0 +1,84 @@
+//! Vertex-transitivity spot checks.
+//!
+//! Cayley graphs are vertex-transitive (Akers & Krishnamurthy), which the
+//! paper leans on throughout (single-source statistics, node-symmetric
+//! algorithms). This check does not prove transitivity — that would require
+//! exhibiting automorphisms — but compares the per-source distance profiles,
+//! which are invariants every vertex-transitive graph must share across
+//! sources. It is exact enough to catch any construction bug in a generator
+//! set.
+
+use crate::dense::DenseGraph;
+use crate::{Dist, NodeId, UNREACHABLE};
+
+/// Returns `true` if the distance histogram from each of `sample` evenly
+/// spaced source nodes (always including node 0) is identical.
+///
+/// A `false` return definitively shows the graph is *not* vertex-transitive;
+/// `true` means the sampled invariants are consistent with transitivity.
+///
+/// # Panics
+///
+/// Panics if the graph is empty.
+#[must_use]
+pub fn looks_vertex_transitive(graph: &DenseGraph, sample: usize) -> bool {
+    let n = graph.num_nodes();
+    assert!(n > 0, "empty graph");
+    let reference = profile(graph, 0);
+    let sample = sample.clamp(1, n);
+    let stride = n / sample;
+    (1..sample).all(|i| profile(graph, (i * stride.max(1)) as NodeId) == reference)
+}
+
+fn profile(graph: &DenseGraph, src: NodeId) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for &d in &graph.bfs_distances(src) {
+        if d == UNREACHABLE {
+            continue;
+        }
+        let d = d as usize;
+        if hist.len() <= d {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// The eccentricity (largest finite BFS distance) of `src`.
+#[must_use]
+pub fn eccentricity(graph: &DenseGraph, src: NodeId) -> Dist {
+    graph
+        .bfs_distances(src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_transitive() {
+        let ring = DenseGraph::from_neighbor_fn(8, |u| vec![(u + 1) % 8, (u + 7) % 8]);
+        assert!(looks_vertex_transitive(&ring, 8));
+        assert_eq!(eccentricity(&ring, 3), 4);
+    }
+
+    #[test]
+    fn path_is_not_transitive() {
+        let path = DenseGraph::from_neighbor_fn(5, |u| {
+            let mut v = Vec::new();
+            if u > 0 {
+                v.push(u - 1);
+            }
+            if u < 4 {
+                v.push(u + 1);
+            }
+            v
+        });
+        assert!(!looks_vertex_transitive(&path, 5));
+    }
+}

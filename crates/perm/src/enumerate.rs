@@ -1,0 +1,117 @@
+//! Enumeration of the symmetric group in lexicographic order.
+
+use crate::perm::Perm;
+
+/// Iterator over all `k!` permutations of degree `k` in lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use scg_perm::{factorial, Permutations};
+///
+/// let count = Permutations::lexicographic(4).count();
+/// assert_eq!(count as u64, factorial(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Permutations {
+    next: Option<Perm>,
+}
+
+impl Permutations {
+    /// Iterates the symmetric group `S_k` in lexicographic order, starting at
+    /// the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`MAX_DEGREE`](crate::MAX_DEGREE).
+    #[must_use]
+    pub fn lexicographic(k: usize) -> Self {
+        Permutations {
+            next: Some(Perm::identity(k)),
+        }
+    }
+}
+
+impl Iterator for Permutations {
+    type Item = Perm;
+
+    fn next(&mut self) -> Option<Perm> {
+        let current = self.next?;
+        self.next = next_permutation(&current);
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Remaining = k! − rank of the next permutation (exact).
+        let remaining = self.next.as_ref().map_or(0, |p| {
+            (crate::rank::factorial(p.degree()) - p.rank()) as usize
+        });
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Permutations {}
+
+impl std::iter::FusedIterator for Permutations {}
+
+/// The lexicographic successor of `p`, or `None` for the final permutation.
+fn next_permutation(p: &Perm) -> Option<Perm> {
+    let mut s: Vec<u8> = p.symbols().to_vec();
+    let k = s.len();
+    if k < 2 {
+        return None;
+    }
+    // Standard next_permutation: find the longest non-increasing suffix.
+    let mut i = k - 1;
+    while i > 0 && s[i - 1] >= s[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return None;
+    }
+    let pivot = i - 1;
+    let mut j = k - 1;
+    while s[j] <= s[pivot] {
+        j -= 1;
+    }
+    s.swap(pivot, j);
+    s[i..].reverse();
+    Some(Perm::from_symbols(&s).expect("successor of a valid permutation is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::factorial;
+
+    #[test]
+    fn enumerates_in_rank_order() {
+        for k in 1..=6 {
+            let mut expected_rank = 0u64;
+            for p in Permutations::lexicographic(k) {
+                assert_eq!(p.rank(), expected_rank);
+                expected_rank += 1;
+            }
+            assert_eq!(expected_rank, factorial(k));
+        }
+    }
+
+    #[test]
+    fn degree_one_has_single_element() {
+        let all: Vec<_> = Permutations::lexicographic(1).collect();
+        assert_eq!(all, vec![Perm::identity(1)]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = Permutations::lexicographic(4);
+        assert_eq!(it.len(), 24);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 22);
+        assert_eq!(it.by_ref().count(), 22);
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.next(), None); // fused
+        assert_eq!(it.next(), None);
+    }
+}

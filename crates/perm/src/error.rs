@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or manipulating a [`Perm`](crate::Perm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PermError {
+    /// The requested degree is zero or exceeds [`MAX_DEGREE`](crate::MAX_DEGREE).
+    DegreeOutOfRange {
+        /// The offending degree.
+        degree: usize,
+    },
+    /// The symbol sequence is not a permutation of `1..=k` (duplicate,
+    /// missing, or out-of-range symbol).
+    NotAPermutation {
+        /// The first offending symbol encountered.
+        symbol: u8,
+    },
+    /// A lexicographic rank was `>= k!`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u64,
+        /// The degree whose factorial bounds valid ranks.
+        degree: usize,
+    },
+    /// A 1-based position index was outside `1..=k`.
+    PositionOutOfRange {
+        /// The offending position.
+        position: usize,
+        /// The permutation degree.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PermError::DegreeOutOfRange { degree } => {
+                write!(f, "degree {degree} is outside 1..={}", crate::MAX_DEGREE)
+            }
+            PermError::NotAPermutation { symbol } => {
+                write!(f, "symbol sequence is not a permutation (offending symbol {symbol})")
+            }
+            PermError::RankOutOfRange { rank, degree } => {
+                write!(f, "rank {rank} is not below {degree}!")
+            }
+            PermError::PositionOutOfRange { position, degree } => {
+                write!(f, "position {position} is outside 1..={degree}")
+            }
+        }
+    }
+}
+
+impl Error for PermError {}

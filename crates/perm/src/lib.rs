@@ -1,0 +1,46 @@
+//! Permutation substrate for super Cayley graph networks.
+//!
+//! Every node of a super Cayley graph (Yeh, Varvarigos & Lee, PaCT 1999) is
+//! labelled by a permutation of `k` distinct symbols, where `k = nl + 1` is
+//! the number of balls in the underlying ball-arrangement game. This crate
+//! provides the permutation machinery everything else is built on:
+//!
+//! * [`Perm`] — a fixed-capacity permutation of the symbols `1..=k`
+//!   (positions are 1-based throughout, matching the paper's notation
+//!   `U = u_1 u_2 … u_k`);
+//! * composition, inversion, parity, cycle structure;
+//! * lexicographic ranking/unranking via Lehmer codes ([`Perm::rank`],
+//!   [`Perm::from_rank`]) so permutations double as dense node indices;
+//! * enumeration of the whole symmetric group ([`Permutations`]);
+//! * mixed-radix counters ([`MixedRadix`]) for the factorial number system
+//!   used by mesh embeddings.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_perm::Perm;
+//!
+//! # fn main() -> Result<(), scg_perm::PermError> {
+//! let u = Perm::from_symbols(&[3, 1, 4, 2])?;
+//! assert_eq!(u.symbol_at(1), 3);
+//! assert_eq!(u.inverse().compose(&u), Perm::identity(4));
+//! assert_eq!(Perm::from_rank(4, u.rank())?, u);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod enumerate;
+mod error;
+mod group;
+mod mixed_radix;
+mod perm;
+mod rank;
+
+pub use enumerate::Permutations;
+pub use error::PermError;
+pub use group::{group_order, StabilizerChain};
+pub use mixed_radix::MixedRadix;
+pub use perm::{Perm, MAX_DEGREE};
+pub use rank::factorial;

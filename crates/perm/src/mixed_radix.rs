@@ -1,0 +1,210 @@
+//! Mixed-radix counters (factorial number system and friends).
+//!
+//! The `2 × 3 × ⋯ × k` mesh of Corollary 7 indexes its nodes by mixed-radix
+//! tuples `(a_2, …, a_k)` with `a_i ∈ 0..i`; this module provides the counter
+//! arithmetic those embeddings need.
+
+use std::fmt;
+
+/// A little-endian mixed-radix counter: digit `i` ranges over `0..radix[i]`.
+///
+/// # Examples
+///
+/// ```
+/// use scg_perm::MixedRadix;
+///
+/// let mr = MixedRadix::new(vec![2, 3]);
+/// assert_eq!(mr.capacity(), 6);
+/// assert_eq!(mr.to_index(&[1, 2]), Some(5));
+/// assert_eq!(mr.digits(5), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedRadix {
+    radices: Vec<u64>,
+}
+
+impl MixedRadix {
+    /// Creates a counter with the given per-digit radices (all must be >= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radix is zero or the total capacity overflows `u64`.
+    #[must_use]
+    pub fn new(radices: Vec<u64>) -> Self {
+        assert!(radices.iter().all(|&r| r >= 1), "radices must be >= 1");
+        let mut cap: u64 = 1;
+        for &r in &radices {
+            cap = cap.checked_mul(r).expect("mixed-radix capacity overflows u64");
+        }
+        MixedRadix { radices }
+    }
+
+    /// The factorial number system with digits `a_2 … a_k` (`a_i ∈ 0..i`),
+    /// matching the `2 × 3 × ⋯ × k` mesh of the paper's Corollary 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > 20`.
+    #[must_use]
+    pub fn factorial_system(k: usize) -> Self {
+        assert!((2..=20).contains(&k), "factorial system needs 2 <= k <= 20");
+        MixedRadix::new((2..=k as u64).collect())
+    }
+
+    /// The per-digit radices.
+    #[must_use]
+    pub fn radices(&self) -> &[u64] {
+        &self.radices
+    }
+
+    /// Number of digits.
+    #[must_use]
+    pub fn num_digits(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Total number of representable tuples.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.radices.iter().product()
+    }
+
+    /// Decodes a linear index into digits (little-endian: digit 0 varies
+    /// fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    #[must_use]
+    pub fn digits(&self, index: u64) -> Vec<u64> {
+        assert!(index < self.capacity(), "index out of range");
+        let mut rem = index;
+        let mut out = Vec::with_capacity(self.radices.len());
+        for &r in &self.radices {
+            out.push(rem % r);
+            rem /= r;
+        }
+        out
+    }
+
+    /// Encodes digits into a linear index; `None` if any digit is out of
+    /// range or the length mismatches.
+    #[must_use]
+    pub fn to_index(&self, digits: &[u64]) -> Option<u64> {
+        if digits.len() != self.radices.len() {
+            return None;
+        }
+        let mut index = 0u64;
+        let mut weight = 1u64;
+        for (&d, &r) in digits.iter().zip(&self.radices) {
+            if d >= r {
+                return None;
+            }
+            index += d * weight;
+            weight *= r;
+        }
+        Some(index)
+    }
+
+    /// Iterates all tuples in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<u64>> + '_ {
+        (0..self.capacity()).map(move |i| self.digits(i))
+    }
+
+    /// Decodes a linear index into *reflected Gray* digits: consecutive
+    /// indices yield tuples differing in exactly one digit, by exactly
+    /// `±1`. (The mixed-radix generalization of the binary reflected Gray
+    /// code; this is what makes snake-order mesh embeddings single-step.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    #[must_use]
+    pub fn gray_digits(&self, index: u64) -> Vec<u64> {
+        assert!(index < self.capacity(), "index out of range");
+        let mut rem = index;
+        let mut out = Vec::with_capacity(self.radices.len());
+        for &r in &self.radices {
+            let q = rem / r;
+            let d = rem % r;
+            out.push(if q.is_multiple_of(2) { d } else { r - 1 - d });
+            rem = q;
+        }
+        out
+    }
+}
+
+impl fmt::Display for MixedRadix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MixedRadix[")?;
+        for (i, r) in self.radices.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_system_capacity_is_factorial() {
+        let mr = MixedRadix::factorial_system(5);
+        assert_eq!(mr.capacity(), 120);
+        assert_eq!(mr.radices(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn roundtrip_all_indices() {
+        let mr = MixedRadix::new(vec![2, 3, 4]);
+        for i in 0..mr.capacity() {
+            let d = mr.digits(i);
+            assert_eq!(mr.to_index(&d), Some(i));
+        }
+    }
+
+    #[test]
+    fn to_index_rejects_bad_digits() {
+        let mr = MixedRadix::new(vec![2, 3]);
+        assert_eq!(mr.to_index(&[2, 0]), None);
+        assert_eq!(mr.to_index(&[0]), None);
+    }
+
+    #[test]
+    fn gray_digits_change_one_digit_by_one() {
+        let mr = MixedRadix::new(vec![2, 3, 4, 5]);
+        let mut prev = mr.gray_digits(0);
+        assert_eq!(prev, vec![0, 0, 0, 0]);
+        for i in 1..mr.capacity() {
+            let cur = mr.gray_digits(i);
+            let diffs: Vec<usize> = (0..cur.len()).filter(|&j| cur[j] != prev[j]).collect();
+            assert_eq!(diffs.len(), 1, "index {i}");
+            let j = diffs[0];
+            assert_eq!(cur[j].abs_diff(prev[j]), 1, "index {i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gray_digits_are_a_bijection() {
+        let mr = MixedRadix::new(vec![3, 2, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..mr.capacity() {
+            assert!(seen.insert(mr.gray_digits(i)));
+        }
+        assert_eq!(seen.len() as u64, mr.capacity());
+    }
+
+    #[test]
+    fn iter_visits_every_tuple_once() {
+        let mr = MixedRadix::new(vec![3, 2]);
+        let tuples: Vec<_> = mr.iter().collect();
+        assert_eq!(tuples.len(), 6);
+        assert_eq!(tuples[0], vec![0, 0]);
+        assert_eq!(tuples[5], vec![2, 1]);
+    }
+}

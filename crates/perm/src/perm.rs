@@ -1,0 +1,641 @@
+use std::fmt;
+use std::str::FromStr;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::PermError;
+use crate::rank;
+
+/// Maximum supported permutation degree.
+///
+/// `20! < 2^64`, so every permutation of degree at most `MAX_DEGREE` has a
+/// lexicographic rank representable in a `u64`.
+pub const MAX_DEGREE: usize = 20;
+
+/// A permutation of the symbols `1..=k` for some degree `k <= MAX_DEGREE`.
+///
+/// A `Perm` doubles as (a) the label of a node in a (super) Cayley graph and
+/// (b) an element of the symmetric group acting on *positions*. Positions are
+/// 1-based to match the paper's notation `U = u_1 u_2 … u_k`.
+///
+/// The type is `Copy` (21 bytes), so it is freely passed by value.
+///
+/// # Examples
+///
+/// ```
+/// use scg_perm::Perm;
+///
+/// # fn main() -> Result<(), scg_perm::PermError> {
+/// let id = Perm::identity(5);
+/// let u = id.swapped(1, 3)?; // the transposition T_3 applied to the identity
+/// assert_eq!(u.symbols(), &[3, 2, 1, 4, 5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Perm {
+    symbols: [u8; MAX_DEGREE],
+    degree: u8,
+}
+
+impl Perm {
+    /// The identity permutation `1 2 … k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`MAX_DEGREE`] (a programming error,
+    /// not an input error: degrees are fixed small constants chosen by the
+    /// caller).
+    #[must_use]
+    pub fn identity(k: usize) -> Self {
+        assert!(
+            (1..=MAX_DEGREE).contains(&k),
+            "degree {k} outside 1..={MAX_DEGREE}"
+        );
+        let mut symbols = [0u8; MAX_DEGREE];
+        for (i, s) in symbols.iter_mut().enumerate().take(k) {
+            *s = (i + 1) as u8;
+        }
+        Perm {
+            symbols,
+            degree: k as u8,
+        }
+    }
+
+    /// Builds a permutation from an explicit symbol sequence `u_1 … u_k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::DegreeOutOfRange`] if `symbols` is empty or longer
+    /// than [`MAX_DEGREE`], and [`PermError::NotAPermutation`] if the sequence
+    /// is not a rearrangement of `1..=k`.
+    pub fn from_symbols(symbols: &[u8]) -> Result<Self, PermError> {
+        let k = symbols.len();
+        if !(1..=MAX_DEGREE).contains(&k) {
+            return Err(PermError::DegreeOutOfRange { degree: k });
+        }
+        let mut seen = [false; MAX_DEGREE + 1];
+        let mut buf = [0u8; MAX_DEGREE];
+        for (i, &s) in symbols.iter().enumerate() {
+            if s == 0 || s as usize > k || seen[s as usize] {
+                return Err(PermError::NotAPermutation { symbol: s });
+            }
+            seen[s as usize] = true;
+            buf[i] = s;
+        }
+        Ok(Perm {
+            symbols: buf,
+            degree: k as u8,
+        })
+    }
+
+    /// A uniformly random permutation of degree `k` (Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds [`MAX_DEGREE`].
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        let mut p = Perm::identity(k);
+        p.symbols[..k].shuffle(rng);
+        p
+    }
+
+    /// The degree `k` (number of symbols).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree as usize
+    }
+
+    /// The symbol sequence `u_1 … u_k` as a slice.
+    #[must_use]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols[..self.degree as usize]
+    }
+
+    /// The symbol at 1-based position `pos` (`u_pos`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside `1..=k`.
+    #[must_use]
+    pub fn symbol_at(&self, pos: usize) -> u8 {
+        assert!(
+            (1..=self.degree as usize).contains(&pos),
+            "position {pos} outside 1..={}",
+            self.degree
+        );
+        self.symbols[pos - 1]
+    }
+
+    /// The 1-based position holding `symbol` (the inverse image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is outside `1..=k`.
+    #[must_use]
+    pub fn position_of(&self, symbol: u8) -> usize {
+        assert!(
+            symbol >= 1 && symbol <= self.degree,
+            "symbol {symbol} outside 1..={}",
+            self.degree
+        );
+        // Degrees are at most 20; a linear scan beats any index structure.
+        self.symbols()
+            .iter()
+            .position(|&s| s == symbol)
+            .expect("valid Perm contains every symbol")
+            + 1
+    }
+
+    /// Functional composition `self ∘ other`: the permutation mapping
+    /// `i ↦ self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    #[must_use]
+    pub fn compose(&self, other: &Perm) -> Perm {
+        assert_eq!(self.degree, other.degree, "degree mismatch in compose");
+        let k = self.degree as usize;
+        let mut out = *self;
+        for i in 0..k {
+            out.symbols[i] = self.symbols[other.symbols[i] as usize - 1];
+        }
+        out
+    }
+
+    /// The group inverse: `self.inverse().compose(&self)` is the identity.
+    #[must_use]
+    pub fn inverse(&self) -> Perm {
+        let k = self.degree as usize;
+        let mut out = *self;
+        for i in 0..k {
+            out.symbols[self.symbols[i] as usize - 1] = (i + 1) as u8;
+        }
+        out
+    }
+
+    /// Whether this is the identity permutation.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.symbols().iter().enumerate().all(|(i, &s)| s as usize == i + 1)
+    }
+
+    /// Number of inversions: pairs `i < j` with `u_i > u_j`.
+    ///
+    /// This equals the distance to the identity in the bubble-sort graph.
+    #[must_use]
+    pub fn inversions(&self) -> usize {
+        let s = self.symbols();
+        let mut count = 0;
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                if s[i] > s[j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether the permutation is even (expressible as an even number of
+    /// transpositions).
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.inversions().is_multiple_of(2)
+    }
+
+    /// The cycle decomposition of the map `position ↦ symbol`, omitting
+    /// fixed points. Each cycle lists positions; `cycle[j+1]` holds the
+    /// symbol that belongs at `cycle[j]`.
+    ///
+    /// Cycles are returned smallest-leader-first and each cycle starts at its
+    /// smallest position, so the output is canonical.
+    #[must_use]
+    pub fn cycles(&self) -> Vec<Vec<u8>> {
+        let k = self.degree as usize;
+        let mut seen = [false; MAX_DEGREE + 1];
+        let mut out = Vec::new();
+        for start in 1..=k {
+            if seen[start] || self.symbols[start - 1] as usize == start {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut pos = start;
+            while !seen[pos] {
+                seen[pos] = true;
+                cycle.push(pos as u8);
+                pos = self.symbols[pos - 1] as usize;
+            }
+            out.push(cycle);
+        }
+        out
+    }
+
+    /// The order of the permutation as a group element: the least `m >= 1`
+    /// with `p^m = identity` (the lcm of its cycle lengths).
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.cycles()
+            .iter()
+            .map(|c| c.len() as u64)
+            .fold(1u64, |acc, len| acc / gcd(acc, len) * len)
+    }
+
+    /// The conjugate `q ∘ self ∘ q^{-1}` — the same cycle structure with
+    /// symbols relabelled through `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees differ.
+    #[must_use]
+    pub fn conjugated_by(&self, q: &Perm) -> Perm {
+        q.compose(self).compose(&q.inverse())
+    }
+
+    /// Number of symbols not in their home position.
+    #[must_use]
+    pub fn misplaced(&self) -> usize {
+        self.symbols()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| s as usize != i + 1)
+            .count()
+    }
+
+    // ----- primitive rearrangements used by the paper's generators -----
+
+    /// Returns a copy with the symbols at 1-based positions `i` and `j`
+    /// exchanged. `swapped(1, i)` is the star-graph transposition generator
+    /// `T_i`; `swapped(i, j)` is the transposition-network generator `T_{i,j}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::PositionOutOfRange`] if either position is
+    /// outside `1..=k`.
+    pub fn swapped(&self, i: usize, j: usize) -> Result<Perm, PermError> {
+        let k = self.degree as usize;
+        for pos in [i, j] {
+            if !(1..=k).contains(&pos) {
+                return Err(PermError::PositionOutOfRange { position: pos, degree: k });
+            }
+        }
+        let mut out = *self;
+        out.symbols.swap(i - 1, j - 1);
+        Ok(out)
+    }
+
+    /// The insertion generator `I_i`: cyclically shifts the leftmost `i`
+    /// symbols one position to the left, i.e.
+    /// `u_1 u_2 … u_i … ↦ u_2 … u_i u_1 …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::PositionOutOfRange`] if `i` is outside `2..=k`.
+    pub fn prefix_rotated_left(&self, i: usize) -> Result<Perm, PermError> {
+        let k = self.degree as usize;
+        if !(2..=k).contains(&i) {
+            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+        }
+        let mut out = *self;
+        out.symbols[..i].rotate_left(1);
+        Ok(out)
+    }
+
+    /// The selection generator `I_i^{-1}`: cyclically shifts the leftmost `i`
+    /// symbols one position to the right, i.e.
+    /// `u_1 … u_{i-1} u_i … ↦ u_i u_1 … u_{i-1} …`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::PositionOutOfRange`] if `i` is outside `2..=k`.
+    pub fn prefix_rotated_right(&self, i: usize) -> Result<Perm, PermError> {
+        let k = self.degree as usize;
+        if !(2..=k).contains(&i) {
+            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+        }
+        let mut out = *self;
+        out.symbols[..i].rotate_right(1);
+        Ok(out)
+    }
+
+    /// The rotation generator `R^i_n`: cyclically shifts the rightmost `k-1`
+    /// symbols `u_2 … u_k` to the **right** by `n·i` positions, leaving `u_1`
+    /// fixed. With `k = nl + 1` this moves every length-`n` super-symbol
+    /// (box) `i` places toward the tail, wrapping around.
+    ///
+    /// `amount` is taken modulo `k - 1`, so any integer multiple works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    #[must_use]
+    pub fn suffix_rotated_right(&self, amount: usize) -> Perm {
+        let k = self.degree as usize;
+        assert!(k >= 2, "suffix rotation needs degree >= 2");
+        let m = amount % (k - 1);
+        let mut out = *self;
+        out.symbols[1..k].rotate_right(m);
+        out
+    }
+
+    /// The swap generator `S_{n,i}`: exchanges super-symbol 1 (positions
+    /// `2..=n+1`) with super-symbol `i` (positions `(i-1)n+2 ..= i·n+1`),
+    /// preserving the order of symbols inside each block. Requires
+    /// `k = n·l + 1` with `2 <= i <= l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::PositionOutOfRange`] if the degree is not of the
+    /// form `n·l + 1`, or `i` does not address a box other than the first.
+    pub fn blocks_swapped(&self, n: usize, i: usize) -> Result<Perm, PermError> {
+        let k = self.degree as usize;
+        if n == 0 || !(k - 1).is_multiple_of(n) {
+            return Err(PermError::PositionOutOfRange { position: n, degree: k });
+        }
+        let l = (k - 1) / n;
+        if !(2..=l).contains(&i) {
+            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+        }
+        let mut out = *self;
+        let (a, b) = (1, (i - 1) * n + 1); // 0-based starts of boxes 1 and i
+        for off in 0..n {
+            out.symbols.swap(a + off, b + off);
+        }
+        Ok(out)
+    }
+
+    /// Interprets `self` as an element of the symmetric group acting on
+    /// positions and applies it to the node label `label`, yielding the label
+    /// `v` with `v_i = label_{self(i)}`.
+    ///
+    /// This is the right action used by Cayley graphs: traversing the link of
+    /// generator `g` from node `U` leads to the node labelled
+    /// `g.act_on_label(U)` (see `scg-core` for the generator types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees differ.
+    #[must_use]
+    pub fn act_on_label(&self, label: &Perm) -> Perm {
+        label.compose(self)
+    }
+}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perm({self})")
+    }
+}
+
+impl fmt::Display for Perm {
+    /// Formats as the paper writes labels: the symbol sequence separated by
+    /// spaces, e.g. `3 1 4 2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.symbols().iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Perm {
+    type Err = PermError;
+
+    /// Parses a whitespace-separated symbol sequence, e.g. `"3 1 4 2"`.
+    ///
+    /// # Errors
+    ///
+    /// Any token that fails to parse as a `u8` yields
+    /// [`PermError::NotAPermutation`]; structural violations are reported as
+    /// by [`Perm::from_symbols`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let symbols: Vec<u8> = s
+            .split_whitespace()
+            .map(|tok| tok.parse::<u8>().map_err(|_| PermError::NotAPermutation { symbol: 0 }))
+            .collect::<Result<_, _>>()?;
+        Perm::from_symbols(&symbols)
+    }
+}
+
+impl TryFrom<&[u8]> for Perm {
+    type Error = PermError;
+
+    fn try_from(value: &[u8]) -> Result<Self, Self::Error> {
+        Perm::from_symbols(value)
+    }
+}
+
+impl AsRef<[u8]> for Perm {
+    fn as_ref(&self) -> &[u8] {
+        self.symbols()
+    }
+}
+
+/// Lexicographic ranking methods (Lehmer code based); see also
+/// [`factorial`](crate::factorial).
+impl Perm {
+    /// The lexicographic rank of this permutation among all `k!` permutations
+    /// of degree `k` (the identity has rank 0).
+    #[must_use]
+    pub fn rank(&self) -> u64 {
+        rank::rank(self)
+    }
+
+    /// The permutation of degree `k` with lexicographic rank `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::DegreeOutOfRange`] for a bad degree and
+    /// [`PermError::RankOutOfRange`] if `r >= k!`.
+    pub fn from_rank(k: usize, r: u64) -> Result<Self, PermError> {
+        rank::unrank(k, r)
+    }
+
+    /// The Lehmer code: digit `i` (0-based) counts the symbols to the right
+    /// of position `i+1` that are smaller than `u_{i+1}`.
+    #[must_use]
+    pub fn lehmer(&self) -> Vec<u8> {
+        rank::lehmer(self)
+    }
+
+    /// Rebuilds a permutation from its Lehmer code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::DegreeOutOfRange`] for a bad length and
+    /// [`PermError::NotAPermutation`] if any digit `d_i` exceeds `k - 1 - i`.
+    pub fn from_lehmer(code: &[u8]) -> Result<Self, PermError> {
+        rank::from_lehmer(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        for k in 1..=MAX_DEGREE {
+            let id = Perm::identity(k);
+            assert!(id.is_identity());
+            assert_eq!(id.degree(), k);
+            assert_eq!(id.inverse(), id);
+            assert_eq!(id.rank(), 0);
+        }
+    }
+
+    #[test]
+    fn from_symbols_validates() {
+        assert!(Perm::from_symbols(&[]).is_err());
+        assert!(Perm::from_symbols(&[1, 1]).is_err());
+        assert!(Perm::from_symbols(&[0, 1]).is_err());
+        assert!(Perm::from_symbols(&[1, 3]).is_err());
+        assert!(Perm::from_symbols(&[2, 1, 3]).is_ok());
+    }
+
+    #[test]
+    fn compose_and_inverse() {
+        let a = Perm::from_symbols(&[2, 3, 1, 4]).unwrap();
+        let b = Perm::from_symbols(&[4, 1, 2, 3]).unwrap();
+        let ab = a.compose(&b);
+        // (a∘b)(1) = a(b(1)) = a(4) = 4
+        assert_eq!(ab.symbol_at(1), 4);
+        assert_eq!(a.inverse().compose(&a), Perm::identity(4));
+        assert_eq!(a.compose(&a.inverse()), Perm::identity(4));
+    }
+
+    #[test]
+    fn position_of_is_inverse_image() {
+        let p = Perm::from_symbols(&[3, 1, 4, 2]).unwrap();
+        for s in 1..=4u8 {
+            assert_eq!(p.symbol_at(p.position_of(s)), s);
+        }
+    }
+
+    #[test]
+    fn swapped_is_involution() {
+        let p = Perm::from_symbols(&[5, 4, 3, 2, 1]).unwrap();
+        let q = p.swapped(1, 4).unwrap();
+        assert_eq!(q.swapped(1, 4).unwrap(), p);
+        assert!(p.swapped(0, 2).is_err());
+        assert!(p.swapped(1, 6).is_err());
+    }
+
+    #[test]
+    fn prefix_rotations_invert_each_other() {
+        let p = Perm::from_symbols(&[3, 1, 4, 2, 5]).unwrap();
+        for i in 2..=5 {
+            let left = p.prefix_rotated_left(i).unwrap();
+            assert_eq!(left.prefix_rotated_right(i).unwrap(), p);
+        }
+        assert!(p.prefix_rotated_left(1).is_err());
+        assert!(p.prefix_rotated_left(6).is_err());
+    }
+
+    #[test]
+    fn insertion_matches_paper_definition() {
+        // I_i(U) = u_2 … u_i u_1 u_{i+1} … u_k  (Definition 1)
+        let u = Perm::from_symbols(&[6, 1, 2, 3, 4, 5]).unwrap();
+        let v = u.prefix_rotated_left(4).unwrap();
+        assert_eq!(v.symbols(), &[1, 2, 3, 6, 4, 5]);
+        // I_i^{-1}(U) = u_i u_1 … u_{i-1} u_{i+1} … u_k  (Definition 2)
+        let w = u.prefix_rotated_right(4).unwrap();
+        assert_eq!(w.symbols(), &[3, 6, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn suffix_rotation_matches_paper_definition() {
+        // R^i(u_{1:k}) = u_1 u_{k-in+1:k} u_{2:k-in}  (Definition 3), n=2, k=7.
+        let u = Perm::from_symbols(&[7, 1, 2, 3, 4, 5, 6]).unwrap();
+        let v = u.suffix_rotated_right(2); // i = 1, n = 2
+        assert_eq!(v.symbols(), &[7, 5, 6, 1, 2, 3, 4]);
+        // R^l = identity rotation (amount = k-1)
+        assert_eq!(u.suffix_rotated_right(6), u);
+    }
+
+    #[test]
+    fn block_swap_matches_paper_definition() {
+        // k = 7 = 2*3 + 1, boxes of size n=3: positions 2-4 and 5-7.
+        let u = Perm::from_symbols(&[7, 1, 2, 3, 4, 5, 6]).unwrap();
+        let v = u.blocks_swapped(3, 2).unwrap();
+        assert_eq!(v.symbols(), &[7, 4, 5, 6, 1, 2, 3]);
+        assert_eq!(v.blocks_swapped(3, 2).unwrap(), u);
+        assert!(u.blocks_swapped(3, 3).is_err());
+        assert!(u.blocks_swapped(4, 2).is_err());
+    }
+
+    #[test]
+    fn order_is_lcm_of_cycle_lengths() {
+        assert_eq!(Perm::identity(5).order(), 1);
+        // One 2-cycle and one 3-cycle → order 6.
+        let p = Perm::from_symbols(&[2, 1, 4, 5, 3]).unwrap();
+        assert_eq!(p.order(), 6);
+        // p^order = identity.
+        let mut q = Perm::identity(5);
+        for _ in 0..p.order() {
+            q = q.compose(&p);
+        }
+        assert!(q.is_identity());
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_structure() {
+        let p = Perm::from_symbols(&[2, 1, 4, 5, 3]).unwrap();
+        let q = Perm::from_symbols(&[3, 5, 1, 2, 4]).unwrap();
+        let c = p.conjugated_by(&q);
+        let mut lens: Vec<usize> = p.cycles().iter().map(Vec::len).collect();
+        let mut clens: Vec<usize> = c.cycles().iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        clens.sort_unstable();
+        assert_eq!(lens, clens);
+        assert_eq!(c.order(), p.order());
+    }
+
+    #[test]
+    fn cycles_are_canonical() {
+        let p = Perm::from_symbols(&[2, 1, 3, 5, 4]).unwrap();
+        assert_eq!(p.cycles(), vec![vec![1, 2], vec![4, 5]]);
+        assert_eq!(Perm::identity(5).cycles(), Vec::<Vec<u8>>::new());
+        assert_eq!(p.misplaced(), 4);
+    }
+
+    #[test]
+    fn parity_matches_inversions() {
+        let p = Perm::from_symbols(&[2, 1, 3]).unwrap();
+        assert!(!p.is_even());
+        assert_eq!(p.inversions(), 1);
+        let q = Perm::from_symbols(&[2, 3, 1]).unwrap();
+        assert!(q.is_even());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let p = Perm::from_symbols(&[3, 1, 4, 2]).unwrap();
+        let s = p.to_string();
+        assert_eq!(s, "3 1 4 2");
+        assert_eq!(s.parse::<Perm>().unwrap(), p);
+        assert!("1 2 x".parse::<Perm>().is_err());
+    }
+
+    #[test]
+    fn random_is_valid() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..50 {
+            let p = Perm::random(9, &mut rng);
+            assert!(Perm::from_symbols(p.symbols()).is_ok());
+        }
+    }
+}

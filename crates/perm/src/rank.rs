@@ -1,0 +1,127 @@
+//! Lexicographic ranking and unranking of permutations via Lehmer codes.
+
+use crate::error::PermError;
+use crate::perm::{Perm, MAX_DEGREE};
+
+/// `k!` as a `u64`.
+///
+/// # Panics
+///
+/// Panics if `k > 20` (whose factorial overflows `u64`).
+#[must_use]
+pub fn factorial(k: usize) -> u64 {
+    assert!(k <= 20, "{k}! overflows u64");
+    (1..=k as u64).product()
+}
+
+/// The Lehmer code of `p`.
+pub(crate) fn lehmer(p: &Perm) -> Vec<u8> {
+    let s = p.symbols();
+    let k = s.len();
+    let mut code = vec![0u8; k];
+    for i in 0..k {
+        code[i] = s[i + 1..].iter().filter(|&&x| x < s[i]).count() as u8;
+    }
+    code
+}
+
+/// Rebuilds a permutation from a Lehmer code.
+pub(crate) fn from_lehmer(code: &[u8]) -> Result<Perm, PermError> {
+    let k = code.len();
+    if !(1..=MAX_DEGREE).contains(&k) {
+        return Err(PermError::DegreeOutOfRange { degree: k });
+    }
+    let mut pool: Vec<u8> = (1..=k as u8).collect();
+    let mut symbols = Vec::with_capacity(k);
+    for (i, &d) in code.iter().enumerate() {
+        let d = d as usize;
+        if d >= pool.len() {
+            return Err(PermError::NotAPermutation { symbol: code[i] });
+        }
+        symbols.push(pool.remove(d));
+    }
+    Perm::from_symbols(&symbols)
+}
+
+/// Lexicographic rank (identity ↦ 0).
+pub(crate) fn rank(p: &Perm) -> u64 {
+    let k = p.degree();
+    let code = lehmer(p);
+    let mut r = 0u64;
+    for (i, &d) in code.iter().enumerate() {
+        r += u64::from(d) * factorial(k - 1 - i);
+    }
+    r
+}
+
+/// Permutation of degree `k` with lexicographic rank `r`.
+pub(crate) fn unrank(k: usize, r: u64) -> Result<Perm, PermError> {
+    if !(1..=MAX_DEGREE).contains(&k) {
+        return Err(PermError::DegreeOutOfRange { degree: k });
+    }
+    if r >= factorial(k) {
+        return Err(PermError::RankOutOfRange { rank: r, degree: k });
+    }
+    let mut code = vec![0u8; k];
+    let mut rem = r;
+    for (i, digit) in code.iter_mut().enumerate() {
+        let f = factorial(k - 1 - i);
+        *digit = (rem / f) as u8;
+        rem %= f;
+    }
+    from_lehmer(&code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(13), 6_227_020_800);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    fn rank_is_lexicographic() {
+        // All 3! permutations in lexicographic order have ranks 0..6.
+        let perms = [
+            [1u8, 2, 3],
+            [1, 3, 2],
+            [2, 1, 3],
+            [2, 3, 1],
+            [3, 1, 2],
+            [3, 2, 1],
+        ];
+        for (i, p) in perms.iter().enumerate() {
+            let perm = Perm::from_symbols(p).unwrap();
+            assert_eq!(perm.rank(), i as u64);
+            assert_eq!(Perm::from_rank(3, i as u64).unwrap(), perm);
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_k5() {
+        for r in 0..factorial(5) {
+            let p = Perm::from_rank(5, r).unwrap();
+            assert_eq!(p.rank(), r);
+            assert_eq!(Perm::from_lehmer(&p.lehmer()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn unrank_rejects_out_of_range() {
+        assert!(Perm::from_rank(3, 6).is_err());
+        assert!(Perm::from_rank(0, 0).is_err());
+        assert!(Perm::from_rank(21, 0).is_err());
+    }
+
+    #[test]
+    fn lehmer_rejects_bad_digit() {
+        assert!(Perm::from_lehmer(&[3, 0, 0]).is_err());
+        assert!(Perm::from_lehmer(&[]).is_err());
+    }
+}

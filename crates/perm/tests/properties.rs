@@ -1,0 +1,126 @@
+//! Property-based tests for the permutation substrate.
+
+use proptest::prelude::*;
+use scg_perm::{factorial, Perm, MAX_DEGREE};
+
+/// Strategy producing an arbitrary valid permutation of degree 1..=12.
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    (1usize..=12).prop_flat_map(|k| {
+        (0..factorial(k)).prop_map(move |r| Perm::from_rank(k, r).expect("rank in range"))
+    })
+}
+
+/// Two same-degree permutations.
+fn arb_perm_pair() -> impl Strategy<Value = (Perm, Perm)> {
+    (1usize..=10).prop_flat_map(|k| {
+        let f = factorial(k);
+        ((0..f), (0..f)).prop_map(move |(a, b)| {
+            (
+                Perm::from_rank(k, a).expect("rank in range"),
+                Perm::from_rank(k, b).expect("rank in range"),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn rank_unrank_roundtrip(p in arb_perm()) {
+        let r = p.rank();
+        prop_assert!(r < factorial(p.degree()));
+        prop_assert_eq!(Perm::from_rank(p.degree(), r).unwrap(), p);
+    }
+
+    #[test]
+    fn lehmer_roundtrip(p in arb_perm()) {
+        prop_assert_eq!(Perm::from_lehmer(&p.lehmer()).unwrap(), p);
+    }
+
+    #[test]
+    fn inverse_is_involution(p in arb_perm()) {
+        prop_assert_eq!(p.inverse().inverse(), p);
+        prop_assert!(p.inverse().compose(&p).is_identity());
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn compose_is_associative((a, b) in arb_perm_pair(), seed in 0u64..1_000_000) {
+        let k = a.degree();
+        let c = Perm::from_rank(k, seed % factorial(k)).unwrap();
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn parity_is_a_homomorphism((a, b) in arb_perm_pair()) {
+        let ab = a.compose(&b);
+        prop_assert_eq!(ab.is_even(), a.is_even() == b.is_even());
+    }
+
+    #[test]
+    fn cycles_reconstruct_permutation(p in arb_perm()) {
+        // Rebuild the position→symbol map from the cycle decomposition.
+        let mut symbols: Vec<u8> = (1..=p.degree() as u8).collect();
+        for cycle in p.cycles() {
+            for w in 0..cycle.len() {
+                let pos = cycle[w] as usize;
+                let next = cycle[(w + 1) % cycle.len()];
+                symbols[pos - 1] = next;
+            }
+        }
+        // cycles() follows pos → symbol-at-pos, so walking each cycle
+        // reproduces the permutation exactly.
+        prop_assert_eq!(Perm::from_symbols(&symbols).unwrap(), p);
+    }
+
+    #[test]
+    fn misplaced_matches_cycles(p in arb_perm()) {
+        let by_cycles: usize = p.cycles().iter().map(Vec::len).sum();
+        prop_assert_eq!(p.misplaced(), by_cycles);
+    }
+
+    #[test]
+    fn swap_generators_are_involutions(p in arb_perm(), i in 1usize..=12, j in 1usize..=12) {
+        let k = p.degree();
+        if i <= k && j <= k {
+            let q = p.swapped(i, j).unwrap();
+            prop_assert_eq!(q.swapped(i, j).unwrap(), p);
+            if i == j {
+                prop_assert_eq!(q, p);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_rotations_compose_to_identity(p in arb_perm(), i in 2usize..=12) {
+        if i <= p.degree() {
+            let q = p.prefix_rotated_left(i).unwrap().prefix_rotated_right(i).unwrap();
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn suffix_rotation_order_divides_k_minus_1(p in arb_perm(), amount in 0usize..40) {
+        if p.degree() >= 2 {
+            let m = amount % (p.degree() - 1);
+            let mut q = p.suffix_rotated_right(m);
+            // Undo by rotating the complementary amount.
+            q = q.suffix_rotated_right(p.degree() - 1 - m);
+            prop_assert_eq!(q, p);
+        }
+    }
+
+    #[test]
+    fn inversions_bounded(p in arb_perm()) {
+        let k = p.degree();
+        prop_assert!(p.inversions() <= k * (k - 1) / 2);
+    }
+}
+
+#[test]
+fn max_degree_is_ranked_safely() {
+    let id = Perm::identity(MAX_DEGREE);
+    assert_eq!(id.rank(), 0);
+    let last = Perm::from_rank(MAX_DEGREE, factorial(MAX_DEGREE) - 1).unwrap();
+    let rev: Vec<u8> = (1..=MAX_DEGREE as u8).rev().collect();
+    assert_eq!(last.symbols(), rev.as_slice());
+}

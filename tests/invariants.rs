@@ -1,0 +1,91 @@
+//! Cross-crate structural invariants tying independent implementations
+//! together: parity/bipartiteness, congestion ↔ pipelining, and the game ↔
+//! diameter correspondence.
+
+use supercayley::bag::BagGame;
+use supercayley::core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+use supercayley::embed::CayleyEmbedding;
+use supercayley::emu::pipelined_dimension_cost;
+use supercayley::perm::Perm;
+
+/// Star graphs are bipartite (all generators are transpositions), and the
+/// bipartition is exactly permutation parity.
+#[test]
+fn star_graph_bipartition_is_parity() {
+    let star = StarGraph::new(5).unwrap();
+    let g = star.to_graph(1_000).unwrap();
+    let colors = g.bipartition().expect("star graphs are bipartite");
+    let even_side = colors[0];
+    for r in 0..120u64 {
+        let p = Perm::from_rank(5, r).unwrap();
+        assert_eq!(
+            colors[r as usize] == even_side,
+            p.is_even(),
+            "rank {r}"
+        );
+    }
+}
+
+/// Insertion-selection networks are NOT bipartite: I_3 is a 3-cycle, an
+/// even permutation, so odd cycles exist.
+#[test]
+fn is_network_is_not_bipartite() {
+    let is5 = SuperCayleyGraph::insertion_selection(5).unwrap();
+    let g = is5.to_graph(1_000).unwrap();
+    assert!(g.bipartition().is_none());
+}
+
+/// The steady-state pipelined slowdown of a dimension equals that
+/// dimension's embedding congestion — two very different computations
+/// (queueing schedule vs per-link path counting) agreeing.
+#[test]
+fn pipelined_bottleneck_equals_dimension_congestion() {
+    let host = SuperCayleyGraph::macro_star(3, 2).unwrap();
+    let star = StarGraph::new(7).unwrap();
+    let ce = CayleyEmbedding::build(&star, &host, 50_000).unwrap();
+    for (gi, g) in ce.guest_generators().iter().enumerate() {
+        let supercayley::core::Generator::Transposition { i } = g else {
+            unreachable!()
+        };
+        let cost = pipelined_dimension_cost(&host, *i as usize, 500).unwrap();
+        assert_eq!(
+            cost.bottleneck,
+            ce.congestion_of_dimension(gi),
+            "dimension {i}"
+        );
+    }
+}
+
+/// God's number of the ball game equals the measured network diameter for
+/// every undirected class at k = 5.
+#[test]
+fn gods_number_is_diameter_for_undirected_classes() {
+    for host in [
+        SuperCayleyGraph::macro_star(2, 2).unwrap(),
+        SuperCayleyGraph::complete_rotation_star(2, 2).unwrap(),
+        SuperCayleyGraph::insertion_selection(5).unwrap(),
+        SuperCayleyGraph::macro_is(2, 2).unwrap(),
+    ] {
+        let report = supercayley::core::NetworkReport::measure(&host, 1_000).unwrap();
+        let game = BagGame::new(host);
+        assert_eq!(game.gods_number(1_000).unwrap(), report.diameter);
+    }
+}
+
+/// Generator orders divide the group order (Lagrange), exercised through
+/// the whole generator zoo.
+#[test]
+fn generator_orders_divide_group_order() {
+    use supercayley::perm::factorial;
+    for host in [
+        SuperCayleyGraph::macro_star(3, 2).unwrap(),
+        SuperCayleyGraph::complete_rotation_is(3, 2).unwrap(),
+        SuperCayleyGraph::macro_rotator(2, 3).unwrap(),
+    ] {
+        let k = host.degree_k();
+        for g in host.generators() {
+            let ord = g.as_perm(k).unwrap().order();
+            assert_eq!(factorial(k) % ord, 0, "{g} on {}", host.name());
+        }
+    }
+}
