@@ -80,8 +80,14 @@ impl BagConfig {
     #[must_use]
     pub fn boxed(&self, n: usize) -> Vec<Vec<u8>> {
         let k = self.num_balls();
-        assert!(n >= 1 && (k - 1).is_multiple_of(n), "k - 1 must be a multiple of n");
-        self.0.symbols()[1..].chunks(n).map(<[u8]>::to_vec).collect()
+        assert!(
+            n >= 1 && (k - 1).is_multiple_of(n),
+            "k - 1 must be a multiple of n"
+        );
+        self.0.symbols()[1..]
+            .chunks(n)
+            .map(<[u8]>::to_vec)
+            .collect()
     }
 
     /// The color of ball `s` (0 for ball 1, else the box it belongs to).
@@ -94,7 +100,10 @@ impl BagConfig {
     pub fn color_of(&self, s: u8, n: usize) -> usize {
         let k = self.num_balls();
         assert!(s >= 1 && (s as usize) <= k, "no such ball");
-        assert!(n >= 1 && (k - 1).is_multiple_of(n), "k - 1 must be a multiple of n");
+        assert!(
+            n >= 1 && (k - 1).is_multiple_of(n),
+            "k - 1 must be a multiple of n"
+        );
         if s == 1 {
             0
         } else {

@@ -1,10 +1,10 @@
 use std::fmt;
 
-use rand::Rng;
-
 use scg_core::{
-    apply_path, bfs_route, scg_route, CayleyNetwork, CoreError, Generator, SuperCayleyGraph,
+    apply_path, bfs_route, materialize, scg_route, CayleyNetwork, CoreError, Generator,
+    SuperCayleyGraph,
 };
+use scg_perm::XorShift64;
 
 use crate::config::BagConfig;
 
@@ -148,11 +148,11 @@ impl BagGame {
     ///
     /// Returns [`CoreError::TooLarge`] if the network exceeds `cap` nodes.
     pub fn gods_number(&self, cap: u64) -> Result<u32, CoreError> {
-        let graph = self.net.to_graph(cap)?;
+        let mat = materialize(&self.net, cap)?;
         // Vertex transitivity: eccentricity of the identity is the diameter.
         // For the directed classes the relevant distance is config → solved,
         // i.e. BFS on the reverse graph from the identity.
-        let dist = graph.reversed().bfs_distances(0);
+        let dist = mat.graph().reversed().bfs_distances(0);
         Ok(dist
             .into_iter()
             .filter(|&d| d != u32::MAX)
@@ -161,11 +161,11 @@ impl BagGame {
     }
 
     /// Scrambles the solved configuration with `steps` random legal moves.
-    pub fn scramble<R: Rng + ?Sized>(&self, steps: usize, rng: &mut R) -> BagConfig {
+    pub fn scramble(&self, steps: usize, rng: &mut XorShift64) -> BagConfig {
         let gens = self.net.generators();
         let mut cur = scg_perm::Perm::identity(self.num_balls());
         for _ in 0..steps {
-            let g = gens[rng.gen_range(0..gens.len())];
+            let g = gens[rng.gen_range(gens.len())];
             cur = g.apply(&cur).expect("legal move applies");
         }
         BagConfig::from(cur)
@@ -175,7 +175,7 @@ impl BagGame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use scg_core::SMALL_NET_CAP;
 
     fn ms_game() -> BagGame {
         BagGame::new(SuperCayleyGraph::macro_star(3, 2).unwrap())
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn solve_sorts_scrambles() {
         let game = ms_game();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = XorShift64::new(42);
         for steps in [1, 5, 20] {
             let c = game.scramble(steps, &mut rng);
             let sol = game.solve(&c).unwrap();
@@ -211,9 +211,9 @@ mod tests {
     #[test]
     fn optimal_solution_matches_graph_distance() {
         let game = BagGame::new(SuperCayleyGraph::macro_star(2, 2).unwrap());
-        let g = game.network().to_graph(1_000).unwrap();
+        let g = game.network().to_graph(SMALL_NET_CAP).unwrap();
         let dists = g.bfs_distances(0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = XorShift64::new(9);
         for _ in 0..10 {
             let c = game.scramble(12, &mut rng);
             let sol = game.solve_optimal(&c, 1_000_000).unwrap();
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn rotator_game_solves_via_bfs() {
         let game = BagGame::new(SuperCayleyGraph::macro_rotator(2, 2).unwrap());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = XorShift64::new(4);
         let c = game.scramble(6, &mut rng);
         let sol = game.solve(&c).unwrap();
         assert!(game.replay(&c, &sol).unwrap().is_solved());
@@ -235,12 +235,12 @@ mod tests {
     #[test]
     fn gods_number_equals_diameter() {
         let game = BagGame::new(SuperCayleyGraph::macro_star(2, 2).unwrap());
-        assert_eq!(game.gods_number(1_000).unwrap(), 8); // measured MS(2,2) diameter
-        // Directed rotator: the worst configuration still solves within the
-        // God's number, and some configuration attains it.
+        assert_eq!(game.gods_number(SMALL_NET_CAP).unwrap(), 8); // measured MS(2,2) diameter
+                                                                 // Directed rotator: the worst configuration still solves within the
+                                                                 // God's number, and some configuration attains it.
         let mr = BagGame::new(SuperCayleyGraph::macro_rotator(2, 2).unwrap());
-        let g = mr.gods_number(1_000).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let g = mr.gods_number(SMALL_NET_CAP).unwrap();
+        let mut rng = XorShift64::new(2);
         for _ in 0..20 {
             let c = mr.scramble(30, &mut rng);
             assert!(mr.solve_optimal(&c, 1_000_000).unwrap().len() as u32 <= g);

@@ -1,85 +1,101 @@
-//! Property-based tests for the ball-arrangement game.
+//! Randomized tests for the ball-arrangement game across all ten network
+//! classes. Driven by the vendored deterministic PRNG (the workspace builds
+//! offline, so `proptest` is not available).
 
-use proptest::prelude::*;
-use rand::SeedableRng;
 use scg_bag::{BagConfig, BagGame};
-use scg_core::{CayleyNetwork, ScgClass, SuperCayleyGraph};
-use scg_perm::{factorial, Perm};
+use scg_core::{ScgClass, SuperCayleyGraph, SMALL_NET_CAP};
+use scg_perm::{factorial, Perm, XorShift64};
 
-fn arb_game() -> impl Strategy<Value = BagGame> {
-    (0usize..ScgClass::ALL.len()).prop_map(|i| {
-        let class = ScgClass::ALL[i];
-        let net = if class == ScgClass::InsertionSelection {
-            SuperCayleyGraph::insertion_selection(5).unwrap()
-        } else {
-            SuperCayleyGraph::new(class, 2, 2).unwrap()
-        };
-        BagGame::new(net)
-    })
+fn game_for(class: ScgClass) -> BagGame {
+    let net = if class == ScgClass::InsertionSelection {
+        SuperCayleyGraph::insertion_selection(5).unwrap()
+    } else {
+        SuperCayleyGraph::new(class, 2, 2).unwrap()
+    };
+    BagGame::new(net)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn solver_always_sorts(game in arb_game(), seed in any::<u64>(), steps in 0usize..40) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let c = game.scramble(steps, &mut rng);
-        let sol = game.solve(&c).unwrap();
-        prop_assert!(game.replay(&c, &sol).unwrap().is_solved());
-        // Every move in the solution is legal for these rules.
+#[test]
+fn solver_always_sorts() {
+    let mut rng = XorShift64::new(31);
+    for class in ScgClass::ALL {
+        let game = game_for(class);
         let legal: Vec<_> = game.moves().iter().map(|(g, _)| *g).collect();
-        for mv in &sol {
-            prop_assert!(legal.contains(mv));
+        for _ in 0..4 {
+            let steps = rng.gen_range(40);
+            let c = game.scramble(steps, &mut rng);
+            let sol = game.solve(&c).unwrap();
+            assert!(game.replay(&c, &sol).unwrap().is_solved(), "{class:?}");
+            // Every move in the solution is legal for these rules.
+            for mv in &sol {
+                assert!(legal.contains(mv), "{class:?}: illegal move {mv}");
+            }
         }
     }
+}
 
-    #[test]
-    fn optimal_never_longer_than_router(game in arb_game(), seed in any::<u64>()) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn optimal_never_longer_than_router() {
+    let mut rng = XorShift64::new(32);
+    for class in ScgClass::ALL {
+        let game = game_for(class);
         let c = game.scramble(20, &mut rng);
         let router = game.solve(&c).unwrap();
         let optimal = game.solve_optimal(&c, 1_000_000).unwrap();
-        prop_assert!(optimal.len() <= router.len());
-        prop_assert!(optimal.len() as u32 <= game.gods_number(1_000).unwrap());
+        assert!(optimal.len() <= router.len(), "{class:?}");
+        assert!(
+            optimal.len() as u32 <= game.gods_number(SMALL_NET_CAP).unwrap(),
+            "{class:?}"
+        );
     }
+}
 
-    #[test]
-    fn any_configuration_is_reachable(game in arb_game(), rank in 0u64..120) {
-        // §2: every class generates S_k, so every configuration solves.
+#[test]
+fn any_configuration_is_reachable() {
+    // §2: every class generates S_k, so every configuration solves.
+    let mut rng = XorShift64::new(33);
+    for class in ScgClass::ALL {
+        let game = game_for(class);
         let k = game.num_balls();
-        let c = BagConfig::from(Perm::from_rank(k, rank % factorial(k)).unwrap());
-        let sol = game.solve(&c).unwrap();
-        prop_assert!(game.replay(&c, &sol).unwrap().is_solved());
+        for _ in 0..4 {
+            let c = BagConfig::from(Perm::from_rank(k, rng.gen_range_u64(factorial(k))).unwrap());
+            let sol = game.solve(&c).unwrap();
+            assert!(game.replay(&c, &sol).unwrap().is_solved(), "{class:?}");
+        }
     }
+}
 
-    #[test]
-    fn color_sorting_is_implied_by_solving(rank in 0u64..120) {
-        let c = BagConfig::from(Perm::from_rank(5, rank % 120).unwrap());
+#[test]
+fn color_sorting_is_implied_by_solving() {
+    for rank in 0u64..120 {
+        let c = BagConfig::from(Perm::from_rank(5, rank).unwrap());
         if c.is_solved() {
-            prop_assert!(c.is_color_sorted(2));
+            assert!(c.is_color_sorted(2));
         }
         // Color-sorted configurations have every ball in its home box.
         if c.is_color_sorted(2) {
             for (b, balls) in c.boxed(2).iter().enumerate() {
                 for &s in balls {
-                    prop_assert_eq!(c.color_of(s, 2), b + 1);
+                    assert_eq!(c.color_of(s, 2), b + 1);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn render_parse_roundtrip(rank in 0u64..5040) {
-        let c = BagConfig::from(Perm::from_rank(7, rank % 5040).unwrap());
+#[test]
+fn render_parse_roundtrip() {
+    let mut rng = XorShift64::new(34);
+    for _ in 0..64 {
+        let c = BagConfig::from(Perm::from_rank(7, rng.gen_range_u64(5040)).unwrap());
         let parsed: BagConfig = c.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, c);
+        assert_eq!(parsed, c);
         // The rendered box view contains exactly k ball tokens.
         let rendered = c.render(3);
         let balls = rendered
             .split(&[' ', '|'][..])
             .filter(|tok| !tok.is_empty())
             .count();
-        prop_assert_eq!(balls, 7);
+        assert_eq!(balls, 7);
     }
 }

@@ -1,34 +1,27 @@
 //! Benchmarks for `tab_bag`: solving scrambled ball-arrangement games via
 //! the emulation router and via exact BFS.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::SeedableRng;
 use scg_bag::BagGame;
+use scg_bench::bench::Group;
 use scg_core::SuperCayleyGraph;
+use scg_perm::XorShift64;
 
-fn bench_bag(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bag_solver");
+fn main() {
+    let mut group = Group::new("bag_solver");
     let game = BagGame::new(SuperCayleyGraph::macro_star(3, 2).unwrap());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = XorShift64::new(7);
 
-    group.bench_function("solve_router_ms_3_2", |b| {
-        b.iter_batched(
-            || game.scramble(30, &mut rng),
-            |cfg| game.solve(&cfg).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
+    group.bench_batched(
+        "solve_router_ms_3_2",
+        || game.scramble(30, &mut rng),
+        |cfg| game.solve(&cfg).unwrap(),
+    );
 
     let small = BagGame::new(SuperCayleyGraph::macro_star(2, 2).unwrap());
-    group.bench_function("solve_optimal_bfs_ms_2_2", |b| {
-        b.iter_batched(
-            || small.scramble(30, &mut rng),
-            |cfg| small.solve_optimal(&cfg, 1_000_000).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+    let mut rng = XorShift64::new(8);
+    group.bench_batched(
+        "solve_optimal_bfs_ms_2_2",
+        || small.scramble(30, &mut rng),
+        |cfg| small.solve_optimal(&cfg, 1_000_000).unwrap(),
+    );
 }
-
-criterion_group!(benches, bench_bag);
-criterion_main!(benches);

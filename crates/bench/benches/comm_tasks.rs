@@ -1,39 +1,32 @@
 //! Benchmarks for `tab_mnb` / `tab_te`: multinode broadcast and total
 //! exchange on star baselines and super Cayley hosts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scg_bench::bench::Group;
 use scg_comm::{mnb_all_port, te_all_port, te_sdc};
-use scg_core::{StarGraph, SuperCayleyGraph};
+use scg_core::{StarGraph, SuperCayleyGraph, SMALL_NET_CAP};
 
-fn bench_comm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("comm_tasks");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("comm_tasks");
 
     let star5 = StarGraph::new(5).unwrap();
     let star6 = StarGraph::new(6).unwrap();
     let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
     let is6 = SuperCayleyGraph::insertion_selection(6).unwrap();
 
-    group.bench_function("mnb_all_port_star5", |b| {
-        b.iter(|| mnb_all_port(&star5, 1_000).unwrap());
+    group.bench("mnb_all_port_star5", || {
+        mnb_all_port(&star5, SMALL_NET_CAP).unwrap()
     });
-    group.bench_function("mnb_all_port_star6", |b| {
-        b.iter(|| mnb_all_port(&star6, 1_000).unwrap());
+    group.bench("mnb_all_port_star6", || {
+        mnb_all_port(&star6, SMALL_NET_CAP).unwrap()
     });
-    group.bench_function("mnb_all_port_ms_2_2", |b| {
-        b.iter(|| mnb_all_port(&ms, 1_000).unwrap());
+    group.bench("mnb_all_port_ms_2_2", || {
+        mnb_all_port(&ms, SMALL_NET_CAP).unwrap()
     });
-    group.bench_function("te_sdc_star6", |b| {
-        b.iter(|| te_sdc(&star6, 1_000).unwrap());
+    group.bench("te_sdc_star6", || te_sdc(&star6, SMALL_NET_CAP).unwrap());
+    group.bench("te_all_port_star5_sim", || {
+        te_all_port(&star5, SMALL_NET_CAP, 1_000_000).unwrap()
     });
-    group.bench_function("te_all_port_star5_sim", |b| {
-        b.iter(|| te_all_port(&star5, 1_000, 1_000_000).unwrap());
+    group.bench("te_all_port_is6_sim", || {
+        te_all_port(&is6, SMALL_NET_CAP, 1_000_000).unwrap()
     });
-    group.bench_function("te_all_port_is6_sim", |b| {
-        b.iter(|| te_all_port(&is6, 1_000, 1_000_000).unwrap());
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_comm);
-criterion_main!(benches);

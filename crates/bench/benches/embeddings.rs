@@ -1,41 +1,34 @@
 //! Benchmarks for `tab_thm1_3` / `tab_thm6_7`: building the validated
 //! star and transposition-network embeddings and computing their metrics.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scg_bench::bench::Group;
 use scg_core::{StarGraph, SuperCayleyGraph, TranspositionNetwork};
 use scg_embed::CayleyEmbedding;
 
-fn bench_embeddings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("embeddings");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("embeddings");
 
     let star6 = StarGraph::new(6).unwrap();
     let is6 = SuperCayleyGraph::insertion_selection(6).unwrap();
-    group.bench_function("build_star6_into_is6", |b| {
-        b.iter(|| CayleyEmbedding::build(&star6, &is6, 10_000).unwrap());
+    group.bench("build_star6_into_is6", || {
+        CayleyEmbedding::build(&star6, &is6, 10_000).unwrap()
     });
 
     let star7 = StarGraph::new(7).unwrap();
     let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
-    group.bench_function("build_star7_into_ms_3_2", |b| {
-        b.iter(|| CayleyEmbedding::build(&star7, &ms, 10_000).unwrap());
+    group.bench("build_star7_into_ms_3_2", || {
+        CayleyEmbedding::build(&star7, &ms, 10_000).unwrap()
     });
 
     let tn5 = TranspositionNetwork::new(5).unwrap();
     let ms_l2 = SuperCayleyGraph::macro_star(2, 2).unwrap();
-    group.bench_function("build_tn5_into_ms_2_2", |b| {
-        b.iter(|| CayleyEmbedding::build(&tn5, &ms_l2, 10_000).unwrap());
+    group.bench("build_tn5_into_ms_2_2", || {
+        CayleyEmbedding::build(&tn5, &ms_l2, 10_000).unwrap()
     });
 
     let built = CayleyEmbedding::build(&star7, &ms, 10_000).unwrap();
-    group.bench_function("metrics_star7_into_ms_3_2", |b| {
-        b.iter(|| {
-            let e = built.embedding();
-            (e.dilation(), e.congestion(), e.load())
-        });
+    group.bench("metrics_star7_into_ms_3_2", || {
+        let e = built.embedding();
+        (e.dilation(), e.congestion(), e.load())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_embeddings);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Benchmarks for `tab_cor4`–`tab_cor6_7`: constructing the guest
 //! embeddings (trees, hypercubes, meshes, linear arrays).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scg_bench::bench::Group;
 use scg_core::SuperCayleyGraph;
 use scg_embed::{
     factorial_mesh_into_tn, hypercube_into_scg, hypercube_into_tn, linear_array_into_star,
@@ -9,39 +9,30 @@ use scg_embed::{
 };
 use scg_graph::SearchBudget;
 
-fn bench_guests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("guests");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("guests");
 
-    group.bench_function("tree_h3_into_5star_search", |b| {
-        b.iter(|| {
-            tree_into_star(3, 5, &mut SearchBudget::new(500_000_000))
-                .unwrap()
-                .dilation()
-        });
+    group.bench("tree_h3_into_5star_search", || {
+        tree_into_star(3, 5, &mut SearchBudget::new(500_000_000))
+            .unwrap()
+            .dilation()
     });
-    group.bench_function("cube_into_tn_k7", |b| {
-        b.iter(|| hypercube_into_tn(7, 10_000).unwrap().dilation());
+    group.bench("cube_into_tn_k7", || {
+        hypercube_into_tn(7, 10_000).unwrap().dilation()
     });
     let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
-    group.bench_function("cube_into_ms_3_2_composed", |b| {
-        b.iter(|| hypercube_into_scg(&ms, 10_000).unwrap().dilation());
+    group.bench("cube_into_ms_3_2_composed", || {
+        hypercube_into_scg(&ms, 10_000).unwrap().dilation()
     });
-    group.bench_function("factorial_mesh_into_tn_k6", |b| {
-        b.iter(|| factorial_mesh_into_tn(6, 10_000).unwrap().dilation());
+    group.bench("factorial_mesh_into_tn_k6", || {
+        factorial_mesh_into_tn(6, 10_000).unwrap().dilation()
     });
-    group.bench_function("mesh2d_6x20_into_tn_k5", |b| {
-        b.iter(|| mesh2d_into_tn(5, &[2, 3], 10_000).unwrap().dilation());
+    group.bench("mesh2d_6x20_into_tn_k5", || {
+        mesh2d_into_tn(5, &[2, 3], 10_000).unwrap().dilation()
     });
-    group.bench_function("linear_array_into_4star", |b| {
-        b.iter(|| {
-            linear_array_into_star(4, 1_000, &mut SearchBudget::new(100_000_000))
-                .unwrap()
-                .dilation()
-        });
+    group.bench("linear_array_into_4star", || {
+        linear_array_into_star(4, 1_000, &mut SearchBudget::new(100_000_000))
+            .unwrap()
+            .dilation()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_guests);
-criterion_main!(benches);

@@ -2,63 +2,48 @@
 //! exact BFS routing (the ablation DESIGN.md calls out), and emulation
 //! routing on super Cayley hosts.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::{Rng, SeedableRng};
+use scg_bench::bench::Group;
 use scg_core::{bfs_route, scg_route, star_route, StarGraph, SuperCayleyGraph};
-use scg_perm::Perm;
+use scg_perm::{Perm, XorShift64};
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+fn main() {
+    let mut group = Group::new("routing");
+    let mut rng = XorShift64::new(42);
 
-    group.bench_function("star_route_algebraic_k9", |b| {
-        b.iter_batched(
-            || (Perm::random(9, &mut rng), Perm::random(9, &mut rng)),
-            |(from, to)| star_route(&from, &to),
-            BatchSize::SmallInput,
-        );
-    });
+    group.bench_batched(
+        "star_route_algebraic_k9",
+        || (Perm::random(9, &mut rng), Perm::random(9, &mut rng)),
+        |(from, to)| star_route(&from, &to),
+    );
 
     let star5 = StarGraph::new(5).unwrap();
-    group.bench_function("star_route_bfs_k5", |b| {
-        b.iter_batched(
-            || (Perm::random(5, &mut rng), Perm::random(5, &mut rng)),
-            |(from, to)| bfs_route(&star5, &from, &to, 1_000_000).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
+    let mut rng = XorShift64::new(43);
+    group.bench_batched(
+        "star_route_bfs_k5",
+        || (Perm::random(5, &mut rng), Perm::random(5, &mut rng)),
+        |(from, to)| bfs_route(&star5, &from, &to, 1_000_000).unwrap(),
+    );
 
     let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
-    group.bench_function("scg_route_ms_3_2", |b| {
-        b.iter_batched(
-            || (Perm::random(7, &mut rng), Perm::random(7, &mut rng)),
-            |(from, to)| scg_route(&ms, &from, &to).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
+    let mut rng = XorShift64::new(44);
+    group.bench_batched(
+        "scg_route_ms_3_2",
+        || (Perm::random(7, &mut rng), Perm::random(7, &mut rng)),
+        |(from, to)| scg_route(&ms, &from, &to).unwrap(),
+    );
 
     let crs = SuperCayleyGraph::complete_rotation_star(4, 3).unwrap();
-    group.bench_function("scg_route_crs_4_3", |b| {
-        b.iter_batched(
-            || (Perm::random(13, &mut rng), Perm::random(13, &mut rng)),
-            |(from, to)| scg_route(&crs, &from, &to).unwrap(),
-            BatchSize::SmallInput,
-        );
-    });
+    let mut rng = XorShift64::new(45);
+    group.bench_batched(
+        "scg_route_crs_4_3",
+        || (Perm::random(13, &mut rng), Perm::random(13, &mut rng)),
+        |(from, to)| scg_route(&crs, &from, &to).unwrap(),
+    );
 
     // Schreier-Sims connectivity certification at k = 20.
-    group.bench_function("group_order_is20_schreier_sims", |b| {
-        let is20 = SuperCayleyGraph::insertion_selection(20).unwrap();
-        b.iter(|| {
-            use scg_core::CayleyNetwork;
-            is20.generates_symmetric_group()
-        });
+    let is20 = SuperCayleyGraph::insertion_selection(20).unwrap();
+    group.bench("group_order_is20_schreier_sims", || {
+        use scg_core::CayleyNetwork;
+        is20.generates_symmetric_group()
     });
-
-    // Keep the RNG warm so batches differ.
-    let _ = rng.gen::<u8>();
-    group.finish();
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

@@ -1,33 +1,31 @@
 //! Benchmarks for `fig1` / `tab_thm4_5`: building and validating all-port
 //! emulation schedules (constructive path vs the DFS fallback shapes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scg_bench::bench::Group;
 use scg_core::SuperCayleyGraph;
 use scg_emu::AllPortSchedule;
 
-fn bench_schedules(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedules");
+fn main() {
+    let mut group = Group::new("schedules");
     for (name, host) in [
         ("ms_4_3_fig1a", SuperCayleyGraph::macro_star(4, 3).unwrap()),
         ("ms_5_3_fig1b", SuperCayleyGraph::macro_star(5, 3).unwrap()),
-        ("crs_6_3", SuperCayleyGraph::complete_rotation_star(6, 3).unwrap()),
+        (
+            "crs_6_3",
+            SuperCayleyGraph::complete_rotation_star(6, 3).unwrap(),
+        ),
         ("mis_4_3", SuperCayleyGraph::macro_is(4, 3).unwrap()),
-        ("mis_2_2_dfs_fallback", SuperCayleyGraph::macro_is(2, 2).unwrap()),
+        (
+            "mis_2_2_dfs_fallback",
+            SuperCayleyGraph::macro_is(2, 2).unwrap(),
+        ),
         ("is_13", SuperCayleyGraph::insertion_selection(13).unwrap()),
     ] {
-        group.bench_function(format!("build_{name}"), |b| {
-            b.iter(|| AllPortSchedule::build(&host).unwrap());
+        group.bench(&format!("build_{name}"), || {
+            AllPortSchedule::build(&host).unwrap()
         });
     }
     let s = AllPortSchedule::build(&SuperCayleyGraph::macro_star(5, 3).unwrap()).unwrap();
-    group.bench_function("validate_ms_5_3", |b| {
-        b.iter(|| s.validate().unwrap());
-    });
-    group.bench_function("render_ms_5_3", |b| {
-        b.iter(|| s.render());
-    });
-    group.finish();
+    group.bench("validate_ms_5_3", || s.validate().unwrap());
+    group.bench("render_ms_5_3", || s.render());
 }
-
-criterion_group!(benches, bench_schedules);
-criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark for the topology engine: per-node graph construction
+//! (`CayleyNetwork::to_graph`, one rank/unrank round trip per edge) vs the
+//! engine's table-driven materialization (`Materialized::build`, chunked
+//! parallel rank-transition sweeps), plus the cost of a warm cache hit.
+//!
+//! Output is recorded in `results/bench_topology.txt`.
+
+use scg_bench::bench::Group;
+use scg_core::{
+    CayleyNetwork, Materialized, StarGraph, SuperCayleyGraph, TopologyCache, DEFAULT_NET_CAP,
+};
+
+fn compare(group: &mut Group, name: &str, net: &dyn CayleyNetwork) {
+    group.bench(&format!("{name}_per_node"), || {
+        net.to_graph(DEFAULT_NET_CAP).unwrap()
+    });
+    group.bench(&format!("{name}_table_driven"), || {
+        Materialized::build(net, DEFAULT_NET_CAP).unwrap()
+    });
+    let cache = TopologyCache::new();
+    cache.materialize(net, DEFAULT_NET_CAP).unwrap();
+    group.bench(&format!("{name}_cache_hit"), || {
+        cache.materialize(net, DEFAULT_NET_CAP).unwrap()
+    });
+}
+
+fn main() {
+    let mut group = Group::new("topology");
+    for k in 7..=9 {
+        let star = StarGraph::new(k).unwrap();
+        compare(&mut group, &format!("star_k{k}"), &star);
+    }
+    let ms7 = SuperCayleyGraph::macro_star(3, 2).unwrap(); // k = 7
+    compare(&mut group, "ms_3_2_k7", &ms7);
+    let ms9 = SuperCayleyGraph::macro_star(4, 2).unwrap(); // k = 9
+    compare(&mut group, "ms_4_2_k9", &ms9);
+}

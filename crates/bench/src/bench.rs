@@ -1,0 +1,169 @@
+//! A minimal wall-clock benchmark harness on `std::time::Instant`.
+//!
+//! The workspace builds with no network access, so Criterion is not
+//! available; this module provides the small subset the benches need —
+//! named groups, warmed-up timed closures, and batched timing with
+//! untimed per-iteration setup — with a plain-text report. It is not a
+//! statistics engine: numbers are mean/min/max over a fixed time budget,
+//! good for spotting order-of-magnitude regressions, not nanosecond
+//! deltas.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget once warmed up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+/// Hard cap on measured iterations (cheap routines).
+const MAX_ITERS: u32 = 10_000;
+
+/// One measured benchmark: iteration count and per-iteration times.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl Measurement {
+    fn from_times(times: &[Duration]) -> Self {
+        let total: Duration = times.iter().sum();
+        Measurement {
+            iters: times.len() as u32,
+            mean: total / times.len() as u32,
+            min: *times.iter().min().expect("at least one iteration"),
+            max: *times.iter().max().expect("at least one iteration"),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks, reporting to stdout as it runs.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a group, printing its header.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+        }
+    }
+
+    /// Times `routine` repeatedly after a warm-up and prints one line.
+    /// The routine's result is `black_box`ed so it cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, id: &str, mut routine: impl FnMut() -> R) -> Measurement {
+        // Warm up (also faults in caches the routine depends on).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+        let mut times = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET && times.len() < MAX_ITERS as usize {
+            let t = Instant::now();
+            black_box(routine());
+            times.push(t.elapsed());
+        }
+        let m = Measurement::from_times(&times);
+        println!(
+            "{}/{id}: mean {} (min {}, max {}, {} iters)",
+            self.name,
+            fmt_duration(m.mean),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.iters
+        );
+        m
+    }
+
+    /// As [`Group::bench`], but runs an untimed `setup` before every timed
+    /// iteration — the replacement for Criterion's `iter_batched`.
+    pub fn bench_batched<I, R>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) -> Measurement {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+        let mut times = Vec::new();
+        let mut measured = Duration::ZERO;
+        while measured < MEASURE_BUDGET && times.len() < MAX_ITERS as usize {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            measured += dt;
+            times.push(dt);
+        }
+        let m = Measurement::from_times(&times);
+        println!(
+            "{}/{id}: mean {} (min {}, max {}, {} iters)",
+            self.name,
+            fmt_duration(m.mean),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.iters
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_summarizes_times() {
+        let times = [
+            Duration::from_micros(1),
+            Duration::from_micros(3),
+            Duration::from_micros(2),
+        ];
+        let m = Measurement::from_times(&times);
+        assert_eq!(m.iters, 3);
+        assert_eq!(m.mean, Duration::from_micros(2));
+        assert_eq!(m.min, Duration::from_micros(1));
+        assert_eq!(m.max, Duration::from_micros(3));
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

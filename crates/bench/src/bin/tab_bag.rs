@@ -4,14 +4,13 @@
 //! exact BFS; minimal move counts must equal graph distances, and the
 //! game's "God's number" equals the network diameter.
 
-use rand::SeedableRng;
 use scg_bag::BagGame;
 use scg_bench::{all_class_hosts_k5, f3, Table};
 use scg_core::{CayleyNetwork, NetworkReport};
 
 fn main() {
     const CAP: u64 = 50_000;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1999);
+    let mut rng = scg_perm::XorShift64::new(1999);
     let mut t = Table::new(&[
         "game rules",
         "balls",

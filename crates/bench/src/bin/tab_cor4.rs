@@ -14,7 +14,15 @@ fn main() {
 
     // Premise: dilation-1 embeddings into the star (searched, exact).
     let mut t = Table::new(&["tree height", "nodes", "host", "dilation", "status"]);
-    for (height, k) in [(2u32, 4usize), (3, 5), (4, 5), (5, 5), (5, 6), (6, 6), (7, 6)] {
+    for (height, k) in [
+        (2u32, 4usize),
+        (3, 5),
+        (4, 5),
+        (5, 5),
+        (5, 6),
+        (6, 6),
+        (7, 6),
+    ] {
         let budget = &mut SearchBudget::new(2_000_000_000);
         match tree_into_star(height, k, budget) {
             Ok(e) => t.row(&[

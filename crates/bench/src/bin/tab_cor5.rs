@@ -11,7 +11,14 @@ use scg_embed::{cube_dimension_for, hypercube_into_scg, hypercube_into_star, hyp
 fn main() {
     const CAP: u64 = 50_000;
     println!("== Corollary 5: hypercube embeddings ==\n");
-    let mut t = Table::new(&["guest", "host", "dilation", "load", "expansion", "congestion"]);
+    let mut t = Table::new(&[
+        "guest",
+        "host",
+        "dilation",
+        "load",
+        "expansion",
+        "congestion",
+    ]);
     for k in [5usize, 7] {
         let d = cube_dimension_for(k);
         let e = hypercube_into_tn(k, CAP).unwrap();

@@ -16,7 +16,13 @@ fn main() {
     const CAP: u64 = 50_000;
     println!("== Corollaries 6-7: mesh embeddings ==\n");
     let mut t = Table::new(&[
-        "guest", "host", "dilation", "claimed", "load", "expansion", "congestion",
+        "guest",
+        "host",
+        "dilation",
+        "claimed",
+        "load",
+        "expansion",
+        "congestion",
     ]);
 
     // Linear arrays (Hamiltonian paths).

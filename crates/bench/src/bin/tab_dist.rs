@@ -4,7 +4,7 @@
 //! printed as CSV for plotting.
 
 use scg_bench::all_class_hosts_k5;
-use scg_core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+use scg_core::{materialize, CayleyNetwork, StarGraph, SuperCayleyGraph};
 use scg_graph::DistanceStats;
 
 fn print_csv(name: &str, hist: &[u64]) {
@@ -20,12 +20,18 @@ fn main() {
     println!("network,count_at_distance_0,1,2,...");
     for k in 4..=7 {
         let star = StarGraph::new(k).unwrap();
-        let g = star.to_graph(CAP).unwrap();
-        print_csv(&star.name(), &DistanceStats::single_source(&g, 0).histogram);
+        let mat = materialize(&star, CAP).unwrap();
+        print_csv(
+            &star.name(),
+            &DistanceStats::single_source(mat.graph(), 0).histogram,
+        );
     }
     for host in all_class_hosts_k5().unwrap() {
-        let g = host.to_graph(CAP).unwrap();
-        print_csv(&host.name(), &DistanceStats::single_source(&g, 0).histogram);
+        let mat = materialize(&host, CAP).unwrap();
+        print_csv(
+            &host.name(),
+            &DistanceStats::single_source(mat.graph(), 0).histogram,
+        );
     }
     for host in [
         SuperCayleyGraph::macro_star(3, 2).unwrap(),
@@ -34,8 +40,11 @@ fn main() {
         SuperCayleyGraph::insertion_selection(7).unwrap(),
         SuperCayleyGraph::macro_is(3, 2).unwrap(),
     ] {
-        let g = host.to_graph(CAP).unwrap();
-        print_csv(&host.name(), &DistanceStats::single_source(&g, 0).histogram);
+        let mat = materialize(&host, CAP).unwrap();
+        print_csv(
+            &host.name(),
+            &DistanceStats::single_source(mat.graph(), 0).histogram,
+        );
     }
     eprintln!("\n(rows are node counts at distances 0..diameter from the identity;");
     eprintln!("the rightmost nonzero column index is the diameter of tab_networks)");

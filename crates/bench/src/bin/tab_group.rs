@@ -12,7 +12,12 @@ use scg_perm::factorial;
 
 fn main() {
     let mut t = Table::new(&[
-        "network", "k", "N = k!", "degree", "DL(d,N)", "generates S_k",
+        "network",
+        "k",
+        "N = k!",
+        "degree",
+        "DL(d,N)",
+        "generates S_k",
     ]);
     println!("== Group-theoretic connectivity certification (Schreier-Sims) ==\n");
     // The largest shape of each class that fits k <= 20.

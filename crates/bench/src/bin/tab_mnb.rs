@@ -11,7 +11,15 @@ use scg_graph::SearchBudget;
 fn main() {
     const CAP: u64 = 50_000;
     println!("== Corollary 2: multinode broadcast ==\n");
-    let mut t = Table::new(&["network", "N", "degree", "model", "steps", "lower bound", "ratio"]);
+    let mut t = Table::new(&[
+        "network",
+        "N",
+        "degree",
+        "model",
+        "steps",
+        "lower bound",
+        "ratio",
+    ]);
 
     // All-port.
     let stars: Vec<Box<dyn CayleyNetwork>> = vec![

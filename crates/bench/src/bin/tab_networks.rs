@@ -5,9 +5,7 @@
 //! vertex-transitivity cross-check.
 
 use scg_bench::{all_class_hosts_k5, f3, Table};
-use scg_core::{
-    BubbleSortGraph, NetworkReport, StarGraph, SuperCayleyGraph, TranspositionNetwork,
-};
+use scg_core::{BubbleSortGraph, NetworkReport, StarGraph, SuperCayleyGraph, TranspositionNetwork};
 
 fn push(t: &mut Table, r: &NetworkReport) {
     t.row(&[
@@ -18,7 +16,12 @@ fn push(t: &mut Table, r: &NetworkReport) {
         r.diameter.to_string(),
         f3(r.mean_distance),
         r.moore_bound.to_string(),
-        if r.inverse_closed { "undirected" } else { "directed" }.to_string(),
+        if r.inverse_closed {
+            "undirected"
+        } else {
+            "directed"
+        }
+        .to_string(),
         if r.transitive_check { "yes" } else { "NO" }.to_string(),
     ]);
 }
@@ -26,7 +29,15 @@ fn push(t: &mut Table, r: &NetworkReport) {
 fn main() {
     const CAP: u64 = 50_000;
     let mut t = Table::new(&[
-        "network", "k", "N", "degree", "diameter", "mean dist", "DL(d,N)", "links", "transitive",
+        "network",
+        "k",
+        "N",
+        "degree",
+        "diameter",
+        "mean dist",
+        "DL(d,N)",
+        "links",
+        "transitive",
     ]);
     // Reference Cayley networks.
     for k in 4..=7 {
@@ -34,8 +45,14 @@ fn main() {
         push(&mut t, &r);
     }
     for k in 4..=6 {
-        push(&mut t, &NetworkReport::measure(&BubbleSortGraph::new(k).unwrap(), CAP).unwrap());
-        push(&mut t, &NetworkReport::measure(&TranspositionNetwork::new(k).unwrap(), CAP).unwrap());
+        push(
+            &mut t,
+            &NetworkReport::measure(&BubbleSortGraph::new(k).unwrap(), CAP).unwrap(),
+        );
+        push(
+            &mut t,
+            &NetworkReport::measure(&TranspositionNetwork::new(k).unwrap(), CAP).unwrap(),
+        );
     }
     // All ten classes at k = 5.
     for host in all_class_hosts_k5().unwrap() {
@@ -63,9 +80,10 @@ fn main() {
     // equal full all-pairs statistics, computed in parallel, on a 5040-node
     // instance.
     let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
-    let g = scg_core::CayleyNetwork::to_graph(&ms, CAP).unwrap();
-    let single = scg_graph::DistanceStats::single_source(&g, 0);
-    let all = scg_graph::DistanceStats::all_pairs_parallel(&g, 8);
+    let mat = scg_core::materialize(&ms, CAP).unwrap();
+    let g = mat.graph();
+    let single = scg_graph::DistanceStats::single_source(g, 0);
+    let all = scg_graph::DistanceStats::all_pairs_parallel(g, 8);
     assert_eq!(single.diameter, all.diameter);
     assert!((single.mean - all.mean).abs() < 1e-9);
     println!(

@@ -20,7 +20,14 @@ fn main() {
         Box::new(SuperCayleyGraph::macro_rotator(2, 2).unwrap()),
     ];
     let mut t = Table::new(&[
-        "network", "N", "degree", "SNB steps", "DL(d,N)", "scatter", "⌈(N-1)/d⌉", "gather",
+        "network",
+        "N",
+        "degree",
+        "SNB steps",
+        "DL(d,N)",
+        "scatter",
+        "⌈(N-1)/d⌉",
+        "gather",
     ]);
     println!("== Single-source prototype tasks (SNB / scatter / gather) ==\n");
     for net in &nets {

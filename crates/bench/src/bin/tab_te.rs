@@ -12,17 +12,42 @@ fn main() {
     const CAP: u64 = 50_000;
     println!("== Corollary 3: total exchange ==\n");
     let mut t = Table::new(&[
-        "network", "N", "degree", "model", "steps", "lower bound", "ratio", "reference",
+        "network",
+        "N",
+        "degree",
+        "model",
+        "steps",
+        "lower bound",
+        "ratio",
+        "reference",
     ]);
 
     // SDC optima with the (k+1)! reference constant.
     let sdc_nets: Vec<(Box<dyn CayleyNetwork>, String)> = vec![
-        (Box::new(StarGraph::new(4).unwrap()), format!("(k+1)! = {}", factorial(5))),
-        (Box::new(StarGraph::new(5).unwrap()), format!("(k+1)! = {}", factorial(6))),
-        (Box::new(StarGraph::new(6).unwrap()), format!("(k+1)! = {}", factorial(7))),
-        (Box::new(SuperCayleyGraph::macro_star(2, 2).unwrap()), String::new()),
-        (Box::new(SuperCayleyGraph::macro_star(3, 2).unwrap()), String::new()),
-        (Box::new(SuperCayleyGraph::insertion_selection(6).unwrap()), String::new()),
+        (
+            Box::new(StarGraph::new(4).unwrap()),
+            format!("(k+1)! = {}", factorial(5)),
+        ),
+        (
+            Box::new(StarGraph::new(5).unwrap()),
+            format!("(k+1)! = {}", factorial(6)),
+        ),
+        (
+            Box::new(StarGraph::new(6).unwrap()),
+            format!("(k+1)! = {}", factorial(7)),
+        ),
+        (
+            Box::new(SuperCayleyGraph::macro_star(2, 2).unwrap()),
+            String::new(),
+        ),
+        (
+            Box::new(SuperCayleyGraph::macro_star(3, 2).unwrap()),
+            String::new(),
+        ),
+        (
+            Box::new(SuperCayleyGraph::insertion_selection(6).unwrap()),
+            String::new(),
+        ),
     ];
     for (net, reference) in &sdc_nets {
         let r = te_sdc(net.as_ref(), CAP).unwrap();

@@ -30,7 +30,13 @@ fn main() {
         ScgClass::CompleteRotationIs,
     ];
     let mut t = Table::new(&[
-        "host", "k", "makespan", "theorem bound", "tight?", "hops", "utilization",
+        "host",
+        "k",
+        "makespan",
+        "theorem bound",
+        "tight?",
+        "hops",
+        "utilization",
     ]);
     println!("== Theorems 4-5: all-port star emulation slowdown ==\n");
     for class in classes {
@@ -65,7 +71,11 @@ fn main() {
             k.to_string(),
             s.makespan().to_string(),
             "2".into(),
-            if s.makespan() == 2 { "yes".into() } else { "NO".into() },
+            if s.makespan() == 2 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             s.total_hops().to_string(),
             f3(s.utilization()),
         ]);

@@ -10,17 +10,52 @@ use scg_embed::CayleyEmbedding;
 fn main() {
     const CAP: u64 = 50_000;
     let mut t = Table::new(&[
-        "guest", "host", "dilation", "claimed", "mean path", "congestion", "load", "expansion",
+        "guest",
+        "host",
+        "dilation",
+        "claimed",
+        "mean path",
+        "congestion",
+        "load",
+        "expansion",
     ]);
     println!("== Theorems 6-7: transposition-network embeddings ==\n");
     let cases: Vec<(String, SuperCayleyGraph, &str)> = vec![
-        ("7-TN".into(), SuperCayleyGraph::macro_star(2, 3).unwrap(), "5 (l=2)"),
-        ("7-TN".into(), SuperCayleyGraph::macro_star(3, 2).unwrap(), "7 (l>=3)"),
-        ("7-TN".into(), SuperCayleyGraph::complete_rotation_star(2, 3).unwrap(), "5 (l=2)"),
-        ("7-TN".into(), SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(), "7 (l>=3)"),
-        ("7-TN".into(), SuperCayleyGraph::insertion_selection(7).unwrap(), "6"),
-        ("7-TN".into(), SuperCayleyGraph::macro_is(3, 2).unwrap(), "O(1)"),
-        ("7-TN".into(), SuperCayleyGraph::complete_rotation_is(3, 2).unwrap(), "O(1)"),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::macro_star(2, 3).unwrap(),
+            "5 (l=2)",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::macro_star(3, 2).unwrap(),
+            "7 (l>=3)",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::complete_rotation_star(2, 3).unwrap(),
+            "5 (l=2)",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(),
+            "7 (l>=3)",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::insertion_selection(7).unwrap(),
+            "6",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::macro_is(3, 2).unwrap(),
+            "O(1)",
+        ),
+        (
+            "7-TN".into(),
+            SuperCayleyGraph::complete_rotation_is(3, 2).unwrap(),
+            "O(1)",
+        ),
     ];
     for (gname, host, claim) in &cases {
         let tn = TranspositionNetwork::new(host.degree_k()).unwrap();

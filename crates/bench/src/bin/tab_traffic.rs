@@ -14,7 +14,12 @@ use scg_emu::{AllPortSchedule, TrafficSummary};
 fn main() {
     const CAP: u64 = 50_000;
     let mut t = Table::new(&[
-        "algorithm", "host", "links", "max", "mean", "balance max/mean",
+        "algorithm",
+        "host",
+        "links",
+        "max",
+        "mean",
+        "balance max/mean",
     ]);
     println!("== Link-traffic uniformity (the paper's balance claim) ==\n");
 
@@ -27,9 +32,8 @@ fn main() {
     ] {
         let star = StarGraph::new(host.degree_k()).unwrap();
         let ce = CayleyEmbedding::build(&star, &host, CAP).unwrap();
-        let s = TrafficSummary::from_counts(
-            ce.embedding().link_traffic().iter().map(|&c| c as u64),
-        );
+        let s =
+            TrafficSummary::from_counts(ce.embedding().link_traffic().iter().map(|&c| c as u64));
         t.row(&[
             "star embedding".into(),
             host.name(),

@@ -23,7 +23,7 @@
 //!   `g_t`, and an easy induction shows it received exactly that packet the
 //!   step before.
 
-use scg_core::CayleyNetwork;
+use scg_core::{materialize, CayleyNetwork};
 use scg_graph::{hamiltonian_path, NodeId, SearchBudget};
 
 use crate::error::CommError;
@@ -80,23 +80,11 @@ impl MnbReport {
 /// * [`CommError::Incomplete`] — internal guard (cannot happen on a
 ///   connected network).
 pub fn mnb_all_port(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<MnbReport, CommError> {
-    let graph = net.to_graph(cap)?;
-    let n = graph.num_nodes();
-    let d = net.node_degree();
-    // Per generator: the neighbor slot order is is not generator order in
-    // CSR, so work with explicit neighbor lists per generator.
-    let neighbor_by_gen: Vec<Vec<NodeId>> = {
-        let k = net.degree_k();
-        let mut by_gen = vec![vec![0 as NodeId; n]; d];
-        for u in 0..n as u64 {
-            let label = scg_perm::Perm::from_rank(k, u).map_err(scg_core::CoreError::from)?;
-            for (gi, g) in net.generators().iter().enumerate() {
-                let v = g.apply(&label).map_err(scg_core::CoreError::from)?;
-                by_gen[gi][u as usize] = v.rank() as NodeId;
-            }
-        }
-        by_gen
-    };
+    // CSR neighbor order is rank order, not generator order; the engine's
+    // rank-transition tables give neighbor-by-generator directly.
+    let mat = materialize(net, cap)?;
+    let n = mat.num_nodes();
+    let d = mat.node_degree();
 
     let mut informed = vec![false; n];
     informed[0] = true;
@@ -114,7 +102,7 @@ pub fn mnb_all_port(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<Mnb
             // is uninformed.
             while cursor[gi] < holders.len() {
                 let w = holders[cursor[gi]];
-                let v = neighbor_by_gen[gi][w as usize];
+                let v = mat.neighbor_id(w, gi);
                 if !informed[v as usize] {
                     informed[v as usize] = true;
                     newly.push(v);
@@ -165,38 +153,28 @@ pub fn verify_sdc_relay(
             reason: "witness must visit all nodes starting at the identity".into(),
         });
     }
-    let k = net.degree_k();
-    let labels: Vec<scg_perm::Perm> = (0..n as u64)
-        .map(|r| scg_perm::Perm::from_rank(k, r).expect("rank below k!"))
-        .collect();
-    // Recover the generator word g_1..g_{N-1} from consecutive path nodes.
+    let mat = materialize(net, n as u64)?;
+    // Recover the generator word g_1..g_{N-1} from consecutive path nodes,
+    // as generator *indices* into the engine's transition tables.
     let mut gens = Vec::with_capacity(n - 1);
     for w in word.windows(2) {
-        let a = &labels[w[0] as usize];
-        let b = &labels[w[1] as usize];
-        let g = net
-            .generators()
-            .iter()
-            .find(|g| g.apply(a).map(|r| r == *b).unwrap_or(false))
-            .copied()
+        let gi = (0..mat.node_degree())
+            .find(|&g| mat.neighbor_id(w[0], g) == w[1])
             .ok_or_else(|| CommError::Incomplete {
                 reason: "witness step is not a generator application".into(),
             })?;
-        gens.push(g);
+        gens.push(gi);
     }
     // has[v][u] = node v holds the packet of source u; holding[v] = the
     // packet node v forwards next (starts with its own).
     let mut has = vec![vec![false; n]; n];
     let mut holding: Vec<usize> = (0..n).collect();
-    for g in &gens {
+    for &gi in &gens {
         // Every node v sends `holding[v]` through g simultaneously.
+        let table = mat.table(gi);
         let mut arrivals = vec![0usize; n];
         for v in 0..n {
-            let target = g
-                .apply(&labels[v])
-                .map_err(scg_core::CoreError::from)?
-                .rank() as usize;
-            arrivals[target] = holding[v];
+            arrivals[table[v] as usize] = holding[v];
         }
         for v in 0..n {
             has[v][arrivals[v]] = true;
@@ -232,18 +210,17 @@ pub fn mnb_sdc(
     cap: u64,
     budget: &mut SearchBudget,
 ) -> Result<MnbReport, CommError> {
-    let graph = net.to_graph(cap)?;
+    let mat = materialize(net, cap)?;
+    let graph = mat.graph();
     let n = graph.num_nodes();
-    let path = match hamiltonian_path(&graph, 0, budget) {
+    let path = match hamiltonian_path(graph, 0, budget) {
         Ok(Some(p)) => p,
         Ok(None) => {
             return Err(CommError::Incomplete {
                 reason: "no Hamiltonian path from identity".into(),
             })
         }
-        Err(scg_graph::GraphError::BudgetExhausted) => {
-            return Err(CommError::SearchInconclusive)
-        }
+        Err(scg_graph::GraphError::BudgetExhausted) => return Err(CommError::SearchInconclusive),
         Err(e) => return Err(e.into()),
     };
     // The word exists; the relay argument (module docs) delivers every
@@ -273,12 +250,12 @@ pub fn mnb_sdc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scg_core::{StarGraph, SuperCayleyGraph};
+    use scg_core::{StarGraph, SuperCayleyGraph, SMALL_NET_CAP};
 
     #[test]
     fn all_port_mnb_on_star_is_near_optimal() {
         let star = StarGraph::new(5).unwrap();
-        let r = mnb_all_port(&star, 1_000).unwrap();
+        let r = mnb_all_port(&star, SMALL_NET_CAP).unwrap();
         assert_eq!(r.num_nodes, 120);
         assert_eq!(r.lower_bound, 30); // ⌈119/4⌉
         assert!(r.steps >= r.lower_bound);
@@ -297,7 +274,7 @@ mod tests {
             SuperCayleyGraph::insertion_selection(5).unwrap(),
             SuperCayleyGraph::complete_rotation_star(2, 2).unwrap(),
         ] {
-            let r = mnb_all_port(&host, 1_000).unwrap();
+            let r = mnb_all_port(&host, SMALL_NET_CAP).unwrap();
             assert!(r.steps >= r.lower_bound, "{}", r.network);
             assert!(r.optimality_ratio() < 2.0, "{}", r.network);
         }
@@ -317,7 +294,7 @@ mod tests {
         // Hamiltonian word quickly. (Degree-3 MS(2,2) also admits one but
         // the exhaustive search is slow; the bench binary covers it.)
         let is5 = SuperCayleyGraph::insertion_selection(5).unwrap();
-        let r = mnb_sdc(&is5, 1_000, &mut SearchBudget::new(50_000_000)).unwrap();
+        let r = mnb_sdc(&is5, SMALL_NET_CAP, &mut SearchBudget::new(50_000_000)).unwrap();
         assert_eq!(r.steps, 119);
     }
 }

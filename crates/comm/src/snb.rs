@@ -14,7 +14,7 @@
 //! * **gather** is the reverse (every node sends to one sink), bounded by
 //!   the sink's in-links.
 
-use scg_core::CayleyNetwork;
+use scg_core::{materialize, CayleyNetwork};
 use scg_emu::{Packet, PortModel, SyncSim, TableRouter};
 use scg_graph::{moore_diameter_lower_bound, NodeId, UNREACHABLE};
 
@@ -52,8 +52,8 @@ impl SnbReport {
 /// * [`CommError::Core`] — network exceeds `cap` nodes;
 /// * [`CommError::Incomplete`] — some node unreachable.
 pub fn snb_all_port(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<SnbReport, CommError> {
-    let graph = net.to_graph(cap)?;
-    let dist = graph.bfs_distances(0);
+    let mat = materialize(net, cap)?;
+    let dist = mat.graph().bfs_distances(0);
     let mut ecc = 0u64;
     for &d in &dist {
         if d == UNREACHABLE {
@@ -87,12 +87,21 @@ pub fn scatter_all_port(
     cap: u64,
     max_steps: u64,
 ) -> Result<SnbReport, CommError> {
-    let graph = net.to_graph(cap)?;
-    let router = TableRouter::new(&graph)?;
-    let mut sim = SyncSim::new(&graph, PortModel::AllPort);
+    let mat = materialize(net, cap)?;
+    let graph = mat.graph();
+    let router = TableRouter::new(graph)?;
+    let mut sim = SyncSim::new(graph, PortModel::AllPort);
     let n = graph.num_nodes() as NodeId;
     for dst in 1..n {
-        sim.inject(0, Packet { src: 0, dst, payload: 0 }, &router)?;
+        sim.inject(
+            0,
+            Packet {
+                src: 0,
+                dst,
+                payload: 0,
+            },
+            &router,
+        )?;
     }
     let stats = sim.run(&router, max_steps)?;
     Ok(SnbReport {
@@ -114,12 +123,21 @@ pub fn gather_all_port(
     cap: u64,
     max_steps: u64,
 ) -> Result<SnbReport, CommError> {
-    let graph = net.to_graph(cap)?;
-    let router = TableRouter::new(&graph)?;
-    let mut sim = SyncSim::new(&graph, PortModel::AllPort);
+    let mat = materialize(net, cap)?;
+    let graph = mat.graph();
+    let router = TableRouter::new(graph)?;
+    let mut sim = SyncSim::new(graph, PortModel::AllPort);
     let n = graph.num_nodes() as NodeId;
     for src in 1..n {
-        sim.inject(src, Packet { src, dst: 0, payload: 0 }, &router)?;
+        sim.inject(
+            src,
+            Packet {
+                src,
+                dst: 0,
+                payload: 0,
+            },
+            &router,
+        )?;
     }
     let stats = sim.run(&router, max_steps)?;
     Ok(SnbReport {
@@ -134,12 +152,12 @@ pub fn gather_all_port(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scg_core::{StarGraph, SuperCayleyGraph};
+    use scg_core::{StarGraph, SuperCayleyGraph, SMALL_NET_CAP};
 
     #[test]
     fn snb_time_is_eccentricity() {
         let star = StarGraph::new(5).unwrap();
-        let r = snb_all_port(&star, 1_000).unwrap();
+        let r = snb_all_port(&star, SMALL_NET_CAP).unwrap();
         assert_eq!(r.steps, 6); // star diameter ⌊3·4/2⌋
         assert!(r.steps >= r.lower_bound);
     }
@@ -147,22 +165,31 @@ mod tests {
     #[test]
     fn scatter_is_source_link_bound() {
         let star = StarGraph::new(5).unwrap();
-        let r = scatter_all_port(&star, 1_000, 100_000).unwrap();
+        let r = scatter_all_port(&star, SMALL_NET_CAP, 100_000).unwrap();
         assert_eq!(r.lower_bound, 30); // ⌈119/4⌉
         assert!(r.steps >= r.lower_bound);
-        assert!(r.optimality_ratio() < 2.0, "scatter ratio {}", r.optimality_ratio());
+        assert!(
+            r.optimality_ratio() < 2.0,
+            "scatter ratio {}",
+            r.optimality_ratio()
+        );
     }
 
     #[test]
     fn gather_mirrors_scatter_on_undirected_hosts() {
         let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
-        let s = scatter_all_port(&ms, 1_000, 100_000).unwrap();
-        let g = gather_all_port(&ms, 1_000, 100_000).unwrap();
+        let s = scatter_all_port(&ms, SMALL_NET_CAP, 100_000).unwrap();
+        let g = gather_all_port(&ms, SMALL_NET_CAP, 100_000).unwrap();
         assert!(s.steps >= s.lower_bound);
         assert!(g.steps >= g.lower_bound);
         // Same volume through the mirrored bottleneck: times are close.
         let ratio = s.steps as f64 / g.steps as f64;
-        assert!((0.5..=2.0).contains(&ratio), "scatter {} vs gather {}", s.steps, g.steps);
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "scatter {} vs gather {}",
+            s.steps,
+            g.steps
+        );
     }
 
     #[test]
@@ -172,7 +199,7 @@ mod tests {
             SuperCayleyGraph::macro_rotator(2, 2).unwrap(),
             SuperCayleyGraph::complete_rotation_is(2, 2).unwrap(),
         ] {
-            let r = snb_all_port(&host, 1_000).unwrap();
+            let r = snb_all_port(&host, SMALL_NET_CAP).unwrap();
             assert!(r.steps >= r.lower_bound, "{}", r.network);
         }
     }

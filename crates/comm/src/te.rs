@@ -12,7 +12,7 @@
 //!   Corollary 3. [`te_all_port`] measures the actual completion time on
 //!   the store-and-forward simulator with shortest-path table routing.
 
-use scg_core::CayleyNetwork;
+use scg_core::{materialize, CayleyNetwork};
 use scg_emu::{Packet, PortModel, SyncSim, TableRouter};
 use scg_graph::{NodeId, UNREACHABLE};
 
@@ -50,8 +50,8 @@ impl TeReport {
 
 /// Distance sum `Σ_{w≠e} dist(e, w)` of a vertex-transitive network.
 fn distance_sum(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<u64, CommError> {
-    let graph = net.to_graph(cap)?;
-    let dist = graph.bfs_distances(0);
+    let mat = materialize(net, cap)?;
+    let dist = mat.graph().bfs_distances(0);
     let mut sum = 0u64;
     for &d in &dist {
         if d == UNREACHABLE {
@@ -136,14 +136,23 @@ fn te_simulated(
     max_steps: u64,
     model: PortModel,
 ) -> Result<TeReport, CommError> {
-    let graph = net.to_graph(cap)?;
-    let router = TableRouter::new(&graph)?;
-    let mut sim = SyncSim::new(&graph, model);
+    let mat = materialize(net, cap)?;
+    let graph = mat.graph();
+    let router = TableRouter::new(graph)?;
+    let mut sim = SyncSim::new(graph, model);
     let n = graph.num_nodes() as NodeId;
     for src in 0..n {
         for dst in 0..n {
             if src != dst {
-                sim.inject(src, Packet { src, dst, payload: 0 }, &router)?;
+                sim.inject(
+                    src,
+                    Packet {
+                        src,
+                        dst,
+                        payload: 0,
+                    },
+                    &router,
+                )?;
             }
         }
     }
@@ -168,7 +177,7 @@ fn te_simulated(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scg_core::{StarGraph, SuperCayleyGraph};
+    use scg_core::{StarGraph, SuperCayleyGraph, SMALL_NET_CAP};
 
     #[test]
     fn te_sdc_matches_distance_sum_on_star() {
@@ -191,7 +200,7 @@ mod tests {
     #[test]
     fn te_all_port_on_star_is_near_volume_bound() {
         let star = StarGraph::new(5).unwrap();
-        let r = te_all_port(&star, 1_000, 100_000).unwrap();
+        let r = te_all_port(&star, SMALL_NET_CAP, 100_000).unwrap();
         assert!(r.steps >= r.lower_bound);
         assert!(
             r.optimality_ratio() < 3.0,
@@ -210,7 +219,7 @@ mod tests {
             SuperCayleyGraph::macro_star(2, 2).unwrap(),
             SuperCayleyGraph::insertion_selection(5).unwrap(),
         ] {
-            let r = te_all_port(&host, 1_000, 100_000).unwrap();
+            let r = te_all_port(&host, SMALL_NET_CAP, 100_000).unwrap();
             assert!(r.steps >= r.lower_bound, "{}", r.network);
             assert!(r.optimality_ratio() < 4.0, "{}", r.network);
         }
@@ -221,8 +230,8 @@ mod tests {
         // Corollary 3's shape: the star (higher degree) has smaller mean
         // distance than MS(2,2) (lower degree) on the same node set, so its
         // SDC TE optimum is smaller.
-        let star = te_sdc(&StarGraph::new(5).unwrap(), 1_000).unwrap();
-        let ms = te_sdc(&SuperCayleyGraph::macro_star(2, 2).unwrap(), 1_000).unwrap();
+        let star = te_sdc(&StarGraph::new(5).unwrap(), SMALL_NET_CAP).unwrap();
+        let ms = te_sdc(&SuperCayleyGraph::macro_star(2, 2).unwrap(), SMALL_NET_CAP).unwrap();
         assert!(star.steps < ms.steps);
     }
 }

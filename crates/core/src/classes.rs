@@ -598,7 +598,8 @@ mod tests {
             } else {
                 SuperCayleyGraph::new(class, 2, 2).unwrap()
             };
-            let graph = net.to_graph(1_000).unwrap();
+            let mat = crate::topology::materialize(&net, crate::topology::SMALL_NET_CAP).unwrap();
+            let graph = mat.graph();
             assert_eq!(
                 net.generates_symmetric_group(),
                 graph.is_connected_from_zero(),
@@ -613,11 +614,11 @@ mod tests {
     fn all_classes_connected_beyond_materialization() {
         // …and certifies connectivity where BFS cannot go: k up to 19-20.
         for net in [
-            SuperCayleyGraph::macro_star(6, 3).unwrap(),         // k = 19
+            SuperCayleyGraph::macro_star(6, 3).unwrap(), // k = 19
             SuperCayleyGraph::complete_rotation_star(9, 2).unwrap(), // k = 19
-            SuperCayleyGraph::macro_rotator(4, 4).unwrap(),      // k = 17
-            SuperCayleyGraph::insertion_selection(20).unwrap(),  // k = 20
-            SuperCayleyGraph::rotation_is(6, 3).unwrap(),        // k = 19
+            SuperCayleyGraph::macro_rotator(4, 4).unwrap(), // k = 17
+            SuperCayleyGraph::insertion_selection(20).unwrap(), // k = 20
+            SuperCayleyGraph::rotation_is(6, 3).unwrap(), // k = 19
             SuperCayleyGraph::complete_rotation_rotator(9, 2).unwrap(),
         ] {
             assert!(net.generates_symmetric_group(), "{}", net.name());

@@ -40,14 +40,23 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             CoreError::InvalidParameters { l, n } => {
-                write!(f, "parameters l={l}, n={n} do not define this network class")
+                write!(
+                    f,
+                    "parameters l={l}, n={n} do not define this network class"
+                )
             }
             CoreError::Perm(e) => write!(f, "permutation error: {e}"),
             CoreError::DegreeMismatch { expected, found } => {
-                write!(f, "expected permutations of degree {expected}, found {found}")
+                write!(
+                    f,
+                    "expected permutations of degree {expected}, found {found}"
+                )
             }
             CoreError::TooLarge { num_nodes, cap } => {
-                write!(f, "network with {num_nodes} nodes exceeds materialization cap {cap}")
+                write!(
+                    f,
+                    "network with {num_nodes} nodes exceeds materialization cap {cap}"
+                )
             }
             CoreError::NoRoute => write!(f, "no routing strategy available"),
         }

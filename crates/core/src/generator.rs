@@ -94,7 +94,10 @@ impl Generator {
     pub fn exchange(i: usize, j: usize) -> Self {
         assert_ne!(i, j, "T_{{i,i}} is not a generator");
         let (i, j) = if i < j { (i, j) } else { (j, i) };
-        Generator::Exchange { i: i as u8, j: j as u8 }
+        Generator::Exchange {
+            i: i as u8,
+            j: j as u8,
+        }
     }
 
     /// `I_i`.
@@ -112,13 +115,19 @@ impl Generator {
     /// `S_{n,i}`.
     #[must_use]
     pub fn swap(n: usize, i: usize) -> Self {
-        Generator::Swap { n: n as u8, i: i as u8 }
+        Generator::Swap {
+            n: n as u8,
+            i: i as u8,
+        }
     }
 
     /// `R^i_n`, with `i` reduced modulo `l` (callers pass `1..l`).
     #[must_use]
     pub fn rotation(n: usize, i: usize) -> Self {
-        Generator::Rotation { n: n as u8, i: i as u8 }
+        Generator::Rotation {
+            n: n as u8,
+            i: i as u8,
+        }
     }
 
     /// Applies the generator to a node label, yielding the neighbor reached

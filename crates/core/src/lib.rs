@@ -55,6 +55,7 @@ mod generator;
 mod network;
 mod report;
 mod routing;
+mod topology;
 
 pub use classes::{
     apply_path, BubbleSortGraph, NucleusKind, ScgClass, StarGraph, SuperCayleyGraph, SuperKind,
@@ -70,3 +71,4 @@ pub use routing::{
     star_diameter, star_dimension_parts, star_distance, star_distance_between, star_route,
     star_sort_sequence, tn_distance, tn_sort_sequence, StarEmulation,
 };
+pub use topology::{materialize, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP};

@@ -53,6 +53,21 @@ pub trait CayleyNetwork {
             .collect()
     }
 
+    /// Visits every out-neighbor of `u` in generator order without
+    /// allocating: `f(g, v)` receives the generator index and the neighbor
+    /// label. This is the hot path the topology engine and the
+    /// materialization loops use; prefer it over
+    /// [`CayleyNetwork::neighbors`] in per-node loops.
+    ///
+    /// The callback is a `&mut dyn FnMut` so the trait stays object-safe
+    /// (communication schedules route through `Box<dyn CayleyNetwork>`).
+    fn for_each_neighbor(&self, u: &Perm, f: &mut dyn FnMut(usize, &Perm)) {
+        for (g, gen) in self.generators().iter().enumerate() {
+            let v = gen.apply(u).expect("validated generator");
+            f(g, &v);
+        }
+    }
+
     /// Whether the generator set is closed under inverses, i.e. the network
     /// can be viewed as an undirected graph.
     fn is_inverse_closed(&self) -> bool {
@@ -79,7 +94,13 @@ pub trait CayleyNetwork {
         scg_perm::StabilizerChain::new(&perms).is_symmetric_group()
     }
 
-    /// Materializes the network as a rank-indexed [`DenseGraph`].
+    /// Materializes the network as a rank-indexed [`DenseGraph`], rebuilding
+    /// from scratch on every call.
+    ///
+    /// Most callers should prefer the topology engine
+    /// ([`materialize`](crate::materialize)), which shares one cached graph
+    /// per network across the whole process; `to_graph` remains as the
+    /// uncached reference construction the engine is tested against.
     ///
     /// # Errors
     ///
@@ -91,12 +112,12 @@ pub trait CayleyNetwork {
             return Err(CoreError::TooLarge { num_nodes: n, cap });
         }
         let k = self.degree_k();
+        let mut out: Vec<NodeId> = Vec::with_capacity(self.node_degree());
         Ok(DenseGraph::from_neighbor_fn(n as usize, |u| {
             let label = Perm::from_rank(k, u64::from(u)).expect("rank below k!");
-            self.neighbors(&label)
-                .into_iter()
-                .map(|v| v.rank() as NodeId)
-                .collect()
+            out.clear();
+            self.for_each_neighbor(&label, &mut |_, v| out.push(v.rank() as NodeId));
+            out.clone()
         }))
     }
 

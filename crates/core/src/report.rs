@@ -8,6 +8,7 @@ use scg_graph::{looks_vertex_transitive, moore_diameter_lower_bound, DistanceSta
 
 use crate::error::CoreError;
 use crate::network::CayleyNetwork;
+use crate::topology::materialize;
 
 /// Measured topological properties of a network.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,9 +44,10 @@ impl NetworkReport {
     /// # Errors
     ///
     /// Returns [`CoreError::TooLarge`] if the network exceeds `cap` nodes.
-    pub fn measure(net: &impl CayleyNetwork, cap: u64) -> Result<Self, CoreError> {
-        let graph = net.to_graph(cap)?;
-        let stats = DistanceStats::single_source(&graph, 0);
+    pub fn measure(net: &(impl CayleyNetwork + ?Sized), cap: u64) -> Result<Self, CoreError> {
+        let mat = materialize(net, cap)?;
+        let graph = mat.graph();
+        let stats = DistanceStats::single_source(graph, 0);
         Ok(NetworkReport {
             name: net.name(),
             k: net.degree_k(),
@@ -55,7 +57,7 @@ impl NetworkReport {
             mean_distance: stats.mean,
             moore_bound: moore_diameter_lower_bound(net.node_degree() as u64, net.num_nodes()),
             inverse_closed: net.is_inverse_closed(),
-            transitive_check: looks_vertex_transitive(&graph, 8),
+            transitive_check: looks_vertex_transitive(graph, 8),
         })
     }
 }
@@ -72,8 +74,16 @@ impl fmt::Display for NetworkReport {
             self.diameter,
             self.mean_distance,
             self.moore_bound,
-            if self.inverse_closed { "undirected" } else { "directed  " },
-            if self.transitive_check { "transitive" } else { "NOT-TRANSITIVE" },
+            if self.inverse_closed {
+                "undirected"
+            } else {
+                "directed  "
+            },
+            if self.transitive_check {
+                "transitive"
+            } else {
+                "NOT-TRANSITIVE"
+            },
         )
     }
 }
@@ -82,10 +92,11 @@ impl fmt::Display for NetworkReport {
 mod tests {
     use super::*;
     use crate::classes::{StarGraph, SuperCayleyGraph};
+    use crate::topology::{DEFAULT_NET_CAP, SMALL_NET_CAP};
 
     #[test]
     fn star_5_report() {
-        let r = NetworkReport::measure(&StarGraph::new(5).unwrap(), 1_000).unwrap();
+        let r = NetworkReport::measure(&StarGraph::new(5).unwrap(), SMALL_NET_CAP).unwrap();
         assert_eq!(r.num_nodes, 120);
         assert_eq!(r.degree, 4);
         assert_eq!(r.diameter, 6); // ⌊3·4/2⌋
@@ -97,7 +108,7 @@ mod tests {
     #[test]
     fn macro_star_2_2_report() {
         let ms = SuperCayleyGraph::macro_star(2, 2).unwrap();
-        let r = NetworkReport::measure(&ms, 1_000).unwrap();
+        let r = NetworkReport::measure(&ms, SMALL_NET_CAP).unwrap();
         assert_eq!(r.num_nodes, 120);
         assert_eq!(r.degree, 3);
         assert!(r.transitive_check);
@@ -112,7 +123,7 @@ mod tests {
     fn too_large_is_rejected() {
         let ms = SuperCayleyGraph::macro_star(4, 3).unwrap(); // 13! nodes
         assert!(matches!(
-            NetworkReport::measure(&ms, 1_000_000),
+            NetworkReport::measure(&ms, DEFAULT_NET_CAP),
             Err(CoreError::TooLarge { .. })
         ));
     }
@@ -120,7 +131,7 @@ mod tests {
     #[test]
     fn rotator_report_is_directed_but_transitive() {
         let mr = SuperCayleyGraph::macro_rotator(2, 2).unwrap();
-        let r = NetworkReport::measure(&mr, 1_000).unwrap();
+        let r = NetworkReport::measure(&mr, SMALL_NET_CAP).unwrap();
         assert!(!r.inverse_closed);
         assert!(r.transitive_check);
     }

@@ -106,7 +106,10 @@ impl<'a> StarEmulation<'a> {
             NucleusKind::Insertion => {
                 // T_x = I_{x-1}^{-1} ∘ I_x and I_{x-1}^{-1} = I_{x-1}^{x-2}.
                 let mut seq = vec![Generator::insertion(x)];
-                seq.extend(std::iter::repeat_n(Generator::insertion(x - 1), x.saturating_sub(2)));
+                seq.extend(std::iter::repeat_n(
+                    Generator::insertion(x - 1),
+                    x.saturating_sub(2),
+                ));
                 seq
             }
         }
@@ -128,16 +131,10 @@ impl<'a> StarEmulation<'a> {
             SuperKind::Rotation => {
                 if back <= l - back {
                     // `back` steps of R^{-1} = R^{l-1}.
-                    (
-                        vec![Generator::rotation(n, l - 1); back],
-                        -(back as i64),
-                    )
+                    (vec![Generator::rotation(n, l - 1); back], -(back as i64))
                 } else {
                     // `l - back` steps of R.
-                    (
-                        vec![Generator::rotation(n, 1); l - back],
-                        (l - back) as i64,
-                    )
+                    (vec![Generator::rotation(n, 1); l - back], (l - back) as i64)
                 }
             }
             SuperKind::Swap | SuperKind::None => {
@@ -269,8 +266,7 @@ impl<'a> StarEmulation<'a> {
                     let l = self.l() as i64;
                     let (bring_i, amount_i) = self.rotate_slot_to_front(i1 + 1);
                     // Box j1+1 now sits in slot (j1 + amount) mod l + 1.
-                    let slot_j =
-                        ((j1 as i64 + amount_i).rem_euclid(l)) as usize + 1;
+                    let slot_j = ((j1 as i64 + amount_i).rem_euclid(l)) as usize + 1;
                     let (bring_j, amount_j) = self.rotate_slot_to_front(slot_j);
                     // Return box j1+1's trip, then undo everything.
                     seq.extend(bring_i);
@@ -323,7 +319,11 @@ mod tests {
             let via_host = apply_path(&u, &seq).unwrap();
             let direct = Generator::transposition(j).apply(&u).unwrap();
             assert_eq!(via_host, direct, "{} T_{j}", host.name());
-            assert!(seq.len() <= emu.star_dilation(), "{} T_{j} too long", host.name());
+            assert!(
+                seq.len() <= emu.star_dilation(),
+                "{} T_{j} too long",
+                host.name()
+            );
         }
     }
 
@@ -412,7 +412,11 @@ mod tests {
                 worst = worst.max(seq.len());
             }
         }
-        assert!(worst <= max_len, "{}: dilation {worst} > {max_len}", host.name());
+        assert!(
+            worst <= max_len,
+            "{}: dilation {worst} > {max_len}",
+            host.name()
+        );
     }
 
     #[test]

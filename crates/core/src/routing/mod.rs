@@ -7,8 +7,7 @@ mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
 pub use sort::{
-    bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance,
-    tn_sort_sequence,
+    bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,
 };
 pub use star_route::{
     star_diameter, star_distance, star_distance_between, star_route, star_sort_sequence,
@@ -136,11 +135,11 @@ pub fn bfs_route(
 mod tests {
     use super::*;
     use crate::classes::{apply_path, SuperCayleyGraph};
-    use rand::{Rng, SeedableRng};
+    use scg_perm::XorShift64;
 
     #[test]
     fn scg_route_reaches_destination() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = XorShift64::new(7);
         let hosts = [
             SuperCayleyGraph::macro_star(3, 2).unwrap(),
             SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(),
@@ -182,7 +181,7 @@ mod tests {
     #[test]
     fn bfs_route_is_shortest_on_star() {
         let star = crate::classes::StarGraph::new(5).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = XorShift64::new(11);
         for _ in 0..10 {
             let from = Perm::random(5, &mut rng);
             let to = Perm::random(5, &mut rng);
@@ -212,7 +211,7 @@ mod tests {
     #[test]
     fn bfs_route_cap_enforced() {
         let star = crate::classes::StarGraph::new(6).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = XorShift64::new(3);
         let from = Perm::random(6, &mut rng);
         let mut to = Perm::random(6, &mut rng);
         while to == from {
@@ -229,7 +228,7 @@ mod tests {
         // Sanity: emulation-based routing is never better than exact BFS and
         // never worse than dilation × star distance.
         let host = SuperCayleyGraph::macro_star(2, 2).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = XorShift64::new(5);
         for _ in 0..10 {
             let from = Perm::random(5, &mut rng);
             let to = Perm::random(5, &mut rng);
@@ -237,6 +236,5 @@ mod tests {
             let bfs_len = bfs_route(&host, &from, &to, 1_000_000).unwrap().len();
             assert!(bfs_len <= emu_len);
         }
-        let _ = rng.gen::<u8>();
     }
 }

@@ -118,7 +118,8 @@ mod tests {
     #[test]
     fn tn_distance_matches_bfs() {
         let tn = crate::classes::TranspositionNetwork::new(5).unwrap();
-        let g = crate::network::CayleyNetwork::to_graph(&tn, 1_000).unwrap();
+        let g = crate::topology::materialize(&tn, crate::topology::SMALL_NET_CAP).unwrap();
+        let g = g.graph();
         let dist = g.bfs_distances(0);
         for p in Permutations::lexicographic(5) {
             assert_eq!(dist[p.rank() as usize], tn_distance(&p), "perm {p}");
@@ -139,7 +140,8 @@ mod tests {
     #[test]
     fn bubble_distance_matches_bfs() {
         let bs = crate::classes::BubbleSortGraph::new(5).unwrap();
-        let g = crate::network::CayleyNetwork::to_graph(&bs, 1_000).unwrap();
+        let g = crate::topology::materialize(&bs, crate::topology::SMALL_NET_CAP).unwrap();
+        let g = g.graph();
         let dist = g.bfs_distances(0);
         for p in Permutations::lexicographic(5) {
             assert_eq!(dist[p.rank() as usize], bubble_distance(&p), "perm {p}");
@@ -154,9 +156,7 @@ mod tests {
                 assert!(apply_path(&p, &seq).unwrap().is_identity(), "perm {p}");
                 assert!(seq.len() <= k * (k + 1) / 2, "perm {p}");
                 // Only insertion generators are used.
-                assert!(seq
-                    .iter()
-                    .all(|g| matches!(g, Generator::Insertion { .. })));
+                assert!(seq.iter().all(|g| matches!(g, Generator::Insertion { .. })));
             }
         }
     }

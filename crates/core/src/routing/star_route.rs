@@ -94,7 +94,7 @@ pub fn star_route(from: &Perm, to: &Perm) -> Vec<Generator> {
 mod tests {
     use super::*;
     use crate::classes::{apply_path, StarGraph};
-    use crate::network::CayleyNetwork;
+
     use scg_perm::{factorial, Permutations};
 
     #[test]
@@ -126,17 +126,14 @@ mod tests {
         // The closed form must equal true graph distance; verify on the
         // 6-star (720 nodes) against BFS from the identity.
         let star = StarGraph::new(6).unwrap();
-        let g = star.to_graph(1_000_000).unwrap();
+        let g = crate::topology::materialize(&star, crate::topology::DEFAULT_NET_CAP).unwrap();
+        let g = g.graph();
         let dist = g.bfs_distances(Perm::identity(6).rank() as u32);
         for r in 0..factorial(6) {
             let p = Perm::from_rank(6, r).unwrap();
             // BFS gives distance identity→p; star graphs are undirected and
             // distance is symmetric under inversion symmetry.
-            assert_eq!(
-                dist[r as usize],
-                star_distance(&p),
-                "rank {r} label {p}"
-            );
+            assert_eq!(dist[r as usize], star_distance(&p), "rank {r} label {p}");
         }
     }
 
@@ -144,8 +141,9 @@ mod tests {
     fn diameter_formula_matches_measured() {
         for k in 2..=6 {
             let star = StarGraph::new(k).unwrap();
-            let g = star.to_graph(1_000_000).unwrap();
-            let stats = scg_graph::DistanceStats::single_source(&g, 0);
+            let g = crate::topology::materialize(&star, crate::topology::DEFAULT_NET_CAP).unwrap();
+            let g = g.graph();
+            let stats = scg_graph::DistanceStats::single_source(g, 0);
             assert_eq!(stats.diameter, star_diameter(k), "k = {k}");
         }
     }

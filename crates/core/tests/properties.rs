@@ -1,98 +1,103 @@
-//! Property-based tests for generator algebra and routing.
+//! Randomized tests for generator algebra and routing. Driven by the
+//! vendored deterministic PRNG (the workspace builds offline, so `proptest`
+//! is not available).
 
-use proptest::prelude::*;
 use scg_core::{
-    apply_path, scg_route, star_distance, star_distance_between, star_route,
-    star_sort_sequence, CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph,
+    apply_path, scg_route, star_distance, star_distance_between, star_route, star_sort_sequence,
+    CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph,
 };
-use scg_perm::{factorial, Perm};
+use scg_perm::{factorial, Perm, XorShift64};
 
-fn arb_perm(k: usize) -> impl Strategy<Value = Perm> {
-    (0..factorial(k)).prop_map(move |r| Perm::from_rank(k, r).expect("rank in range"))
+fn rand_perm(k: usize, rng: &mut XorShift64) -> Perm {
+    Perm::from_rank(k, rng.gen_range_u64(factorial(k))).expect("rank in range")
 }
 
 /// Small (l, n) pairs for super Cayley hosts with k = nl + 1 <= 9.
-fn arb_shape() -> impl Strategy<Value = (usize, usize)> {
-    prop_oneof![
-        Just((2usize, 2usize)),
-        Just((2, 3)),
-        Just((3, 2)),
-        Just((2, 4)),
-        Just((4, 2)),
-    ]
+const SHAPES: [(usize, usize); 5] = [(2, 2), (2, 3), (3, 2), (2, 4), (4, 2)];
+
+#[test]
+fn star_route_is_optimal_and_correct() {
+    let mut rng = XorShift64::new(71);
+    for _ in 0..64 {
+        let k = 2 + rng.gen_range(7);
+        let from = rand_perm(k, &mut rng);
+        let to = rand_perm(k, &mut rng);
+        let path = star_route(&from, &to);
+        assert_eq!(apply_path(&from, &path).unwrap(), to);
+        assert_eq!(path.len() as u32, star_distance_between(&from, &to));
+        // Triangle inequality against any midpoint label via sort sequences.
+        assert!(star_distance(&from) <= star_distance(&to) + path.len() as u32);
+    }
 }
 
-proptest! {
-    #[test]
-    fn star_route_is_optimal_and_correct(
-        (from, to) in (2usize..=8).prop_flat_map(|k| (arb_perm(k), arb_perm(k)))
-    ) {
-        let path = star_route(&from, &to);
-        prop_assert_eq!(apply_path(&from, &path).unwrap(), to);
-        prop_assert_eq!(path.len() as u32, star_distance_between(&from, &to));
-        // Triangle inequality against any midpoint label via sort sequences.
-        prop_assert!(star_distance(&from) <= star_distance(&to) + path.len() as u32);
-    }
-
-    #[test]
-    fn sort_sequence_uses_only_star_generators(p in (2usize..=8).prop_flat_map(arb_perm)) {
+#[test]
+fn sort_sequence_uses_only_star_generators() {
+    let mut rng = XorShift64::new(72);
+    for _ in 0..64 {
+        let k = 2 + rng.gen_range(7);
+        let p = rand_perm(k, &mut rng);
         for g in star_sort_sequence(&p) {
-            let is_transposition = matches!(g, Generator::Transposition { .. });
-            prop_assert!(is_transposition);
+            assert!(matches!(g, Generator::Transposition { .. }));
         }
     }
+}
 
-    #[test]
-    fn star_expansion_commutes_with_any_start(
-        ((l, n), seed) in (arb_shape(), any::<u64>())
-    ) {
+#[test]
+fn star_expansion_commutes_with_any_start() {
+    let mut rng = XorShift64::new(73);
+    for (l, n) in SHAPES {
         let k = l * n + 1;
-        let u = Perm::from_rank(k, seed % factorial(k)).unwrap();
-        for host in [
-            SuperCayleyGraph::macro_star(l, n).unwrap(),
-            SuperCayleyGraph::complete_rotation_star(l, n).unwrap(),
-            SuperCayleyGraph::macro_is(l, n).unwrap(),
-            SuperCayleyGraph::rotation_is(l, n).unwrap(),
-        ] {
-            let emu = StarEmulation::new(&host).unwrap();
-            for j in 2..=k {
-                let seq = emu.expand_star_link(j).unwrap();
-                prop_assert_eq!(
-                    apply_path(&u, &seq).unwrap(),
-                    Generator::transposition(j).apply(&u).unwrap(),
-                    "host {} link {}", host.name(), j
-                );
+        for _ in 0..4 {
+            let u = rand_perm(k, &mut rng);
+            for host in [
+                SuperCayleyGraph::macro_star(l, n).unwrap(),
+                SuperCayleyGraph::complete_rotation_star(l, n).unwrap(),
+                SuperCayleyGraph::macro_is(l, n).unwrap(),
+                SuperCayleyGraph::rotation_is(l, n).unwrap(),
+            ] {
+                let emu = StarEmulation::new(&host).unwrap();
+                for j in 2..=k {
+                    let seq = emu.expand_star_link(j).unwrap();
+                    assert_eq!(
+                        apply_path(&u, &seq).unwrap(),
+                        Generator::transposition(j).apply(&u).unwrap(),
+                        "host {} link {}",
+                        host.name(),
+                        j
+                    );
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn scg_route_endpoint_and_bound(
-        ((l, n), a, b) in arb_shape().prop_flat_map(|(l, n)| {
-            let k = l * n + 1;
-            (Just((l, n)), 0..factorial(k), 0..factorial(k))
-        })
-    ) {
+#[test]
+fn scg_route_endpoint_and_bound() {
+    let mut rng = XorShift64::new(74);
+    for (l, n) in SHAPES {
         let k = l * n + 1;
-        let from = Perm::from_rank(k, a).unwrap();
-        let to = Perm::from_rank(k, b).unwrap();
         let host = SuperCayleyGraph::macro_star(l, n).unwrap();
-        let path = scg_route(&host, &from, &to).unwrap();
-        prop_assert_eq!(apply_path(&from, &path).unwrap(), to);
         let emu = StarEmulation::new(&host).unwrap();
-        prop_assert!(
-            path.len() as u32 <= emu.star_dilation() as u32 * star_distance_between(&from, &to)
-        );
-        // Every link on the path is a defined host generator.
-        for g in &path {
-            prop_assert!(host.generators().contains(g));
+        for _ in 0..8 {
+            let from = rand_perm(k, &mut rng);
+            let to = rand_perm(k, &mut rng);
+            let path = scg_route(&host, &from, &to).unwrap();
+            assert_eq!(apply_path(&from, &path).unwrap(), to);
+            assert!(
+                path.len() as u32 <= emu.star_dilation() as u32 * star_distance_between(&from, &to)
+            );
+            // Every link on the path is a defined host generator.
+            for g in &path {
+                assert!(host.generators().contains(g));
+            }
         }
     }
+}
 
-    #[test]
-    fn tn_expansion_correct_for_random_pairs(
-        (host_pick, seed, pair) in (0usize..4, any::<u64>(), any::<u64>())
-    ) {
+#[test]
+fn tn_expansion_correct_for_random_pairs() {
+    let mut rng = XorShift64::new(75);
+    for host_pick in 0usize..4 {
         let host = match host_pick {
             0 => SuperCayleyGraph::macro_star(3, 2).unwrap(),
             1 => SuperCayleyGraph::complete_rotation_star(3, 2).unwrap(),
@@ -100,15 +105,20 @@ proptest! {
             _ => SuperCayleyGraph::insertion_selection(7).unwrap(),
         };
         let k = host.degree_k();
-        let u = Perm::from_rank(k, seed % factorial(k)).unwrap();
-        let i = 1 + (pair % (k as u64 - 1)) as usize;
-        let j = i + 1 + ((pair / 31) % (k - i) as u64) as usize;
         let emu = StarEmulation::new(&host).unwrap();
-        let seq = emu.expand_tn_link(i, j).unwrap();
-        prop_assert_eq!(
-            apply_path(&u, &seq).unwrap(),
-            Generator::exchange(i, j).apply(&u).unwrap(),
-            "host {} pair ({}, {})", host.name(), i, j
-        );
+        for _ in 0..16 {
+            let u = rand_perm(k, &mut rng);
+            let i = 1 + rng.gen_range(k - 1);
+            let j = i + 1 + rng.gen_range(k - i);
+            let seq = emu.expand_tn_link(i, j).unwrap();
+            assert_eq!(
+                apply_path(&u, &seq).unwrap(),
+                Generator::exchange(i, j).apply(&u).unwrap(),
+                "host {} pair ({}, {})",
+                host.name(),
+                i,
+                j
+            );
+        }
     }
 }

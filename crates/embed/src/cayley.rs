@@ -6,9 +6,8 @@
 //! labels (load 1, expansion 1), and each guest link expands into the host
 //! generator sequence given by [`StarEmulation`].
 
-use scg_core::{CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph};
+use scg_core::{materialize, CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph};
 use scg_graph::NodeId;
-use scg_perm::Perm;
 
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
@@ -66,9 +65,29 @@ impl CayleyEmbedding {
             };
             expansions.push(seq);
         }
-        let guest_graph = guest.to_graph(cap)?;
-        let host_graph = host.to_graph(cap)?;
+        // Both endpoints come from the shared topology cache: the graphs and
+        // rank tables are built once per network and shared across layers.
+        let guest_mat = materialize(guest, cap)?;
+        let host_mat = materialize(host, cap)?;
+        let guest_graph = guest_mat.graph();
         let node_map: Vec<NodeId> = (0..guest_graph.num_nodes() as NodeId).collect();
+
+        // Resolve each expansion to host generator *indices* so walking a
+        // path is pure table lookups — no permutation arithmetic per edge.
+        let host_gens = host.generators();
+        let expansion_indices: Vec<Vec<usize>> = expansions
+            .iter()
+            .map(|seq| {
+                seq.iter()
+                    .map(|hg| {
+                        host_gens
+                            .iter()
+                            .position(|g| g == hg)
+                            .expect("expansion uses host generators")
+                    })
+                    .collect()
+            })
+            .collect();
 
         // Guest CSR edges are sorted by target rank, not by generator; for
         // each edge recover which generator produced it (distinct generators
@@ -76,29 +95,27 @@ impl CayleyEmbedding {
         let mut edge_paths = Vec::with_capacity(guest_graph.num_edges());
         let mut edge_generator = Vec::with_capacity(guest_graph.num_edges());
         for u in 0..guest_graph.num_nodes() as NodeId {
-            let label = Perm::from_rank(k, u64::from(u)).expect("rank below k!");
-            // Neighbor rank per generator, for matching.
-            let neigh: Vec<u64> = guest_generators
-                .iter()
-                .map(|g| g.apply(&label).expect("validated generator").rank())
-                .collect();
             for &v in guest_graph.out_neighbors(u) {
-                let gi = neigh
-                    .iter()
-                    .position(|&r| r == u64::from(v))
+                let gi = (0..guest_generators.len())
+                    .position(|g| guest_mat.neighbor_id(u, g) == v)
                     .expect("every guest edge comes from a generator");
-                // Walk the expansion from `label`.
+                // Walk the expansion from `u` through the host tables.
                 let mut path = vec![u];
-                let mut cur = label;
-                for hg in &expansions[gi] {
-                    cur = hg.apply(&cur).expect("validated host generator");
-                    path.push(cur.rank() as NodeId);
+                let mut cur = u;
+                for &hgi in &expansion_indices[gi] {
+                    cur = host_mat.neighbor_id(cur, hgi);
+                    path.push(cur);
                 }
                 edge_paths.push(path);
                 edge_generator.push(gi);
             }
         }
-        let embedding = Embedding::new(guest_graph, host_graph, node_map, edge_paths)?;
+        let embedding = Embedding::new(
+            guest_graph.clone(),
+            host_mat.graph().clone(),
+            node_map,
+            edge_paths,
+        )?;
         Ok(CayleyEmbedding {
             embedding,
             edge_generator,
@@ -163,7 +180,9 @@ mod tests {
         assert_eq!(e.congestion(), 4);
         // Per-dimension congestion: 1 for j <= n+1, 2 beyond.
         for (gi, g) in ce.guest_generators().iter().enumerate() {
-            let Generator::Transposition { i } = g else { unreachable!() };
+            let Generator::Transposition { i } = g else {
+                unreachable!()
+            };
             let expected = if (*i as usize) <= 3 { 1 } else { 2 };
             assert_eq!(ce.congestion_of_dimension(gi), expected, "dim {i}");
         }
@@ -213,7 +232,10 @@ mod tests {
         let host3 = SuperCayleyGraph::macro_star(3, 2).unwrap();
         let tn7 = TranspositionNetwork::new(7).unwrap();
         let ce3 = CayleyEmbedding::build(&tn7, &host3, CAP).unwrap();
-        assert!(ce3.embedding().dilation() <= 7, "l >= 3 dilation must be <= 7");
+        assert!(
+            ce3.embedding().dilation() <= 7,
+            "l >= 3 dilation must be <= 7"
+        );
         assert_eq!(ce3.embedding().dilation(), 7); // tight at case 6
     }
 

@@ -8,7 +8,7 @@
 //! embedding of the `d`-cube into the `k`-TN — and compose it through the
 //! Theorem 6/7 machinery (substitution documented in DESIGN.md).
 
-use scg_core::{CayleyNetwork, Generator, SuperCayleyGraph, TranspositionNetwork};
+use scg_core::{materialize, CayleyNetwork, Generator, SuperCayleyGraph, TranspositionNetwork};
 use scg_graph::NodeId;
 use scg_perm::Perm;
 
@@ -35,7 +35,7 @@ pub fn cube_dimension_for(k: usize) -> u32 {
 ///   within `cap` nodes.
 pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
     let tn = TranspositionNetwork::new(k)?;
-    let host = tn.to_graph(cap)?;
+    let host = materialize(&tn, cap)?.graph().clone();
     let d = cube_dimension_for(k);
     let guest = scg_core::hypercube(d);
     let node_map: Vec<NodeId> = (0..guest.num_nodes() as u64)
@@ -82,7 +82,7 @@ pub fn hypercube_into_scg(host: &SuperCayleyGraph, cap: u64) -> Result<Embedding
 /// * [`EmbedError::Core`] — invalid `k` or star too large within `cap`.
 pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
     let star = scg_core::StarGraph::new(k)?;
-    let host = star.to_graph(cap)?;
+    let host = materialize(&star, cap)?.graph().clone();
     let d = cube_dimension_for(k);
     let guest = scg_core::hypercube(d);
     let label_of = |bits: u64| {

@@ -1,5 +1,7 @@
 //! The embedding data structure and its quality metrics.
 
+use std::sync::Arc;
+
 use scg_graph::{DenseGraph, NodeId};
 
 use crate::error::EmbedError;
@@ -37,8 +39,8 @@ use crate::error::EmbedError;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Embedding {
-    guest: DenseGraph,
-    host: DenseGraph,
+    guest: Arc<DenseGraph>,
+    host: Arc<DenseGraph>,
     node_map: Vec<NodeId>,
     edge_paths: Vec<Vec<NodeId>>,
 }
@@ -57,20 +59,18 @@ impl Embedding {
     /// * [`EmbedError::InvalidPath`] — a path is empty, has wrong endpoints,
     ///   or leaves the host's adjacency.
     pub fn new(
-        guest: DenseGraph,
-        host: DenseGraph,
+        guest: impl Into<Arc<DenseGraph>>,
+        host: impl Into<Arc<DenseGraph>>,
         node_map: Vec<NodeId>,
         edge_paths: Vec<Vec<NodeId>>,
     ) -> Result<Self, EmbedError> {
+        let (guest, host) = (guest.into(), host.into());
         if node_map.len() != guest.num_nodes() {
             return Err(EmbedError::InvalidMap {
                 reason: "node map length differs from guest order",
             });
         }
-        if node_map
-            .iter()
-            .any(|&h| h as usize >= host.num_nodes())
-        {
+        if node_map.iter().any(|&h| h as usize >= host.num_nodes()) {
             return Err(EmbedError::InvalidMap {
                 reason: "node map target out of host range",
             });
@@ -109,6 +109,12 @@ impl Embedding {
     /// The host graph.
     #[must_use]
     pub fn host(&self) -> &DenseGraph {
+        &self.host
+    }
+
+    /// The shared host graph handle (clone to keep it alive cheaply).
+    #[must_use]
+    pub fn host_arc(&self) -> &Arc<DenseGraph> {
         &self.host
     }
 
@@ -215,7 +221,7 @@ impl Embedding {
     /// structurally equal to `self`'s host (same graph required), and
     /// propagates validation failures.
     pub fn compose(&self, inner: &Embedding) -> Result<Embedding, EmbedError> {
-        if inner.guest != self.host {
+        if *inner.guest != *self.host {
             return Err(EmbedError::Unsupported {
                 reason: "composition requires inner.guest == outer.host".into(),
             });
@@ -238,12 +244,7 @@ impl Embedding {
             }
             edge_paths.push(out);
         }
-        Embedding::new(
-            self.guest.clone(),
-            inner.host.clone(),
-            node_map,
-            edge_paths,
-        )
+        Embedding::new(self.guest.clone(), inner.host.clone(), node_map, edge_paths)
     }
 
     /// Builds an embedding from a node map alone, routing every guest edge
@@ -255,10 +256,11 @@ impl Embedding {
     /// * [`EmbedError::InvalidMap`] — map malformed;
     /// * [`EmbedError::Unsupported`] — some mapped pair is disconnected.
     pub fn from_node_map(
-        guest: DenseGraph,
-        host: DenseGraph,
+        guest: impl Into<Arc<DenseGraph>>,
+        host: impl Into<Arc<DenseGraph>>,
         node_map: Vec<NodeId>,
     ) -> Result<Embedding, EmbedError> {
+        let (guest, host) = (guest.into(), host.into());
         if node_map.len() != guest.num_nodes() {
             return Err(EmbedError::InvalidMap {
                 reason: "node map length differs from guest order",
@@ -270,9 +272,7 @@ impl Embedding {
             std::collections::HashMap::new();
         for (u, v) in guest.edges() {
             let (hu, hv) = (node_map[u as usize], node_map[v as usize]);
-            let parents = cache
-                .entry(hu)
-                .or_insert_with(|| host.bfs_parents(hu));
+            let parents = cache.entry(hu).or_insert_with(|| host.bfs_parents(hu));
             if hu == hv {
                 edge_paths.push(vec![hu]);
                 continue;
@@ -337,7 +337,12 @@ mod tests {
         );
         assert!(matches!(bad, Err(EmbedError::InvalidPath { .. })));
         // Non-adjacent hop.
-        let bad2 = Embedding::new(g.clone(), h.clone(), vec![0, 2], vec![vec![0, 2], vec![2, 0]]);
+        let bad2 = Embedding::new(
+            g.clone(),
+            h.clone(),
+            vec![0, 2],
+            vec![vec![0, 2], vec![2, 0]],
+        );
         assert!(matches!(bad2, Err(EmbedError::InvalidPath { .. })));
         // Wrong map length.
         let bad3 = Embedding::new(g, h, vec![0], vec![]);
@@ -368,8 +373,7 @@ mod tests {
         // (dilation 2) → composed dilation ≤ 4.
         let guest = linear_array(2);
         let mid = ring(4);
-        let outer =
-            Embedding::from_node_map(guest, mid.clone(), vec![0, 2]).unwrap();
+        let outer = Embedding::from_node_map(guest, mid.clone(), vec![0, 2]).unwrap();
         let host = ring(8);
         let inner = Embedding::from_node_map(mid, host, vec![0, 2, 4, 6]).unwrap();
         let composed = outer.compose(&inner).unwrap();
@@ -383,8 +387,7 @@ mod tests {
         let mid = ring(4);
         let outer = Embedding::from_node_map(guest, mid, vec![0, 2]).unwrap();
         let other_mid = ring(5);
-        let inner =
-            Embedding::from_node_map(other_mid, ring(10), vec![0, 2, 4, 6, 8]).unwrap();
+        let inner = Embedding::from_node_map(other_mid, ring(10), vec![0, 2, 4, 6, 8]).unwrap();
         assert!(matches!(
             outer.compose(&inner),
             Err(EmbedError::Unsupported { .. })

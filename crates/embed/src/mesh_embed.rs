@@ -21,7 +21,7 @@
 //! constant-dilation conclusions are unaffected.)
 
 use scg_core::{
-    CayleyNetwork, Generator, StarGraph, SuperCayleyGraph, TranspositionNetwork,
+    materialize, CayleyNetwork, Generator, StarGraph, SuperCayleyGraph, TranspositionNetwork,
 };
 use scg_graph::{hamiltonian_path, NodeId, SearchBudget};
 use scg_perm::{factorial, MixedRadix, Perm};
@@ -83,7 +83,7 @@ pub fn linear_array_into_star(
     budget: &mut SearchBudget,
 ) -> Result<Embedding, EmbedError> {
     let star = StarGraph::new(k)?;
-    let host = star.to_graph(cap)?;
+    let host = materialize(&star, cap)?.graph().clone();
     let path = match hamiltonian_path(&host, 0, budget) {
         Ok(Some(p)) => p,
         Ok(None) => {
@@ -91,9 +91,7 @@ pub fn linear_array_into_star(
                 reason: format!("no Hamiltonian path from identity in {k}-star"),
             })
         }
-        Err(scg_graph::GraphError::BudgetExhausted) => {
-            return Err(EmbedError::SearchInconclusive)
-        }
+        Err(scg_graph::GraphError::BudgetExhausted) => return Err(EmbedError::SearchInconclusive),
         Err(e) => return Err(e.into()),
     };
     let guest = scg_core::linear_array(path.len());
@@ -115,7 +113,7 @@ fn mesh_embedding_from_digit_map(
     digits_of: impl Fn(u64) -> Vec<u64>,
 ) -> Result<Embedding, EmbedError> {
     let tn = TranspositionNetwork::new(k)?;
-    let host = tn.to_graph(cap)?;
+    let host = materialize(&tn, cap)?.graph().clone();
     let labels: Vec<Perm> = (0..guest.num_nodes() as u64)
         .map(|x| factorial_coords_to_perm(&digits_of(x), k))
         .collect();
@@ -207,10 +205,7 @@ pub fn mesh2d_into_tn(k: usize, row_dims: &[usize], cap: u64) -> Result<Embeddin
 /// # Errors
 ///
 /// As [`factorial_mesh_into_tn`] plus [`CayleyEmbedding::build`] failures.
-pub fn factorial_mesh_into_scg(
-    host: &SuperCayleyGraph,
-    cap: u64,
-) -> Result<Embedding, EmbedError> {
+pub fn factorial_mesh_into_scg(host: &SuperCayleyGraph, cap: u64) -> Result<Embedding, EmbedError> {
     let k = host.degree_k();
     let mesh_in_tn = factorial_mesh_into_tn(k, cap)?;
     let tn = TranspositionNetwork::new(k)?;

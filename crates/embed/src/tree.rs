@@ -8,7 +8,7 @@
 //! `k = 5` — and supply the composition machinery the corollary actually
 //! contributes.
 
-use scg_core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+use scg_core::{materialize, CayleyNetwork, StarGraph, SuperCayleyGraph, DEFAULT_NET_CAP};
 use scg_graph::{complete_binary_tree, embed_tree_randomized, NodeId, SearchBudget};
 
 use crate::cayley::CayleyEmbedding;
@@ -30,23 +30,28 @@ pub fn tree_into_star(
     budget: &mut SearchBudget,
 ) -> Result<Embedding, EmbedError> {
     let star = StarGraph::new(k)?;
-    let host = star.to_graph(1_000_000)?;
+    let host = materialize(&star, DEFAULT_NET_CAP)?.graph().clone();
     let guest = complete_binary_tree(height);
     // Randomized candidate ordering with restarts: the deterministic
     // lexicographic order hits pathological corners (the height-5 tree in
     // the 5-star takes > 2x10^9 steps deterministically but ~100 us with a
     // perturbed order).
     let restarts = 32;
-    let map = match embed_tree_randomized(&guest, &host, 0, 0, restarts, budget.remaining() / u64::from(restarts.max(1))) {
+    let map = match embed_tree_randomized(
+        &guest,
+        &host,
+        0,
+        0,
+        restarts,
+        budget.remaining() / u64::from(restarts.max(1)),
+    ) {
         Ok(Some(map)) => map,
         Ok(None) => {
             return Err(EmbedError::Unsupported {
                 reason: format!("no dilation-1 embedding of height-{height} tree in {k}-star"),
             })
         }
-        Err(scg_graph::GraphError::BudgetExhausted) => {
-            return Err(EmbedError::SearchInconclusive)
-        }
+        Err(scg_graph::GraphError::BudgetExhausted) => return Err(EmbedError::SearchInconclusive),
         Err(e) => return Err(e.into()),
     };
     let paths: Vec<Vec<NodeId>> = guest
@@ -72,7 +77,7 @@ pub fn tree_into_scg(
     let k = host.degree_k();
     let into_star = tree_into_star(height, k, budget)?;
     let star = StarGraph::new(k)?;
-    let star_into_host = CayleyEmbedding::build(&star, host, 1_000_000)?;
+    let star_into_host = CayleyEmbedding::build(&star, host, DEFAULT_NET_CAP)?;
     into_star.compose(star_into_host.embedding())
 }
 

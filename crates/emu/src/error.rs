@@ -32,7 +32,10 @@ impl fmt::Display for EmuError {
         match self {
             EmuError::Core(e) => write!(f, "network error: {e}"),
             EmuError::ScheduleNotFound { makespan_limit } => {
-                write!(f, "no conflict-free schedule within makespan {makespan_limit}")
+                write!(
+                    f,
+                    "no conflict-free schedule within makespan {makespan_limit}"
+                )
             }
             EmuError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
             EmuError::SimOutOfRange { reason } => write!(f, "simulator misuse: {reason}"),

@@ -26,8 +26,7 @@
 use std::fmt::Write as _;
 
 use scg_core::{
-    apply_path, CayleyNetwork, Generator, NucleusKind, ScgClass, StarEmulation,
-    SuperCayleyGraph,
+    apply_path, CayleyNetwork, Generator, NucleusKind, ScgClass, StarEmulation, SuperCayleyGraph,
 };
 use scg_perm::Perm;
 
@@ -195,7 +194,15 @@ impl AllPortSchedule {
             let mut busy = vec![vec![false; makespan + 1]; links.len()];
             let mut times: Vec<Vec<usize>> = paths.iter().map(|(_, p)| vec![0; p.len()]).collect();
             let mut budget = 20_000_000u64;
-            if dfs(&paths, &order, 0, makespan, &mut busy, &mut times, &mut budget) {
+            if dfs(
+                &paths,
+                &order,
+                0,
+                makespan,
+                &mut busy,
+                &mut times,
+                &mut budget,
+            ) {
                 let mut dims: Vec<DimSchedule> = paths
                     .iter()
                     .zip(&times)
@@ -250,14 +257,15 @@ impl AllPortSchedule {
         }
         if n < 2 || (l > n + 1 && (l - 1) % n != 0) {
             return Err(EmuError::InvalidSchedule {
-                reason: format!("paper-form schedule covers l <= n+1 or l = rn+1; got l={l}, n={n}"),
+                reason: format!(
+                    "paper-form schedule covers l <= n+1 or l = rn+1; got l={l}, n={n}"
+                ),
             });
         }
         let k = host.degree_k();
         let links: Vec<Generator> = host.generators().to_vec();
-        let link_index = |g: Generator| -> usize {
-            links.iter().position(|h| *h == g).expect("host generator")
-        };
+        let link_index =
+            |g: Generator| -> usize { links.iter().position(|h| *h == g).expect("host generator") };
         let bring = |i: usize| -> Generator {
             match class {
                 ScgClass::MacroStar => Generator::swap(n, i),
@@ -271,9 +279,7 @@ impl AllPortSchedule {
             }
         };
         // Solves `t ≡ target (mod n)` within the window `[lo, lo + n - 1]`.
-        let in_window = |target: usize, lo: usize| -> usize {
-            lo + (target + 2 * n * k - lo) % n
-        };
+        let in_window = |target: usize, lo: usize| -> usize { lo + (target + 2 * n * k - lo) % n };
         let mut dims = Vec::with_capacity(k - 1);
         for j in 2..=k {
             let (j0, j1) = scg_core::star_dimension_parts(j, n);
@@ -289,7 +295,7 @@ impl AllPortSchedule {
             }
             let i = j1 + 1; // box index
             let s = (i - 2) / n; // block index
-            // Forward B_i at t ≡ j0 + 3 − i (mod n), t ∈ [1, n].
+                                 // Forward B_i at t ≡ j0 + 3 − i (mod n), t ∈ [1, n].
             let t_f = in_window(j0 + 3 + 2 * n * k - i, 1);
             // Exchange T_{j0+2} at t ≡ j0 + 4 − i (mod n), t ∈ [sn+2, sn+n+1].
             let t_x = in_window(j0 + 4 + 2 * n * k - i, s * n + 2);
@@ -298,12 +304,18 @@ impl AllPortSchedule {
             dims.push(DimSchedule {
                 dimension: j,
                 hops: vec![
-                    ScheduledHop { time: t_f, link: link_index(bring(i)) },
+                    ScheduledHop {
+                        time: t_f,
+                        link: link_index(bring(i)),
+                    },
                     ScheduledHop {
                         time: t_x,
                         link: link_index(Generator::transposition(j0 + 2)),
                     },
-                    ScheduledHop { time: t_b, link: link_index(unbring(i)) },
+                    ScheduledHop {
+                        time: t_b,
+                        link: link_index(unbring(i)),
+                    },
                 ],
             });
         }
@@ -635,7 +647,18 @@ fn dfs(
     *budget -= 1;
     let di = order[idx];
     let path = &paths[di].1;
-    assign_chain(paths, order, idx, 0, 0, makespan, busy, times, budget, path.len())
+    assign_chain(
+        paths,
+        order,
+        idx,
+        0,
+        0,
+        makespan,
+        busy,
+        times,
+        budget,
+        path.len(),
+    )
 }
 
 /// Assigns hop `h` of dimension `order[idx]` to the earliest feasible times,
@@ -670,7 +693,16 @@ fn assign_chain(
         busy[link][t] = true;
         times[di][h] = t;
         if assign_chain(
-            paths, order, idx, h + 1, t, makespan, busy, times, budget, path_len,
+            paths,
+            order,
+            idx,
+            h + 1,
+            t,
+            makespan,
+            busy,
+            times,
+            budget,
+            path_len,
         ) {
             return true;
         }
@@ -695,7 +727,16 @@ mod tests {
 
     #[test]
     fn theorem_4_macro_star_grid() {
-        for (l, n) in [(2, 2), (3, 2), (2, 3), (3, 3), (4, 3), (5, 3), (4, 2), (2, 4)] {
+        for (l, n) in [
+            (2, 2),
+            (3, 2),
+            (2, 3),
+            (3, 3),
+            (4, 3),
+            (5, 3),
+            (4, 2),
+            (2, 4),
+        ] {
             check_bound(&SuperCayleyGraph::macro_star(l, n).unwrap());
         }
     }
@@ -775,7 +816,17 @@ mod tests {
         // l = rn + 1 shapes plus the l <= n+1 reductions — the exact family
         // Theorem 4's proof constructs. Makespan must equal max(2n, l+1)
         // and agree with the general scheduler (ablation).
-        for (l, n) in [(3usize, 2usize), (5, 2), (7, 2), (4, 3), (2, 2), (2, 3), (3, 3), (3, 4), (4, 4)] {
+        for (l, n) in [
+            (3usize, 2usize),
+            (5, 2),
+            (7, 2),
+            (4, 3),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+            (3, 4),
+            (4, 4),
+        ] {
             for host in [
                 SuperCayleyGraph::macro_star(l, n).unwrap(),
                 SuperCayleyGraph::complete_rotation_star(l, n).unwrap(),
@@ -783,7 +834,12 @@ mod tests {
                 let paper = AllPortSchedule::paper_form(&host).unwrap();
                 paper.validate().unwrap();
                 let bound = (2 * n).max(l + 1);
-                assert_eq!(paper.makespan(), bound, "paper form on {}", paper.host_name());
+                assert_eq!(
+                    paper.makespan(),
+                    bound,
+                    "paper form on {}",
+                    paper.host_name()
+                );
                 let ours = AllPortSchedule::build(&host).unwrap();
                 assert_eq!(ours.makespan(), paper.makespan(), "{}", paper.host_name());
                 assert_eq!(ours.total_hops(), paper.total_hops());

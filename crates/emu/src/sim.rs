@@ -183,7 +183,12 @@ impl<'a> SyncSim<'a> {
     ///
     /// Returns [`EmuError::SimOutOfRange`] if `at`, the destination, or the
     /// router's slot is out of range.
-    pub fn inject(&mut self, at: NodeId, packet: Packet, router: &impl Router) -> Result<(), EmuError> {
+    pub fn inject(
+        &mut self,
+        at: NodeId,
+        packet: Packet,
+        router: &impl Router,
+    ) -> Result<(), EmuError> {
         let n = self.graph.num_nodes();
         if at as usize >= n || packet.dst as usize >= n {
             return Err(EmuError::SimOutOfRange {
@@ -289,7 +294,10 @@ impl<'a> SyncSim<'a> {
         while self.in_flight > 0 {
             if steps >= max_steps {
                 return Err(EmuError::InvalidSchedule {
-                    reason: format!("{} packets undelivered after {max_steps} steps", self.in_flight),
+                    reason: format!(
+                        "{} packets undelivered after {max_steps} steps",
+                        self.in_flight
+                    ),
                 });
             }
             self.step(router)?;
@@ -324,7 +332,11 @@ mod tests {
     fn table_router_routes_shortest() {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
-        let p = Packet { src: 0, dst: 3, payload: 0 };
+        let p = Packet {
+            src: 0,
+            dst: 3,
+            payload: 0,
+        };
         // From 0 toward 3: slot leading to node 1 (forward around the ring).
         let slot = r.next_hop(0, &p).unwrap();
         assert_eq!(g.out_neighbors(0)[slot], 1);
@@ -336,7 +348,16 @@ mod tests {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(0, Packet { src: 0, dst: 3, payload: 0 }, &r).unwrap();
+        sim.inject(
+            0,
+            Packet {
+                src: 0,
+                dst: 3,
+                payload: 0,
+            },
+            &r,
+        )
+        .unwrap();
         let stats = sim.run(&r, 100).unwrap();
         assert_eq!(stats.steps, 3);
         assert_eq!(stats.delivered, 1);
@@ -351,7 +372,16 @@ mod tests {
         let mk = |model| {
             let mut sim = SyncSim::new(&g, model);
             for dst in [1u32, 5] {
-                sim.inject(0, Packet { src: 0, dst, payload: 0 }, &r).unwrap();
+                sim.inject(
+                    0,
+                    Packet {
+                        src: 0,
+                        dst,
+                        payload: 0,
+                    },
+                    &r,
+                )
+                .unwrap();
             }
             sim.run(&r, 100).unwrap().steps
         };
@@ -366,7 +396,16 @@ mod tests {
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
         // Two packets from 0 to 2 must serialize on the 0→1 link.
         for _ in 0..2 {
-            sim.inject(0, Packet { src: 0, dst: 2, payload: 0 }, &r).unwrap();
+            sim.inject(
+                0,
+                Packet {
+                    src: 0,
+                    dst: 2,
+                    payload: 0,
+                },
+                &r,
+            )
+            .unwrap();
         }
         let stats = sim.run(&r, 100).unwrap();
         assert_eq!(stats.steps, 3); // second packet starts one step late
@@ -378,7 +417,16 @@ mod tests {
         let g = ring(4);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(2, Packet { src: 2, dst: 2, payload: 0 }, &r).unwrap();
+        sim.inject(
+            2,
+            Packet {
+                src: 2,
+                dst: 2,
+                payload: 0,
+            },
+            &r,
+        )
+        .unwrap();
         assert_eq!(sim.in_flight(), 0);
         let stats = sim.run(&r, 10).unwrap();
         assert_eq!(stats.delivered, 1);
@@ -390,7 +438,16 @@ mod tests {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(0, Packet { src: 0, dst: 4, payload: 0 }, &r).unwrap();
+        sim.inject(
+            0,
+            Packet {
+                src: 0,
+                dst: 4,
+                payload: 0,
+            },
+            &r,
+        )
+        .unwrap();
         assert!(sim.run(&r, 2).is_err());
     }
 }

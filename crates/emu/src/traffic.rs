@@ -48,7 +48,12 @@ impl TrafficSummary {
             total += u128::from(c);
         }
         if links == 0 {
-            return TrafficSummary { links: 0, max: 0, min: 0, mean: 0.0 };
+            return TrafficSummary {
+                links: 0,
+                max: 0,
+                min: 0,
+                mean: 0.0,
+            };
         }
         TrafficSummary {
             links,

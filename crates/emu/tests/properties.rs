@@ -1,96 +1,119 @@
-//! Property-based tests for the emulation crate: schedules stay valid and
+//! Randomized tests for the emulation crate: schedules stay valid and
 //! bound-tight across shapes, the router is shortest-path, and the
-//! simulator conserves packets.
+//! simulator conserves packets. Driven by the vendored deterministic PRNG
+//! (the workspace builds offline, so `proptest` is not available).
 
-use proptest::prelude::*;
-use scg_core::{ScgClass, SuperCayleyGraph};
+use scg_core::{materialize, ScgClass, SuperCayleyGraph, SMALL_NET_CAP};
 use scg_emu::{AllPortSchedule, Packet, PortModel, Router, SyncSim, TableRouter};
+use scg_perm::XorShift64;
 
 /// Shapes with k = nl + 1 <= 13 so scheduling stays fast.
-fn arb_shape() -> impl Strategy<Value = (usize, usize)> {
-    (2usize..=5, 2usize..=3).prop_filter("k <= 13", |&(l, n)| l * n < 13)
+const SHAPES: [(usize, usize); 7] = [(2, 2), (2, 3), (3, 2), (3, 3), (4, 2), (4, 3), (5, 2)];
+
+#[test]
+fn schedules_validate_and_meet_bounds() {
+    for (l, n) in SHAPES {
+        for class in [
+            ScgClass::MacroStar,
+            ScgClass::CompleteRotationStar,
+            ScgClass::MacroIs,
+            ScgClass::CompleteRotationIs,
+        ] {
+            let host = SuperCayleyGraph::new(class, l, n).unwrap();
+            let s = AllPortSchedule::build(&host).unwrap();
+            assert!(s.validate().is_ok());
+            let bound = s.theoretical_bound().unwrap();
+            if (l, n) == (2, 2) && matches!(class, ScgClass::MacroIs | ScgClass::CompleteRotationIs)
+            {
+                assert_eq!(s.makespan(), bound + 1); // the documented loose case
+            } else {
+                assert_eq!(s.makespan(), bound, "{class:?} ({l},{n})");
+            }
+            // Utilization is a proper fraction and hop counts are consistent.
+            assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+            assert_eq!(s.link_loads().iter().sum::<u64>() as usize, s.total_hops());
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn schedules_validate_and_meet_bounds((l, n) in arb_shape(), class_pick in 0u8..4) {
-        let class = match class_pick {
-            0 => ScgClass::MacroStar,
-            1 => ScgClass::CompleteRotationStar,
-            2 => ScgClass::MacroIs,
-            _ => ScgClass::CompleteRotationIs,
-        };
-        let host = SuperCayleyGraph::new(class, l, n).unwrap();
-        let s = AllPortSchedule::build(&host).unwrap();
-        prop_assert!(s.validate().is_ok());
-        let bound = s.theoretical_bound().unwrap();
-        if (l, n) == (2, 2) && matches!(class, ScgClass::MacroIs | ScgClass::CompleteRotationIs) {
-            prop_assert_eq!(s.makespan(), bound + 1); // the documented loose case
-        } else {
-            prop_assert_eq!(s.makespan(), bound);
-        }
-        // Utilization is a proper fraction and hop counts are consistent.
-        prop_assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
-        prop_assert_eq!(
-            s.link_loads().iter().sum::<u64>() as usize,
-            s.total_hops()
-        );
-    }
-
-    #[test]
-    fn paper_form_agrees_with_general_scheduler((l, n) in arb_shape()) {
+#[test]
+fn paper_form_agrees_with_general_scheduler() {
+    for (l, n) in SHAPES {
         let host = SuperCayleyGraph::macro_star(l, n).unwrap();
         match AllPortSchedule::paper_form(&host) {
             Ok(paper) => {
                 let ours = AllPortSchedule::build(&host).unwrap();
-                prop_assert_eq!(paper.makespan(), ours.makespan());
-                prop_assert!(paper.validate().is_ok());
+                assert_eq!(paper.makespan(), ours.makespan());
+                assert!(paper.validate().is_ok());
             }
             Err(_) => {
                 // Outside the covered family: must be l > n+1 with l ≢ 1 (mod n).
-                prop_assert!(l > n + 1 && (l - 1) % n != 0);
+                assert!(l > n + 1 && (l - 1) % n != 0);
             }
         }
     }
+}
 
-    #[test]
-    fn router_is_distance_decreasing(seed in 0u32..120, dst in 0u32..120) {
-        let host = SuperCayleyGraph::macro_star(2, 2).unwrap();
-        let graph = scg_core::CayleyNetwork::to_graph(&host, 1_000).unwrap();
-        let router = TableRouter::new(&graph).unwrap();
+#[test]
+fn router_is_distance_decreasing() {
+    let host = SuperCayleyGraph::macro_star(2, 2).unwrap();
+    let mat = materialize(&host, SMALL_NET_CAP).unwrap();
+    let graph = mat.graph();
+    let router = TableRouter::new(graph).unwrap();
+    let mut rng = XorShift64::new(51);
+    for _ in 0..120 {
+        let at = rng.gen_range(120) as u32;
+        let dst = rng.gen_range(120) as u32;
         let dist = graph.bfs_distances(dst); // undirected: dist to dst
-        let at = seed % 120;
-        let p = Packet { src: at, dst, payload: 0 };
+        let p = Packet {
+            src: at,
+            dst,
+            payload: 0,
+        };
         match router.next_hop(at, &p) {
-            None => prop_assert_eq!(at, dst),
+            None => assert_eq!(at, dst),
             Some(slot) => {
                 let next = graph.out_neighbors(at)[slot];
-                prop_assert_eq!(dist[next as usize] + 1, dist[at as usize]);
+                assert_eq!(dist[next as usize] + 1, dist[at as usize]);
             }
         }
     }
+}
 
-    #[test]
-    fn simulator_conserves_packets(pairs in prop::collection::vec((0u32..120, 0u32..120), 1..40)) {
-        let host = SuperCayleyGraph::insertion_selection(5).unwrap();
-        let graph = scg_core::CayleyNetwork::to_graph(&host, 1_000).unwrap();
-        let router = TableRouter::new(&graph).unwrap();
-        let mut sim = SyncSim::new(&graph, PortModel::SinglePort);
+#[test]
+fn simulator_conserves_packets() {
+    let host = SuperCayleyGraph::insertion_selection(5).unwrap();
+    let mat = materialize(&host, SMALL_NET_CAP).unwrap();
+    let graph = mat.graph();
+    let router = TableRouter::new(graph).unwrap();
+    let mut rng = XorShift64::new(52);
+    for _ in 0..8 {
+        let pairs: Vec<(u32, u32)> = (0..1 + rng.gen_range(39))
+            .map(|_| (rng.gen_range(120) as u32, rng.gen_range(120) as u32))
+            .collect();
+        let mut sim = SyncSim::new(graph, PortModel::SinglePort);
         let mut expected_delivered = 0u64;
         for &(src, dst) in &pairs {
-            sim.inject(src, Packet { src, dst, payload: 0 }, &router).unwrap();
+            sim.inject(
+                src,
+                Packet {
+                    src,
+                    dst,
+                    payload: 0,
+                },
+                &router,
+            )
+            .unwrap();
             expected_delivered += 1;
         }
         let stats = sim.run(&router, 1_000_000).unwrap();
-        prop_assert_eq!(stats.delivered, expected_delivered);
-        prop_assert_eq!(sim.in_flight(), 0);
+        assert_eq!(stats.delivered, expected_delivered);
+        assert_eq!(sim.in_flight(), 0);
         // Total transmissions equal the sum of shortest distances.
         let mut total = 0u64;
         for &(src, dst) in &pairs {
             total += u64::from(graph.bfs_distances(src)[dst as usize]);
         }
-        prop_assert_eq!(stats.transmissions, total);
+        assert_eq!(stats.transmissions, total);
     }
 }

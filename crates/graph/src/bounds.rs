@@ -48,7 +48,11 @@ pub fn moore_diameter_lower_bound_undirected(d: u64, n: u64) -> u32 {
     let mut frontier: u128 = 1;
     let mut depth = 0u32;
     while reach < u128::from(n) {
-        let fanout = if depth == 0 { d } else { d.saturating_sub(1).max(1) };
+        let fanout = if depth == 0 {
+            d
+        } else {
+            d.saturating_sub(1).max(1)
+        };
         frontier = frontier.saturating_mul(u128::from(fanout));
         reach = reach.saturating_add(frontier);
         depth += 1;

@@ -59,6 +59,52 @@ impl DenseGraph {
         DenseGraph { offsets, targets }
     }
 
+    /// Builds a `degree`-regular graph in parallel: `fill(u, slot)` writes
+    /// the `degree` out-neighbors of `u` into `slot`. Because the graph is
+    /// regular, the CSR offsets are known up front (`u · degree`) and each
+    /// node's target slice can be filled independently, so construction is
+    /// chunked over scoped OS threads. Each list is sorted, exactly as
+    /// [`DenseGraph::from_neighbor_fn`] does — the two constructors produce
+    /// structurally equal graphs for the same neighbor sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any written neighbor id is `>= num_nodes`.
+    #[must_use]
+    pub fn from_regular_fn_parallel<F>(num_nodes: usize, degree: usize, fill: F) -> Self
+    where
+        F: Fn(NodeId, &mut [NodeId]) + Sync,
+    {
+        let offsets = (0..=num_nodes).map(|u| u * degree).collect();
+        let mut targets = vec![0 as NodeId; num_nodes * degree];
+        if num_nodes > 0 && degree > 0 {
+            let threads = std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(num_nodes);
+            let chunk = num_nodes.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, window) in targets.chunks_mut(chunk * degree).enumerate() {
+                    let fill = &fill;
+                    scope.spawn(move || {
+                        let base = ci * chunk;
+                        for (off, slot) in window.chunks_mut(degree).enumerate() {
+                            let u = (base + off) as NodeId;
+                            fill(u, slot);
+                            slot.sort_unstable();
+                            for &v in slot.iter() {
+                                assert!(
+                                    (v as usize) < num_nodes,
+                                    "neighbor {v} of node {u} out of range"
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        DenseGraph { offsets, targets }
+    }
+
     /// Builds a graph from an explicit edge list.
     ///
     /// # Errors
@@ -304,11 +350,7 @@ impl DenseGraph {
     /// graphs this is full strong connectivity).
     #[must_use]
     pub fn is_connected_from_zero(&self) -> bool {
-        self.num_nodes() == 0
-            || self
-                .bfs_distances(0)
-                .iter()
-                .all(|&d| d != UNREACHABLE)
+        self.num_nodes() == 0 || self.bfs_distances(0).iter().all(|&d| d != UNREACHABLE)
     }
 }
 
@@ -329,6 +371,33 @@ mod tests {
         assert_eq!(g.out_degree(2), 1);
         assert_eq!(g.is_regular(), Some(1));
         assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn parallel_regular_matches_sequential() {
+        let n = 97; // prime, so chunk boundaries never align with structure
+        let neigh = |u: NodeId| vec![(u + 1) % 97, (u + 13) % 97, (u + 96) % 97];
+        let seq = DenseGraph::from_neighbor_fn(n, neigh);
+        let par = DenseGraph::from_regular_fn_parallel(n, 3, |u, slot| {
+            slot.copy_from_slice(&neigh(u));
+        });
+        assert_eq!(par, seq);
+        assert_eq!(par.is_regular(), Some(3));
+    }
+
+    #[test]
+    fn parallel_regular_handles_degenerate_sizes() {
+        let empty = DenseGraph::from_regular_fn_parallel(0, 3, |_, _| {});
+        assert_eq!(empty.num_nodes(), 0);
+        let isolated = DenseGraph::from_regular_fn_parallel(4, 0, |_, _| {});
+        assert_eq!(isolated.num_edges(), 0);
+        assert_eq!(isolated.num_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic] // range assertion fires inside a scoped worker thread
+    fn parallel_regular_validates_targets() {
+        let _ = DenseGraph::from_regular_fn_parallel(3, 1, |_, slot| slot[0] = 9);
     }
 
     #[test]
@@ -404,8 +473,7 @@ mod tests {
 
     #[test]
     fn symmetric_detection() {
-        let undirected =
-            DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let undirected = DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
         assert!(undirected.is_symmetric());
     }
 }

@@ -34,9 +34,7 @@ impl DistanceStats {
     /// All-pairs statistics via one BFS per node (`O(N·E)`).
     #[must_use]
     pub fn all_pairs(graph: &DenseGraph) -> Self {
-        Self::from_distance_rows(
-            (0..graph.num_nodes()).map(|u| graph.bfs_distances(u as NodeId)),
-        )
+        Self::from_distance_rows((0..graph.num_nodes()).map(|u| graph.bfs_distances(u as NodeId)))
     }
 
     /// All-pairs statistics computed on `threads` OS threads (scoped; no
@@ -56,14 +54,23 @@ impl DistanceStats {
             for start in (0..n).step_by(chunk.max(1)) {
                 let end = (start + chunk).min(n);
                 handles.push(scope.spawn(move || {
-                    Self::from_distance_rows(
-                        (start..end).map(|u| graph.bfs_distances(u as NodeId)),
-                    )
+                    Self::from_distance_rows((start..end).map(|u| graph.bfs_distances(u as NodeId)))
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("BFS thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("BFS thread"))
+                .collect()
         });
         Self::merge(&partials)
+    }
+
+    /// All-pairs statistics on one thread per available CPU — the variant
+    /// call sites should reach for by default.
+    #[must_use]
+    pub fn all_pairs_auto(graph: &DenseGraph) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::all_pairs_parallel(graph, threads)
     }
 
     /// Merges partial statistics (as produced from disjoint source sets).
@@ -85,7 +92,11 @@ impl DistanceStats {
             total += (d as u128) * u128::from(count);
             pairs += u128::from(count);
         }
-        let mean = if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 };
+        let mean = if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        };
         DistanceStats {
             diameter,
             mean,
@@ -179,14 +190,22 @@ mod tests {
 
     #[test]
     fn parallel_all_pairs_matches_sequential() {
-        let g = DenseGraph::from_neighbor_fn(50, |u| {
-            vec![(u + 1) % 50, (u + 7) % 50, (u + 49) % 50]
-        });
+        let g =
+            DenseGraph::from_neighbor_fn(50, |u| vec![(u + 1) % 50, (u + 7) % 50, (u + 49) % 50]);
         let seq = DistanceStats::all_pairs(&g);
         for threads in [1, 2, 3, 8, 64] {
             let par = DistanceStats::all_pairs_parallel(&g, threads);
             assert_eq!(par, seq, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn auto_matches_sequential() {
+        let g = undirected_path(23);
+        assert_eq!(
+            DistanceStats::all_pairs_auto(&g),
+            DistanceStats::all_pairs(&g)
+        );
     }
 
     #[test]

@@ -140,7 +140,18 @@ fn place(
     budget.spend()?;
     let kids = &children[g as usize];
     if kids.is_empty() {
-        return place(guest, host, children, subtree, order, idx + 1, map, used, budget, rng);
+        return place(
+            guest,
+            host,
+            children,
+            subtree,
+            order,
+            idx + 1,
+            map,
+            used,
+            budget,
+            rng,
+        );
     }
     let h = map[g as usize];
     debug_assert_ne!(h, NodeId::MAX, "parent placed before children");
@@ -186,7 +197,18 @@ fn assign_children(
     rng: &mut Option<u64>,
 ) -> Result<bool, GraphError> {
     if kid_idx == kids.len() {
-        return place(guest, host, children, subtree, order, idx + 1, map, used, budget, rng);
+        return place(
+            guest,
+            host,
+            children,
+            subtree,
+            order,
+            idx + 1,
+            map,
+            used,
+            budget,
+            rng,
+        );
     }
     let kid = kids[kid_idx];
     for &cand in free {
@@ -209,8 +231,19 @@ fn assign_children(
         map[kid as usize] = cand;
         used[cand as usize] = true;
         if assign_children(
-            guest, host, children, subtree, order, idx, kids, kid_idx + 1, free, map, used,
-            budget, rng,
+            guest,
+            host,
+            children,
+            subtree,
+            order,
+            idx,
+            kids,
+            kid_idx + 1,
+            free,
+            map,
+            used,
+            budget,
+            rng,
         )? {
             return Ok(true);
         }
@@ -293,8 +326,8 @@ mod tests {
     #[test]
     fn embeds_path_into_cycle() {
         // Path of 4 nodes into a 6-cycle.
-        let guest = DenseGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
-            .unwrap();
+        let guest =
+            DenseGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]).unwrap();
         let host = DenseGraph::from_neighbor_fn(6, |u| vec![(u + 1) % 6, (u + 5) % 6]);
         let map = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(10_000))
             .unwrap()
@@ -308,11 +341,8 @@ mod tests {
     #[test]
     fn rejects_when_no_embedding_exists() {
         // A 3-star (claw) cannot embed in a cycle (max degree 2).
-        let guest = DenseGraph::from_edges(
-            4,
-            [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)],
-        )
-        .unwrap();
+        let guest =
+            DenseGraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]).unwrap();
         let host = DenseGraph::from_neighbor_fn(8, |u| vec![(u + 1) % 8, (u + 7) % 8]);
         let r = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(10_000)).unwrap();
         assert!(r.is_none());
@@ -321,8 +351,7 @@ mod tests {
     #[test]
     fn rejects_non_tree_guest() {
         let triangle =
-            DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
-                .unwrap();
+            DenseGraph::from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]).unwrap();
         let host = DenseGraph::from_neighbor_fn(4, |u| vec![(u + 1) % 4, (u + 3) % 4]);
         assert_eq!(
             embed_tree(&triangle, &host, 0, 0, &mut SearchBudget::new(100)).unwrap_err(),
@@ -333,9 +362,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let guest = complete_binary_tree(2);
-        let host = DenseGraph::from_neighbor_fn(32, |u| {
-            (0..5).map(|b| u ^ (1 << b)).collect()
-        });
+        let host = DenseGraph::from_neighbor_fn(32, |u| (0..5).map(|b| u ^ (1 << b)).collect());
         let r = embed_tree(&guest, &host, 0, 0, &mut SearchBudget::new(1));
         assert_eq!(r.unwrap_err(), GraphError::BudgetExhausted);
     }

@@ -1,103 +1,137 @@
-//! Property-based tests for the graph substrate over random graphs.
+//! Randomized property tests for the graph substrate over random graphs,
+//! driven by the vendored deterministic PRNG in `scg-perm` (the workspace
+//! builds offline, so `proptest` is not available).
 
-use proptest::prelude::*;
-use scg_graph::{
-    moore_diameter_lower_bound, DenseGraph, DistanceStats, NodeId, UNREACHABLE,
-};
+use scg_graph::{moore_diameter_lower_bound, DenseGraph, DistanceStats, NodeId, UNREACHABLE};
+use scg_perm::XorShift64;
 
-/// Random sparse directed graph: n nodes, edges as (u, v) pairs.
-fn arb_graph() -> impl Strategy<Value = DenseGraph> {
-    (2usize..30).prop_flat_map(|n| {
-        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..90)
-            .prop_map(move |edges| DenseGraph::from_edges(n, edges).expect("in range"))
-    })
+const CASES: usize = 96;
+
+/// Random sparse directed graph: 2..30 nodes, up to 90 random edges.
+fn arb_graph(rng: &mut XorShift64) -> DenseGraph {
+    let n = 2 + rng.gen_range(28);
+    let m = rng.gen_range(90);
+    let edges: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|_| (rng.gen_range(n) as NodeId, rng.gen_range(n) as NodeId))
+        .collect();
+    DenseGraph::from_edges(n, edges).expect("in range")
 }
 
 /// Random symmetric graph (each edge added both ways).
-fn arb_symmetric() -> impl Strategy<Value = DenseGraph> {
-    (2usize..30).prop_flat_map(|n| {
-        prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..60).prop_map(move |edges| {
-            let doubled: Vec<(NodeId, NodeId)> = edges
-                .into_iter()
-                .flat_map(|(u, v)| [(u, v), (v, u)])
-                .collect();
-            DenseGraph::from_edges(n, doubled).expect("in range")
-        })
-    })
+fn arb_symmetric(rng: &mut XorShift64) -> DenseGraph {
+    let n = 2 + rng.gen_range(28);
+    let m = rng.gen_range(60);
+    let doubled: Vec<(NodeId, NodeId)> = (0..m)
+        .map(|_| (rng.gen_range(n) as NodeId, rng.gen_range(n) as NodeId))
+        .flat_map(|(u, v)| [(u, v), (v, u)])
+        .collect();
+    DenseGraph::from_edges(n, doubled).expect("in range")
 }
 
-proptest! {
-    #[test]
-    fn reverse_is_involutive(g in arb_graph()) {
-        prop_assert_eq!(g.reversed().reversed(), g);
+#[test]
+fn reverse_is_involutive() {
+    let mut rng = XorShift64::new(21);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        assert_eq!(g.reversed().reversed(), g);
     }
+}
 
-    #[test]
-    fn reverse_preserves_edge_count(g in arb_graph()) {
-        prop_assert_eq!(g.num_edges(), g.reversed().num_edges());
+#[test]
+fn reverse_preserves_edge_count() {
+    let mut rng = XorShift64::new(22);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        assert_eq!(g.num_edges(), g.reversed().num_edges());
     }
+}
 
-    #[test]
-    fn edge_range_covers_out_neighbors(g in arb_graph()) {
+#[test]
+fn edge_range_covers_out_neighbors() {
+    let mut rng = XorShift64::new(23);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let mut total = 0usize;
         for u in 0..g.num_nodes() as NodeId {
             let r = g.edge_range(u);
-            prop_assert_eq!(r.len(), g.out_degree(u));
+            assert_eq!(r.len(), g.out_degree(u));
             total += r.len();
         }
-        prop_assert_eq!(total, g.num_edges());
+        assert_eq!(total, g.num_edges());
     }
+}
 
-    #[test]
-    fn bfs_distances_respect_triangle_inequality(g in arb_graph(), s in 0u32..30) {
-        let n = g.num_nodes();
-        let s = s % n as u32;
+#[test]
+fn bfs_distances_respect_triangle_inequality() {
+    let mut rng = XorShift64::new(24);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(g.num_nodes()) as NodeId;
         let d = g.bfs_distances(s);
         for (u, v) in g.edges() {
             if d[u as usize] != UNREACHABLE {
-                prop_assert!(d[v as usize] <= d[u as usize] + 1, "edge ({u},{v})");
+                assert!(d[v as usize] <= d[u as usize] + 1, "edge ({u},{v})");
             }
         }
-        prop_assert_eq!(d[s as usize], 0);
+        assert_eq!(d[s as usize], 0);
     }
+}
 
-    #[test]
-    fn shortest_path_length_matches_distance(g in arb_graph(), s in 0u32..30, t in 0u32..30) {
-        let n = g.num_nodes() as u32;
-        let (s, t) = (s % n, t % n);
+#[test]
+fn shortest_path_length_matches_distance() {
+    let mut rng = XorShift64::new(25);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(g.num_nodes()) as NodeId;
+        let t = rng.gen_range(g.num_nodes()) as NodeId;
         let d = g.bfs_distances(s)[t as usize];
         match g.shortest_path(s, t) {
             Some(path) => {
-                prop_assert_eq!(path.len() as u32 - 1, d);
+                assert_eq!(path.len() as u32 - 1, d);
                 for w in path.windows(2) {
-                    prop_assert!(g.edge_index(w[0], w[1]).is_some());
+                    assert!(g.edge_index(w[0], w[1]).is_some());
                 }
             }
-            None => prop_assert_eq!(d, UNREACHABLE),
+            None => assert_eq!(d, UNREACHABLE),
         }
     }
+}
 
-    #[test]
-    fn bipartition_certificate_is_proper(g in arb_symmetric()) {
+#[test]
+fn bipartition_certificate_is_proper() {
+    let mut rng = XorShift64::new(26);
+    for _ in 0..CASES {
+        let g = arb_symmetric(&mut rng);
         if let Some(colors) = g.bipartition() {
             for (u, v) in g.edges() {
                 if u != v {
-                    prop_assert_ne!(colors[u as usize], colors[v as usize]);
+                    assert_ne!(colors[u as usize], colors[v as usize]);
                 }
             }
         }
         // A graph with a self-loop can never be bipartite.
     }
+}
 
-    #[test]
-    fn symmetric_graphs_have_symmetric_distances(g in arb_symmetric(), a in 0u32..30, b in 0u32..30) {
-        let n = g.num_nodes() as u32;
-        let (a, b) = (a % n, b % n);
-        prop_assert_eq!(g.bfs_distances(a)[b as usize], g.bfs_distances(b)[a as usize]);
+#[test]
+fn symmetric_graphs_have_symmetric_distances() {
+    let mut rng = XorShift64::new(27);
+    for _ in 0..CASES {
+        let g = arb_symmetric(&mut rng);
+        let a = rng.gen_range(g.num_nodes()) as NodeId;
+        let b = rng.gen_range(g.num_nodes()) as NodeId;
+        assert_eq!(
+            g.bfs_distances(a)[b as usize],
+            g.bfs_distances(b)[a as usize]
+        );
     }
+}
 
-    #[test]
-    fn moore_bound_never_exceeds_true_diameter(g in arb_symmetric()) {
+#[test]
+fn moore_bound_never_exceeds_true_diameter() {
+    let mut rng = XorShift64::new(28);
+    for _ in 0..CASES {
+        let g = arb_symmetric(&mut rng);
         // Whenever the graph is connected and regular enough to compare.
         let stats = DistanceStats::all_pairs(&g);
         if stats.unreachable_pairs == 0 && g.num_nodes() > 1 {
@@ -106,10 +140,21 @@ proptest! {
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            prop_assert!(
-                u32::from(moore_diameter_lower_bound(dmax as u64, g.num_nodes() as u64))
+            assert!(
+                moore_diameter_lower_bound(dmax as u64, g.num_nodes() as u64)
                     <= stats.diameter.max(1)
             );
         }
+    }
+}
+
+#[test]
+fn parallel_statistics_agree_on_random_graphs() {
+    let mut rng = XorShift64::new(29);
+    for _ in 0..16 {
+        let g = arb_symmetric(&mut rng);
+        let seq = DistanceStats::all_pairs(&g);
+        assert_eq!(DistanceStats::all_pairs_auto(&g), seq);
+        assert_eq!(DistanceStats::all_pairs_parallel(&g, 3), seq);
     }
 }

@@ -30,6 +30,20 @@ impl Permutations {
             next: Some(Perm::identity(k)),
         }
     }
+
+    /// Iterates the tail of the lexicographic order beginning at the
+    /// permutation of rank `start` — the chunked parallel sweeps of the
+    /// rank-transition tables start one of these per thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PermError`](crate::PermError) if `k` is out of range or
+    /// `start >= k!`.
+    pub fn starting_at_rank(k: usize, start: u64) -> Result<Self, crate::PermError> {
+        Ok(Permutations {
+            next: Some(Perm::from_rank(k, start)?),
+        })
+    }
 }
 
 impl Iterator for Permutations {

@@ -38,7 +38,10 @@ impl fmt::Display for PermError {
                 write!(f, "degree {degree} is outside 1..={}", crate::MAX_DEGREE)
             }
             PermError::NotAPermutation { symbol } => {
-                write!(f, "symbol sequence is not a permutation (offending symbol {symbol})")
+                write!(
+                    f,
+                    "symbol sequence is not a permutation (offending symbol {symbol})"
+                )
             }
             PermError::RankOutOfRange { rank, degree } => {
                 write!(f, "rank {rank} is not below {degree}!")

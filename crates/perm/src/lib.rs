@@ -37,6 +37,8 @@ mod group;
 mod mixed_radix;
 mod perm;
 mod rank;
+mod rng;
+mod tables;
 
 pub use enumerate::Permutations;
 pub use error::PermError;
@@ -44,3 +46,5 @@ pub use group::{group_order, StabilizerChain};
 pub use mixed_radix::MixedRadix;
 pub use perm::{Perm, MAX_DEGREE};
 pub use rank::factorial;
+pub use rng::XorShift64;
+pub use tables::{rank_transition_table, rank_transition_tables, PermAction, MAX_TABLE_DEGREE};

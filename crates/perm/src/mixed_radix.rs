@@ -34,7 +34,9 @@ impl MixedRadix {
         assert!(radices.iter().all(|&r| r >= 1), "radices must be >= 1");
         let mut cap: u64 = 1;
         for &r in &radices {
-            cap = cap.checked_mul(r).expect("mixed-radix capacity overflows u64");
+            cap = cap
+                .checked_mul(r)
+                .expect("mixed-radix capacity overflows u64");
         }
         MixedRadix { radices }
     }

@@ -1,11 +1,9 @@
 use std::fmt;
 use std::str::FromStr;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-
 use crate::error::PermError;
 use crate::rank;
+use crate::rng::XorShift64;
 
 /// Maximum supported permutation degree.
 ///
@@ -96,9 +94,9 @@ impl Perm {
     ///
     /// Panics if `k` is zero or exceeds [`MAX_DEGREE`].
     #[must_use]
-    pub fn random<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+    pub fn random(k: usize, rng: &mut XorShift64) -> Self {
         let mut p = Perm::identity(k);
-        p.symbols[..k].shuffle(rng);
+        rng.shuffle(&mut p.symbols[..k]);
         p
     }
 
@@ -180,7 +178,10 @@ impl Perm {
     /// Whether this is the identity permutation.
     #[must_use]
     pub fn is_identity(&self) -> bool {
-        self.symbols().iter().enumerate().all(|(i, &s)| s as usize == i + 1)
+        self.symbols()
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| s as usize == i + 1)
     }
 
     /// Number of inversions: pairs `i < j` with `u_i > u_j`.
@@ -286,7 +287,10 @@ impl Perm {
         let k = self.degree as usize;
         for pos in [i, j] {
             if !(1..=k).contains(&pos) {
-                return Err(PermError::PositionOutOfRange { position: pos, degree: k });
+                return Err(PermError::PositionOutOfRange {
+                    position: pos,
+                    degree: k,
+                });
             }
         }
         let mut out = *self;
@@ -304,7 +308,10 @@ impl Perm {
     pub fn prefix_rotated_left(&self, i: usize) -> Result<Perm, PermError> {
         let k = self.degree as usize;
         if !(2..=k).contains(&i) {
-            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+            return Err(PermError::PositionOutOfRange {
+                position: i,
+                degree: k,
+            });
         }
         let mut out = *self;
         out.symbols[..i].rotate_left(1);
@@ -321,7 +328,10 @@ impl Perm {
     pub fn prefix_rotated_right(&self, i: usize) -> Result<Perm, PermError> {
         let k = self.degree as usize;
         if !(2..=k).contains(&i) {
-            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+            return Err(PermError::PositionOutOfRange {
+                position: i,
+                degree: k,
+            });
         }
         let mut out = *self;
         out.symbols[..i].rotate_right(1);
@@ -360,11 +370,17 @@ impl Perm {
     pub fn blocks_swapped(&self, n: usize, i: usize) -> Result<Perm, PermError> {
         let k = self.degree as usize;
         if n == 0 || !(k - 1).is_multiple_of(n) {
-            return Err(PermError::PositionOutOfRange { position: n, degree: k });
+            return Err(PermError::PositionOutOfRange {
+                position: n,
+                degree: k,
+            });
         }
         let l = (k - 1) / n;
         if !(2..=l).contains(&i) {
-            return Err(PermError::PositionOutOfRange { position: i, degree: k });
+            return Err(PermError::PositionOutOfRange {
+                position: i,
+                degree: k,
+            });
         }
         let mut out = *self;
         let (a, b) = (1, (i - 1) * n + 1); // 0-based starts of boxes 1 and i
@@ -424,7 +440,10 @@ impl FromStr for Perm {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let symbols: Vec<u8> = s
             .split_whitespace()
-            .map(|tok| tok.parse::<u8>().map_err(|_| PermError::NotAPermutation { symbol: 0 }))
+            .map(|tok| {
+                tok.parse::<u8>()
+                    .map_err(|_| PermError::NotAPermutation { symbol: 0 })
+            })
             .collect::<Result<_, _>>()?;
         Perm::from_symbols(&symbols)
     }
@@ -632,7 +651,7 @@ mod tests {
 
     #[test]
     fn random_is_valid() {
-        let mut rng = rand::thread_rng();
+        let mut rng = XorShift64::new(0xDECAF);
         for _ in 0..50 {
             let p = Perm::random(9, &mut rng);
             assert!(Perm::from_symbols(p.symbols()).is_ok());

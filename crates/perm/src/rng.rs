@@ -1,0 +1,135 @@
+//! A minimal vendored PRNG.
+//!
+//! The workspace builds with no network access, so it cannot depend on the
+//! `rand` crate. Scrambling, benchmarking, and randomized tests only need a
+//! small, fast, seedable generator — an xorshift64* stepped from a
+//! SplitMix64-scrambled seed is more than enough and keeps the dependency
+//! graph empty.
+
+/// A seedable xorshift64* pseudo-random generator.
+///
+/// Deterministic for a given seed, `Copy`-cheap, and good enough for
+/// scrambles, shuffles, and randomized test inputs. **Not** cryptographic.
+///
+/// # Examples
+///
+/// ```
+/// use scg_perm::XorShift64;
+///
+/// let mut rng = XorShift64::new(42);
+/// let a = rng.gen_range(10);
+/// assert!(a < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid:
+    /// the seed is scrambled through SplitMix64 so similar seeds do not
+    /// produce correlated streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 finalizer; never yields 0 for the xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A pseudo-random value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift mapping; bias is negligible for the small ranges
+        // (≤ 20!) used in this workspace.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// A pseudo-random `u64` below `n` (`n > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelated() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = XorShift64::new(3);
+        for n in 1..50 {
+            for _ in 0..20 {
+                assert!(rng.gen_range(n) < n);
+                assert!(rng.gen_range_u64(n as u64) < n as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn range_values_cover_small_domains() {
+        let mut rng = XorShift64::new(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = XorShift64::new(9);
+        let mut xs: Vec<u8> = (0..10).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<u8>>());
+    }
+}

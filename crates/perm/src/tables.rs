@@ -1,0 +1,144 @@
+//! Precomputed rank-transition tables.
+//!
+//! Materializing a Cayley graph over `S_k` repeatedly needs the map
+//! `rank(u) → rank(g·u)` for each generator `g`. Computing it on demand
+//! costs an unrank/apply/rank round trip (`Θ(k²)` per query); this module
+//! builds the whole table in one lexicographic sweep — each table is a
+//! `Vec<u32>` of length `k!` indexed by rank — so neighbor expansion
+//! becomes a single array load. Tables are what the `scg-core` topology
+//! engine caches and shares across the routing, communication, embedding,
+//! and emulation layers.
+//!
+//! Construction is chunked over scoped OS threads: the rank space `0..k!`
+//! is split into contiguous ranges, each thread unranks its range start
+//! once and then walks lexicographic successors, so the per-node cost is
+//! the generator applications plus one `rank()` per generator.
+
+use crate::enumerate::Permutations;
+use crate::perm::Perm;
+use crate::rank::factorial;
+
+/// An action on permutations used to fill a transition table: maps a node
+/// label to the neighbor label reached through one generator.
+pub type PermAction<'a> = &'a (dyn Fn(&Perm) -> Perm + Sync);
+
+/// Largest degree whose rank fits a `u32` table entry: `12! < 2^32 ≤ 13!`.
+pub const MAX_TABLE_DEGREE: usize = 12;
+
+/// Builds the rank-transition table of a single action over `S_k`:
+/// `table[rank(u)] = rank(f(u))` for every permutation `u` of degree `k`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds [`MAX_TABLE_DEGREE`], or if `f`
+/// changes the degree of its argument.
+#[must_use]
+pub fn rank_transition_table(k: usize, f: PermAction<'_>) -> Vec<u32> {
+    rank_transition_tables(k, &[f])
+        .pop()
+        .expect("one table per action")
+}
+
+/// Builds the rank-transition tables of several actions in one sweep of
+/// `S_k` (one table per action, in order). The sweep is parallelized over
+/// scoped threads; the result is identical to the sequential computation.
+///
+/// # Panics
+///
+/// As [`rank_transition_table`].
+#[must_use]
+pub fn rank_transition_tables(k: usize, fs: &[PermAction<'_>]) -> Vec<Vec<u32>> {
+    assert!(
+        (1..=MAX_TABLE_DEGREE).contains(&k),
+        "degree {k} outside 1..={MAX_TABLE_DEGREE} for u32 rank tables"
+    );
+    let n = factorial(k) as usize;
+    let d = fs.len();
+    let mut tables: Vec<Vec<u32>> = (0..d).map(|_| vec![0u32; n]).collect();
+    if d == 0 || n == 0 {
+        return tables;
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n);
+    let chunk = n.div_ceil(threads);
+
+    // Split every table into per-chunk windows so each thread owns the
+    // rows of its rank range across all tables.
+    let mut windows: Vec<Vec<&mut [u32]>> = (0..threads.min(n.div_ceil(chunk)))
+        .map(|_| Vec::with_capacity(d))
+        .collect();
+    for table in &mut tables {
+        for (ci, piece) in table.chunks_mut(chunk).enumerate() {
+            windows[ci].push(piece);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for (ci, mut window) in windows.into_iter().enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move || {
+                let perms =
+                    Permutations::starting_at_rank(k, start as u64).expect("chunk start below k!");
+                let len = window[0].len();
+                for (off, u) in perms.take(len).enumerate() {
+                    for (fi, f) in fs.iter().enumerate() {
+                        let v = f(&u);
+                        assert_eq!(v.degree(), k, "action changed the degree");
+                        window[fi][off] = v.rank() as u32;
+                    }
+                }
+            });
+        }
+    });
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_unrank_apply_rank() {
+        let k = 6;
+        let act = |p: &Perm| p.swapped(1, 3).unwrap();
+        let table = rank_transition_table(k, &act);
+        assert_eq!(table.len() as u64, factorial(k));
+        for r in 0..factorial(k) {
+            let u = Perm::from_rank(k, r).unwrap();
+            assert_eq!(u64::from(table[r as usize]), act(&u).rank(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn involution_tables_are_self_inverse() {
+        let table = rank_transition_table(5, &|p: &Perm| p.swapped(1, 4).unwrap());
+        for (r, &s) in table.iter().enumerate() {
+            assert_eq!(table[s as usize] as usize, r);
+        }
+    }
+
+    #[test]
+    fn multi_action_sweep_matches_single() {
+        let k = 5;
+        let a = |p: &Perm| p.prefix_rotated_left(3).unwrap();
+        let b = |p: &Perm| p.suffix_rotated_right(2);
+        let both = rank_transition_tables(k, &[&a, &b]);
+        assert_eq!(both[0], rank_transition_table(k, &a));
+        assert_eq!(both[1], rank_transition_table(k, &b));
+    }
+
+    #[test]
+    fn identity_action_is_identity_table() {
+        let table = rank_transition_table(4, &|p: &Perm| *p);
+        for (r, &s) in table.iter().enumerate() {
+            assert_eq!(r as u32, s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn degree_13_rejected() {
+        let _ = rank_transition_table(13, &|p: &Perm| *p);
+    }
+}

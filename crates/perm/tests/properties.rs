@@ -1,63 +1,84 @@
-//! Property-based tests for the permutation substrate.
+//! Randomized property tests for the permutation substrate, driven by the
+//! vendored deterministic PRNG (the workspace builds offline, so `proptest`
+//! is not available).
 
-use proptest::prelude::*;
-use scg_perm::{factorial, Perm, MAX_DEGREE};
+use scg_perm::{factorial, Perm, XorShift64, MAX_DEGREE};
 
-/// Strategy producing an arbitrary valid permutation of degree 1..=12.
-fn arb_perm() -> impl Strategy<Value = Perm> {
-    (1usize..=12).prop_flat_map(|k| {
-        (0..factorial(k)).prop_map(move |r| Perm::from_rank(k, r).expect("rank in range"))
-    })
+const CASES: usize = 256;
+
+/// An arbitrary valid permutation of degree 1..=12.
+fn arb_perm(rng: &mut XorShift64) -> Perm {
+    let k = 1 + rng.gen_range(12);
+    Perm::from_rank(k, rng.gen_range_u64(factorial(k))).expect("rank in range")
 }
 
-/// Two same-degree permutations.
-fn arb_perm_pair() -> impl Strategy<Value = (Perm, Perm)> {
-    (1usize..=10).prop_flat_map(|k| {
-        let f = factorial(k);
-        ((0..f), (0..f)).prop_map(move |(a, b)| {
-            (
-                Perm::from_rank(k, a).expect("rank in range"),
-                Perm::from_rank(k, b).expect("rank in range"),
-            )
-        })
-    })
+/// Two same-degree permutations of degree 1..=10.
+fn arb_perm_pair(rng: &mut XorShift64) -> (Perm, Perm) {
+    let k = 1 + rng.gen_range(10);
+    let f = factorial(k);
+    (
+        Perm::from_rank(k, rng.gen_range_u64(f)).expect("rank in range"),
+        Perm::from_rank(k, rng.gen_range_u64(f)).expect("rank in range"),
+    )
 }
 
-proptest! {
-    #[test]
-    fn rank_unrank_roundtrip(p in arb_perm()) {
+#[test]
+fn rank_unrank_roundtrip() {
+    let mut rng = XorShift64::new(1);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         let r = p.rank();
-        prop_assert!(r < factorial(p.degree()));
-        prop_assert_eq!(Perm::from_rank(p.degree(), r).unwrap(), p);
+        assert!(r < factorial(p.degree()));
+        assert_eq!(Perm::from_rank(p.degree(), r).unwrap(), p);
     }
+}
 
-    #[test]
-    fn lehmer_roundtrip(p in arb_perm()) {
-        prop_assert_eq!(Perm::from_lehmer(&p.lehmer()).unwrap(), p);
+#[test]
+fn lehmer_roundtrip() {
+    let mut rng = XorShift64::new(2);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
+        assert_eq!(Perm::from_lehmer(&p.lehmer()).unwrap(), p);
     }
+}
 
-    #[test]
-    fn inverse_is_involution(p in arb_perm()) {
-        prop_assert_eq!(p.inverse().inverse(), p);
-        prop_assert!(p.inverse().compose(&p).is_identity());
-        prop_assert!(p.compose(&p.inverse()).is_identity());
+#[test]
+fn inverse_is_involution() {
+    let mut rng = XorShift64::new(3);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
+        assert_eq!(p.inverse().inverse(), p);
+        assert!(p.inverse().compose(&p).is_identity());
+        assert!(p.compose(&p.inverse()).is_identity());
     }
+}
 
-    #[test]
-    fn compose_is_associative((a, b) in arb_perm_pair(), seed in 0u64..1_000_000) {
+#[test]
+fn compose_is_associative() {
+    let mut rng = XorShift64::new(4);
+    for _ in 0..CASES {
+        let (a, b) = arb_perm_pair(&mut rng);
         let k = a.degree();
-        let c = Perm::from_rank(k, seed % factorial(k)).unwrap();
-        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+        let c = Perm::from_rank(k, rng.gen_range_u64(factorial(k))).unwrap();
+        assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
     }
+}
 
-    #[test]
-    fn parity_is_a_homomorphism((a, b) in arb_perm_pair()) {
+#[test]
+fn parity_is_a_homomorphism() {
+    let mut rng = XorShift64::new(5);
+    for _ in 0..CASES {
+        let (a, b) = arb_perm_pair(&mut rng);
         let ab = a.compose(&b);
-        prop_assert_eq!(ab.is_even(), a.is_even() == b.is_even());
+        assert_eq!(ab.is_even(), a.is_even() == b.is_even());
     }
+}
 
-    #[test]
-    fn cycles_reconstruct_permutation(p in arb_perm()) {
+#[test]
+fn cycles_reconstruct_permutation() {
+    let mut rng = XorShift64::new(6);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         // Rebuild the position→symbol map from the cycle decomposition.
         let mut symbols: Vec<u8> = (1..=p.degree() as u8).collect();
         for cycle in p.cycles() {
@@ -69,50 +90,77 @@ proptest! {
         }
         // cycles() follows pos → symbol-at-pos, so walking each cycle
         // reproduces the permutation exactly.
-        prop_assert_eq!(Perm::from_symbols(&symbols).unwrap(), p);
+        assert_eq!(Perm::from_symbols(&symbols).unwrap(), p);
     }
+}
 
-    #[test]
-    fn misplaced_matches_cycles(p in arb_perm()) {
+#[test]
+fn misplaced_matches_cycles() {
+    let mut rng = XorShift64::new(7);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         let by_cycles: usize = p.cycles().iter().map(Vec::len).sum();
-        prop_assert_eq!(p.misplaced(), by_cycles);
+        assert_eq!(p.misplaced(), by_cycles);
     }
+}
 
-    #[test]
-    fn swap_generators_are_involutions(p in arb_perm(), i in 1usize..=12, j in 1usize..=12) {
+#[test]
+fn swap_generators_are_involutions() {
+    let mut rng = XorShift64::new(8);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         let k = p.degree();
+        let i = 1 + rng.gen_range(12);
+        let j = 1 + rng.gen_range(12);
         if i <= k && j <= k {
             let q = p.swapped(i, j).unwrap();
-            prop_assert_eq!(q.swapped(i, j).unwrap(), p);
+            assert_eq!(q.swapped(i, j).unwrap(), p);
             if i == j {
-                prop_assert_eq!(q, p);
+                assert_eq!(q, p);
             }
         }
     }
+}
 
-    #[test]
-    fn prefix_rotations_compose_to_identity(p in arb_perm(), i in 2usize..=12) {
+#[test]
+fn prefix_rotations_compose_to_identity() {
+    let mut rng = XorShift64::new(9);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
+        let i = 2 + rng.gen_range(11);
         if i <= p.degree() {
-            let q = p.prefix_rotated_left(i).unwrap().prefix_rotated_right(i).unwrap();
-            prop_assert_eq!(q, p);
+            let q = p
+                .prefix_rotated_left(i)
+                .unwrap()
+                .prefix_rotated_right(i)
+                .unwrap();
+            assert_eq!(q, p);
         }
     }
+}
 
-    #[test]
-    fn suffix_rotation_order_divides_k_minus_1(p in arb_perm(), amount in 0usize..40) {
+#[test]
+fn suffix_rotation_order_divides_k_minus_1() {
+    let mut rng = XorShift64::new(10);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         if p.degree() >= 2 {
-            let m = amount % (p.degree() - 1);
+            let m = rng.gen_range(40) % (p.degree() - 1);
             let mut q = p.suffix_rotated_right(m);
             // Undo by rotating the complementary amount.
             q = q.suffix_rotated_right(p.degree() - 1 - m);
-            prop_assert_eq!(q, p);
+            assert_eq!(q, p);
         }
     }
+}
 
-    #[test]
-    fn inversions_bounded(p in arb_perm()) {
+#[test]
+fn inversions_bounded() {
+    let mut rng = XorShift64::new(11);
+    for _ in 0..CASES {
+        let p = arb_perm(&mut rng);
         let k = p.degree();
-        prop_assert!(p.inversions() <= k * (k - 1) / 2);
+        assert!(p.inversions() <= k * (k - 1) / 2);
     }
 }
 
@@ -123,4 +171,19 @@ fn max_degree_is_ranked_safely() {
     let last = Perm::from_rank(MAX_DEGREE, factorial(MAX_DEGREE) - 1).unwrap();
     let rev: Vec<u8> = (1..=MAX_DEGREE as u8).rev().collect();
     assert_eq!(last.symbols(), rev.as_slice());
+}
+
+#[test]
+fn transition_tables_agree_with_enumeration() {
+    // The chunked parallel sweep agrees with the direct unrank/apply/rank
+    // round trip on a non-trivial action.
+    let k = 7;
+    let act = |p: &Perm| p.prefix_rotated_left(4).unwrap().suffix_rotated_right(2);
+    let table = scg_perm::rank_transition_table(k, &act);
+    let mut rng = XorShift64::new(12);
+    for _ in 0..CASES {
+        let r = rng.gen_range_u64(factorial(k));
+        let u = Perm::from_rank(k, r).unwrap();
+        assert_eq!(u64::from(table[r as usize]), act(&u).rank());
+    }
 }

@@ -4,7 +4,6 @@
 //!
 //! Run with `cargo run --example ball_game`.
 
-use rand::SeedableRng;
 use supercayley::bag::{BagConfig, BagGame, MoveKind};
 use supercayley::core::{CayleyNetwork, SuperCayleyGraph};
 
@@ -12,12 +11,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Macro-star rules: 3 boxes of 2 balls + 1 outside ball (7 balls).
     let game = BagGame::new(SuperCayleyGraph::macro_star(3, 2)?);
     let n = game.network().box_size();
-    println!("Ball-arrangement game with {} balls, rules of {}:", game.num_balls(), game.network().name());
+    println!(
+        "Ball-arrangement game with {} balls, rules of {}:",
+        game.num_balls(),
+        game.network().name()
+    );
     for (g, kind) in game.moves() {
         println!("  move {g:<3} — {kind}");
     }
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1999);
+    let mut rng = supercayley::perm::XorShift64::new(1999);
     let scrambled = game.scramble(40, &mut rng);
     println!("\nscrambled : {}", scrambled.render(n));
 
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // …and optimally via BFS: the minimum number of moves IS the graph
     // distance in the corresponding super Cayley network.
     let optimal = game.solve_optimal(&scrambled, 1_000_000)?;
-    println!("\noptimal solution: {} moves (graph distance)", optimal.len());
+    println!(
+        "\noptimal solution: {} moves (graph distance)",
+        optimal.len()
+    );
     assert!(game.replay(&scrambled, &optimal)?.is_solved());
 
     // The coset-level view: a configuration can be color-sorted (right

@@ -21,14 +21,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = mnb_all_port(net.as_ref(), CAP)?;
         println!(
             "  {:<10} degree {:<2}: {:>3} steps (lower bound {:>3}, ratio {:.2})",
-            r.network, r.degree, r.steps, r.lower_bound,
+            r.network,
+            r.degree,
+            r.steps,
+            r.lower_bound,
             r.optimality_ratio()
         );
     }
 
     println!("\nSDC multinode broadcast (strictly optimal N-1 via Hamiltonian word):");
-    let r = mnb_sdc(&StarGraph::new(5)?, CAP, &mut SearchBudget::new(500_000_000))?;
-    println!("  {:<10}: {} steps = N-1 (Mišić–Jovanović's k!-1)", r.network, r.steps);
+    let r = mnb_sdc(
+        &StarGraph::new(5)?,
+        CAP,
+        &mut SearchBudget::new(500_000_000),
+    )?;
+    println!(
+        "  {:<10}: {} steps = N-1 (Mišić–Jovanović's k!-1)",
+        r.network, r.steps
+    );
 
     println!("\nTotal exchange:");
     for net in &nets {

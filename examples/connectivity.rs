@@ -38,8 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let swap_boxes: Perm = "1 4 5 2 3 6 7".parse()?; // boxes 1 and 2 exchanged
     let nucleus_move: Perm = "2 1 3 4 5 6 7".parse()?; // needs a nucleus move
-    println!("  reach '1 4 5 2 3 6 7' with box moves only? {}", chain.contains(&swap_boxes));
-    println!("  reach '2 1 3 4 5 6 7' with box moves only? {}", chain.contains(&nucleus_move));
+    println!(
+        "  reach '1 4 5 2 3 6 7' with box moves only? {}",
+        chain.contains(&swap_boxes)
+    );
+    println!(
+        "  reach '2 1 3 4 5 6 7' with box moves only? {}",
+        chain.contains(&nucleus_move)
+    );
 
     // Generator orders: every generator's order divides the group order
     // (Lagrange), and rotations have order l.

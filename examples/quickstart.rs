@@ -16,11 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("network      : {}", ms.name());
     println!("nodes        : {}", ms.num_nodes());
     println!("degree       : {}", ms.node_degree());
-    println!("generators   : {:?}", ms.generators().iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "generators   : {:?}",
+        ms.generators()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
 
     // Measured topological properties (diameter, mean distance, Moore bound).
     let report = NetworkReport::measure(&ms, 10_000)?;
-    println!("diameter     : {} (Moore bound {})", report.diameter, report.moore_bound);
+    println!(
+        "diameter     : {} (Moore bound {})",
+        report.diameter, report.moore_bound
+    );
     println!("mean distance: {:.3}", report.mean_distance);
 
     // Routing: emulate the optimal star-graph route (Theorem 1: each star
@@ -55,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<18} degree {:<2} ({})",
             net.name(),
             net.node_degree(),
-            if net.is_inverse_closed() { "undirected" } else { "directed" }
+            if net.is_inverse_closed() {
+                "undirected"
+            } else {
+                "directed"
+            }
         );
     }
     Ok(())

@@ -38,10 +38,7 @@ fn parse_host(class: &str, l: usize, n: usize) -> Result<SuperCayleyGraph, Strin
         "mr" => ScgClass::MacroRotator,
         "rr" => ScgClass::RotationRotator,
         "crr" => ScgClass::CompleteRotationRotator,
-        "is" => {
-            return SuperCayleyGraph::insertion_selection(l * n + 1)
-                .map_err(|e| e.to_string())
-        }
+        "is" => return SuperCayleyGraph::insertion_selection(l * n + 1).map_err(|e| e.to_string()),
         "mis" => ScgClass::MacroIs,
         "ris" => ScgClass::RotationIs,
         "cris" => ScgClass::CompleteRotationIs,

@@ -44,7 +44,10 @@ fn graph_errors_render() {
     let g = supercayley::graph::DenseGraph::from_edges(2, [(0, 9)]).unwrap_err();
     assert!(matches!(g, GraphError::NodeOutOfRange { node: 0 | 9, .. }));
     assert!(g.to_string().contains("out of range"));
-    assert_eq!(GraphError::BudgetExhausted.to_string(), "search budget exhausted");
+    assert_eq!(
+        GraphError::BudgetExhausted.to_string(),
+        "search budget exhausted"
+    );
     assert!(GraphError::NotATree.to_string().contains("tree"));
 }
 
@@ -64,8 +67,7 @@ fn embed_errors_render_and_chain() {
 
 #[test]
 fn emu_errors_render() {
-    let e = AllPortSchedule::paper_form(&SuperCayleyGraph::macro_star(6, 3).unwrap())
-        .unwrap_err();
+    let e = AllPortSchedule::paper_form(&SuperCayleyGraph::macro_star(6, 3).unwrap()).unwrap_err();
     let EmuError::InvalidSchedule { reason } = &e else {
         panic!("expected InvalidSchedule");
     };
@@ -90,10 +92,7 @@ fn comm_errors_render_and_chain() {
 #[test]
 fn bag_solver_propagates_caps() {
     let game = BagGame::new(SuperCayleyGraph::macro_star(2, 2).unwrap());
-    let mut rng = {
-        use rand::SeedableRng;
-        rand::rngs::StdRng::seed_from_u64(1)
-    };
+    let mut rng = supercayley::perm::XorShift64::new(1);
     let c = game.scramble(10, &mut rng);
     let e = game.solve_optimal(&c, 1).unwrap_err();
     assert!(matches!(e, CoreError::TooLarge { .. }) || matches!(e, CoreError::NoRoute));

@@ -3,7 +3,7 @@
 //! diameter correspondence.
 
 use supercayley::bag::BagGame;
-use supercayley::core::{CayleyNetwork, StarGraph, SuperCayleyGraph};
+use supercayley::core::{materialize, CayleyNetwork, StarGraph, SuperCayleyGraph, SMALL_NET_CAP};
 use supercayley::embed::CayleyEmbedding;
 use supercayley::emu::pipelined_dimension_cost;
 use supercayley::perm::Perm;
@@ -13,16 +13,15 @@ use supercayley::perm::Perm;
 #[test]
 fn star_graph_bipartition_is_parity() {
     let star = StarGraph::new(5).unwrap();
-    let g = star.to_graph(1_000).unwrap();
-    let colors = g.bipartition().expect("star graphs are bipartite");
+    let mat = materialize(&star, SMALL_NET_CAP).unwrap();
+    let colors = mat
+        .graph()
+        .bipartition()
+        .expect("star graphs are bipartite");
     let even_side = colors[0];
     for r in 0..120u64 {
         let p = Perm::from_rank(5, r).unwrap();
-        assert_eq!(
-            colors[r as usize] == even_side,
-            p.is_even(),
-            "rank {r}"
-        );
+        assert_eq!(colors[r as usize] == even_side, p.is_even(), "rank {r}");
     }
 }
 
@@ -31,8 +30,8 @@ fn star_graph_bipartition_is_parity() {
 #[test]
 fn is_network_is_not_bipartite() {
     let is5 = SuperCayleyGraph::insertion_selection(5).unwrap();
-    let g = is5.to_graph(1_000).unwrap();
-    assert!(g.bipartition().is_none());
+    let mat = materialize(&is5, SMALL_NET_CAP).unwrap();
+    assert!(mat.graph().bipartition().is_none());
 }
 
 /// The steady-state pipelined slowdown of a dimension equals that
@@ -66,9 +65,9 @@ fn gods_number_is_diameter_for_undirected_classes() {
         SuperCayleyGraph::insertion_selection(5).unwrap(),
         SuperCayleyGraph::macro_is(2, 2).unwrap(),
     ] {
-        let report = supercayley::core::NetworkReport::measure(&host, 1_000).unwrap();
+        let report = supercayley::core::NetworkReport::measure(&host, SMALL_NET_CAP).unwrap();
         let game = BagGame::new(host);
-        assert_eq!(game.gods_number(1_000).unwrap(), report.diameter);
+        assert_eq!(game.gods_number(SMALL_NET_CAP).unwrap(), report.diameter);
     }
 }
 

@@ -2,9 +2,7 @@
 //! public facade API (each claim crosses at least two crates).
 
 use supercayley::comm::{mnb_sdc, te_sdc};
-use supercayley::core::{
-    star_diameter, CayleyNetwork, NetworkReport, StarGraph, SuperCayleyGraph,
-};
+use supercayley::core::{star_diameter, CayleyNetwork, NetworkReport, StarGraph, SuperCayleyGraph};
 use supercayley::embed::CayleyEmbedding;
 use supercayley::emu::{AllPortSchedule, SdcReport};
 use supercayley::graph::SearchBudget;
@@ -97,15 +95,17 @@ fn te_tradeoff_shape() {
     let ms = te_sdc(&SuperCayleyGraph::macro_star(2, 2).unwrap(), CAP).unwrap();
     let is5 = te_sdc(&SuperCayleyGraph::insertion_selection(5).unwrap(), CAP).unwrap();
     assert!(star.steps < ms.steps, "low degree costs time");
-    assert!(is5.steps <= star.steps, "IS(5) has higher degree than the 5-star");
+    assert!(
+        is5.steps <= star.steps,
+        "IS(5) has higher degree than the 5-star"
+    );
 }
 
 /// All ten classes construct, are vertex-transitive, and their game view
 /// solves scrambles back to sorted (spanning bag + core + graph).
 #[test]
 fn ten_classes_game_roundtrip() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = supercayley::perm::XorShift64::new(3);
     for class in supercayley::core::ScgClass::ALL {
         let net = if class == supercayley::core::ScgClass::InsertionSelection {
             SuperCayleyGraph::insertion_selection(5).unwrap()

@@ -1,0 +1,71 @@
+//! Acceptance tests for the topology engine: for every one of the ten
+//! network classes, the cached table-driven materialization must equal the
+//! direct per-node construction, and repeated cache lookups must share one
+//! graph allocation.
+
+use std::sync::Arc;
+
+use supercayley::core::{CayleyNetwork, ScgClass, SuperCayleyGraph, TopologyCache, SMALL_NET_CAP};
+
+fn small_instance(class: ScgClass) -> SuperCayleyGraph {
+    // k = 5 for every class: (l,n) = (2,2), except IS which is nucleus-only.
+    if class == ScgClass::InsertionSelection {
+        SuperCayleyGraph::insertion_selection(5).unwrap()
+    } else {
+        SuperCayleyGraph::new(class, 2, 2).unwrap()
+    }
+}
+
+/// The engine's rank-table construction agrees edge-for-edge with the
+/// direct per-node `to_graph` reference on all ten classes.
+#[test]
+fn engine_matches_direct_construction_on_all_classes() {
+    let cache = TopologyCache::new();
+    for class in ScgClass::ALL {
+        let net = small_instance(class);
+        let direct = net.to_graph(SMALL_NET_CAP).unwrap();
+        let mat = cache.materialize(&net, SMALL_NET_CAP).unwrap();
+        assert_eq!(*mat.graph().as_ref(), direct, "{}", net.name());
+        // The transition tables agree with the CSR rows once both are
+        // viewed as neighbor sets.
+        for u in 0..direct.num_nodes() as u32 {
+            let mut from_tables: Vec<u32> = (0..mat.node_degree())
+                .map(|g| mat.neighbor_id(u, g))
+                .collect();
+            from_tables.sort_unstable();
+            assert_eq!(from_tables.as_slice(), direct.out_neighbors(u));
+        }
+    }
+}
+
+/// Two lookups of the same network return the same `Arc` — the whole point
+/// of the shared cache: comm, embed, emu, and reports all see one graph.
+#[test]
+fn cache_shares_one_arc_per_network() {
+    let cache = TopologyCache::new();
+    for class in ScgClass::ALL {
+        let net = small_instance(class);
+        let a = cache.materialize(&net, SMALL_NET_CAP).unwrap();
+        let b = cache.materialize(&net, SMALL_NET_CAP).unwrap();
+        assert!(
+            Arc::ptr_eq(a.graph(), b.graph()),
+            "{} graph not shared",
+            net.name()
+        );
+        assert!(Arc::ptr_eq(a.tables(), b.tables()), "{}", net.name());
+    }
+    assert_eq!(cache.len(), ScgClass::ALL.len());
+}
+
+/// The boxed-trait path (how `scg-comm` calls the engine) hits the same
+/// cache entries as the concrete-type path.
+#[test]
+fn dyn_and_concrete_lookups_share_entries() {
+    let cache = TopologyCache::new();
+    let net = small_instance(ScgClass::MacroStar);
+    let boxed: Box<dyn CayleyNetwork> = Box::new(small_instance(ScgClass::MacroStar));
+    let a = cache.materialize(&net, SMALL_NET_CAP).unwrap();
+    let b = cache.materialize(boxed.as_ref(), SMALL_NET_CAP).unwrap();
+    assert!(Arc::ptr_eq(a.graph(), b.graph()));
+    assert_eq!(cache.len(), 1);
+}
