@@ -68,7 +68,7 @@ pub use network::CayleyNetwork;
 pub use report::NetworkReport;
 pub use routing::{
     bfs_route, bubble_distance, bubble_sort_sequence, rotator_sort_sequence, scg_route,
-    star_diameter, star_dimension_parts, star_distance, star_distance_between, star_route,
-    star_sort_sequence, tn_distance, tn_sort_sequence, StarEmulation,
+    scg_route_faulty, star_diameter, star_dimension_parts, star_distance, star_distance_between,
+    star_route, star_sort_sequence, tn_distance, tn_sort_sequence, RoutedPath, StarEmulation,
 };
 pub use topology::{materialize, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP};

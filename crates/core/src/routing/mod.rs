@@ -2,10 +2,12 @@
 //! Cayley graphs, and exact BFS routing for validation.
 
 mod expand;
+mod fault;
 mod sort;
 mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
+pub use fault::{scg_route_faulty, RoutedPath};
 pub use sort::{
     bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,
 };

@@ -25,6 +25,14 @@ pub enum EmuError {
         /// Explanation.
         reason: &'static str,
     },
+    /// The router reports no route from `node` to `dst` (e.g. the
+    /// destination sits in a different survivor component).
+    Unreachable {
+        /// The node where routing was attempted.
+        node: scg_graph::NodeId,
+        /// The unreachable destination.
+        dst: scg_graph::NodeId,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -39,6 +47,9 @@ impl fmt::Display for EmuError {
             }
             EmuError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
             EmuError::SimOutOfRange { reason } => write!(f, "simulator misuse: {reason}"),
+            EmuError::Unreachable { node, dst } => {
+                write!(f, "no route from node {node} to destination {dst}")
+            }
         }
     }
 }

@@ -11,7 +11,9 @@
 //! * [`SyncSim`] — a synchronous store-and-forward link-level simulator
 //!   (all-port / single-port) with a shortest-path [`TableRouter`], used by
 //!   the `scg-comm` crate to measure multinode-broadcast and total-exchange
-//!   completion times.
+//!   completion times. Supports mid-run fail-stop fault injection with
+//!   bounded retries, per-packet TTLs, and live-lock detection, so
+//!   degraded networks report drops instead of hanging.
 //!
 //! # Examples
 //!
@@ -41,5 +43,5 @@ mod traffic;
 pub use error::EmuError;
 pub use schedule::{AllPortSchedule, DimSchedule, ScheduledHop};
 pub use sdc::{pipelined_dimension_cost, PipelinedCost, SdcReport};
-pub use sim::{Packet, PortModel, Router, SimStats, SyncSim, TableRouter};
+pub use sim::{NextHop, Packet, PortModel, Router, SimStats, SyncSim, TableRouter};
 pub use traffic::TrafficSummary;

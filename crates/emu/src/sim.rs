@@ -1,14 +1,22 @@
-//! A synchronous, link-level, store-and-forward network simulator.
+//! A synchronous, link-level, store-and-forward network simulator with
+//! fail-stop fault injection.
 //!
 //! Time advances in unit steps; every directed link transmits at most one
 //! packet per step. Under the **all-port** model a node feeds all its
 //! outgoing links simultaneously; under the **single-port** model it feeds
 //! one per step (round-robin over non-empty queues). This is the machinery
 //! the MNB/TE experiments (Corollaries 2–3) run on.
+//!
+//! Faults can be injected mid-run ([`SyncSim::fail_node`],
+//! [`SyncSim::fail_link`]). Packets queued on a dead link are *retried* —
+//! the router is re-consulted with the dead slots masked, up to
+//! [`SyncSim::with_retry_limit`] times per packet — and then counted as
+//! drops, so degradation shows up in [`SimStats`] (`dropped`, `retried`,
+//! [`SimStats::delivered_ratio`]) instead of as a hang.
 
 use std::collections::VecDeque;
 
-use scg_graph::{DenseGraph, NodeId, UNREACHABLE};
+use scg_graph::{DenseGraph, FaultSet, NodeId, UNREACHABLE};
 
 use crate::error::EmuError;
 
@@ -32,33 +40,97 @@ pub struct Packet {
     pub payload: u64,
 }
 
+/// A routing decision for a packet at a node.
+///
+/// This replaces the old convention where a single `Option::None` (and,
+/// inside [`TableRouter`], a single `u8::MAX` sentinel) meant both "at the
+/// destination" and "no route exists" — the two outcomes now travel as
+/// distinct variants, so unreachable packets surface as
+/// [`EmuError::Unreachable`] or counted drops rather than phantom
+/// deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextHop {
+    /// The packet is at its destination.
+    Deliver,
+    /// Forward through the given local out-slot.
+    Forward(usize),
+    /// The router knows no route to the destination.
+    Unreachable,
+}
+
 /// Chooses the outgoing link for a packet at a node.
 pub trait Router {
-    /// The local slot (index into `graph.out_neighbors(at)`) the packet
-    /// should leave through, or `None` if `at` is its destination.
-    fn next_hop(&self, at: NodeId, packet: &Packet) -> Option<usize>;
+    /// The routing decision for `packet` at node `at`. `Forward(slot)`
+    /// indexes into `graph.out_neighbors(at)`.
+    fn next_hop(&self, at: NodeId, packet: &Packet) -> NextHop;
+
+    /// Fault-time re-consultation: `dead(slot)` reports slots that are
+    /// currently unusable. The default deflects to the first live slot when
+    /// the preferred one is dead (bounded by the simulator's retry limit
+    /// and TTL), and reports [`NextHop::Unreachable`] when every slot is
+    /// dead. Routers with better knowledge (e.g. alternative shortest
+    /// slots) may override.
+    fn reroute(
+        &self,
+        at: NodeId,
+        packet: &Packet,
+        degree: usize,
+        dead: &dyn Fn(usize) -> bool,
+    ) -> NextHop {
+        match self.next_hop(at, packet) {
+            NextHop::Forward(slot) if dead(slot) => (0..degree)
+                .find(|&alt| !dead(alt))
+                .map_or(NextHop::Unreachable, NextHop::Forward),
+            hop => hop,
+        }
+    }
+}
+
+/// One entry of the [`TableRouter`] next-hop table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableSlot {
+    /// Out-slot toward the destination.
+    Toward(u8),
+    /// This node *is* the destination.
+    Destination,
+    /// No (surviving) route to the destination.
+    Unreachable,
 }
 
 /// Shortest-path table router: for every destination, a BFS-built next-hop
 /// slot per node. Ties are broken by a deterministic hash of
 /// `(node, destination)` so traffic spreads over equally short links.
+///
+/// [`TableRouter::new_with_faults`] builds the table over the survivor
+/// graph, so routes avoid a known fault set entirely.
 #[derive(Debug, Clone)]
 pub struct TableRouter {
     degree_cap: usize,
-    /// `slots[dst * n + u]` = out-slot at `u` toward `dst` (`u8::MAX` at
-    /// destination or unreachable).
-    slots: Vec<u8>,
+    /// `slots[dst * n + u]` = decision at `u` for destination `dst`.
+    slots: Vec<TableSlot>,
     n: usize,
 }
 
 impl TableRouter {
-    /// Builds the full `N × N` next-hop table (`O(N·E)` time, `N²` bytes).
+    /// Builds the full `N × N` next-hop table (`O(N·E)` time, `N²`
+    /// entries) over the fault-free graph.
     ///
     /// # Errors
     ///
     /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 254
     /// (slots are stored in a `u8`).
     pub fn new(graph: &DenseGraph) -> Result<Self, EmuError> {
+        Self::new_with_faults(graph, &FaultSet::new())
+    }
+
+    /// Builds the next-hop table over the survivor graph of `faults`:
+    /// failed nodes and blocked links never appear in a route, and
+    /// destinations cut off by the faults are marked unreachable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 254.
+    pub fn new_with_faults(graph: &DenseGraph, faults: &FaultSet) -> Result<Self, EmuError> {
         let n = graph.num_nodes();
         let degree_cap = (0..n)
             .map(|u| graph.out_degree(u as NodeId))
@@ -69,15 +141,20 @@ impl TableRouter {
                 reason: "out-degree too large for u8 slot table",
             });
         }
-        // Reverse adjacency for BFS *toward* each destination.
+        // Surviving reverse adjacency for BFS *toward* each destination.
         let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (u, v) in graph.edges() {
-            rev[v as usize].push(u);
+            if !faults.blocks(u, v) {
+                rev[v as usize].push(u);
+            }
         }
-        let mut slots = vec![u8::MAX; n * n];
+        let mut slots = vec![TableSlot::Unreachable; n * n];
         let mut dist = vec![UNREACHABLE; n];
         let mut queue = VecDeque::new();
         for dst in 0..n {
+            if faults.node_failed(dst as NodeId) {
+                continue; // whole column stays Unreachable
+            }
             dist.iter_mut().for_each(|d| *d = UNREACHABLE);
             dist[dst] = 0;
             queue.push_back(dst as NodeId);
@@ -89,6 +166,7 @@ impl TableRouter {
                     }
                 }
             }
+            slots[dst * n + dst] = TableSlot::Destination;
             for u in 0..n {
                 if u == dst || dist[u] == UNREACHABLE {
                     continue;
@@ -97,7 +175,11 @@ impl TableRouter {
                 let candidates: Vec<usize> = outs
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &v)| dist[v as usize] + 1 == dist[u])
+                    .filter(|&(_, &v)| {
+                        !faults.blocks(u as NodeId, v)
+                            && dist[v as usize] != UNREACHABLE
+                            && dist[v as usize] + 1 == dist[u]
+                    })
                     .map(|(slot, _)| slot)
                     .collect();
                 debug_assert!(!candidates.is_empty());
@@ -105,7 +187,7 @@ impl TableRouter {
                     .wrapping_mul(0x9E37_79B9)
                     .wrapping_add(dst.wrapping_mul(0x85EB_CA6B)))
                     % candidates.len();
-                slots[dst * n + u] = candidates[pick] as u8;
+                slots[dst * n + u] = TableSlot::Toward(candidates[pick] as u8);
             }
         }
         Ok(TableRouter {
@@ -123,19 +205,20 @@ impl TableRouter {
 }
 
 impl Router for TableRouter {
-    fn next_hop(&self, at: NodeId, packet: &Packet) -> Option<usize> {
-        if at == packet.dst {
-            return None;
+    fn next_hop(&self, at: NodeId, packet: &Packet) -> NextHop {
+        match self.slots[packet.dst as usize * self.n + at as usize] {
+            TableSlot::Toward(s) => NextHop::Forward(s as usize),
+            TableSlot::Destination => NextHop::Deliver,
+            TableSlot::Unreachable => NextHop::Unreachable,
         }
-        let s = self.slots[packet.dst as usize * self.n + at as usize];
-        (s != u8::MAX).then_some(s as usize)
     }
 }
 
 /// Statistics of a completed simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimStats {
-    /// Steps until every packet was delivered.
+    /// Steps until the run settled (all packets delivered or dropped, or a
+    /// live-lock was detected).
     pub steps: u64,
     /// Packets delivered.
     pub delivered: u64,
@@ -143,6 +226,42 @@ pub struct SimStats {
     pub transmissions: u64,
     /// Most transmissions carried by any single directed link.
     pub max_link_traffic: u64,
+    /// Packets dropped: retry budget exhausted, TTL expired, node died
+    /// under them, or no surviving route existed.
+    pub dropped: u64,
+    /// Fault-time router re-consultations (a packet may be retried several
+    /// times).
+    pub retried: u64,
+    /// Packets still queued when the run bailed out on a live-lock.
+    pub undelivered: u64,
+    /// Whether the run ended because no packet made progress for a full
+    /// round rather than because traffic drained.
+    pub livelocked: bool,
+}
+
+impl SimStats {
+    /// Fraction of terminated packets that were delivered:
+    /// `delivered / (delivered + dropped + undelivered)` (1.0 for an empty
+    /// run). The observable degradation curve of a faulty network.
+    #[must_use]
+    pub fn delivered_ratio(&self) -> f64 {
+        let total = self.delivered + self.dropped + self.undelivered;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+}
+
+/// A queued packet plus its fault-handling state.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    packet: Packet,
+    /// Remaining hops before the packet is dropped.
+    ttl: u32,
+    /// Fault retries consumed so far.
+    retries: u32,
 }
 
 /// The synchronous store-and-forward simulator.
@@ -151,29 +270,108 @@ pub struct SyncSim<'a> {
     graph: &'a DenseGraph,
     model: PortModel,
     /// FIFO per directed link (CSR edge index).
-    queues: Vec<VecDeque<Packet>>,
+    queues: Vec<VecDeque<Flight>>,
     /// Round-robin pointer per node (single-port fairness).
     rr: Vec<usize>,
     link_traffic: Vec<u64>,
+    faults: FaultSet,
+    ttl_limit: u32,
+    retry_limit: u32,
     delivered: u64,
     transmissions: u64,
+    dropped: u64,
+    retried: u64,
     in_flight: u64,
 }
 
 impl<'a> SyncSim<'a> {
-    /// Creates an empty simulator over `graph`.
+    /// Creates an empty simulator over `graph` with no faults, unlimited
+    /// TTL, and a retry limit equal to the largest out-degree.
     #[must_use]
     pub fn new(graph: &'a DenseGraph, model: PortModel) -> Self {
+        let retry_limit = (0..graph.num_nodes())
+            .map(|u| graph.out_degree(u as NodeId))
+            .max()
+            .unwrap_or(0) as u32;
         SyncSim {
             graph,
             model,
             queues: vec![VecDeque::new(); graph.num_edges()],
             rr: vec![0; graph.num_nodes()],
             link_traffic: vec![0; graph.num_edges()],
+            faults: FaultSet::new(),
+            ttl_limit: u32::MAX,
+            retry_limit,
             delivered: 0,
             transmissions: 0,
+            dropped: 0,
+            retried: 0,
             in_flight: 0,
         }
+    }
+
+    /// Sets the per-packet TTL: a packet is dropped once it has traversed
+    /// `ttl` links without reaching its destination. `u32::MAX` (the
+    /// default) disables the limit.
+    #[must_use]
+    pub fn with_ttl(mut self, ttl: u32) -> Self {
+        self.ttl_limit = ttl;
+        self
+    }
+
+    /// Sets how many times a packet stuck on a dead link may re-consult
+    /// the router before it is dropped.
+    #[must_use]
+    pub fn with_retry_limit(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
+    }
+
+    /// The faults injected so far.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Fails node `u` (fail-stop): the node stops forwarding, every link
+    /// touching it goes dead, and all packets currently queued at the node
+    /// are lost. Returns the number of packets lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if `u` is out of range.
+    pub fn fail_node(&mut self, u: NodeId) -> Result<u64, EmuError> {
+        if u as usize >= self.graph.num_nodes() {
+            return Err(EmuError::SimOutOfRange {
+                reason: "failed node out of range",
+            });
+        }
+        self.faults.fail_node(u);
+        let mut lost = 0u64;
+        for e in self.graph.edge_range(u) {
+            lost += self.queues[e].len() as u64;
+            self.queues[e].clear();
+        }
+        self.dropped += lost;
+        self.in_flight -= lost;
+        Ok(lost)
+    }
+
+    /// Fails the directed link `u → v`. Packets already queued on it stay
+    /// put and are retried (and eventually dropped) on subsequent steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if `u → v` is not a link of the
+    /// graph.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> Result<(), EmuError> {
+        if (u as usize) >= self.graph.num_nodes() || self.graph.edge_index(u, v).is_none() {
+            return Err(EmuError::SimOutOfRange {
+                reason: "failed link does not exist",
+            });
+        }
+        self.faults.fail_link(u, v);
+        Ok(())
     }
 
     /// Injects a packet at `at`, routing it immediately (a packet already at
@@ -181,8 +379,10 @@ impl<'a> SyncSim<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`EmuError::SimOutOfRange`] if `at`, the destination, or the
-    /// router's slot is out of range.
+    /// * [`EmuError::SimOutOfRange`] — `at` or the destination is out of
+    ///   range, `at` is a failed node, or the router's slot is invalid;
+    /// * [`EmuError::Unreachable`] — the router reports no route from `at`
+    ///   to the destination.
     pub fn inject(
         &mut self,
         at: NodeId,
@@ -195,19 +395,34 @@ impl<'a> SyncSim<'a> {
                 reason: "inject node out of range",
             });
         }
+        if self.faults.node_failed(at) {
+            return Err(EmuError::SimOutOfRange {
+                reason: "inject at failed node",
+            });
+        }
         match router.next_hop(at, &packet) {
-            None => {
+            NextHop::Deliver => {
                 self.delivered += 1;
             }
-            Some(slot) => {
+            NextHop::Forward(slot) => {
                 if slot >= self.graph.out_degree(at) {
                     return Err(EmuError::SimOutOfRange {
                         reason: "router slot out of range",
                     });
                 }
                 let base = self.edge_base(at);
-                self.queues[base + slot].push_back(packet);
+                self.queues[base + slot].push_back(Flight {
+                    packet,
+                    ttl: self.ttl_limit,
+                    retries: 0,
+                });
                 self.in_flight += 1;
+            }
+            NextHop::Unreachable => {
+                return Err(EmuError::Unreachable {
+                    node: at,
+                    dst: packet.dst,
+                });
             }
         }
         Ok(())
@@ -223,14 +438,90 @@ impl<'a> SyncSim<'a> {
         self.in_flight
     }
 
+    /// Whether the local out-slot `slot` of node `u` is currently dead.
+    fn slot_dead(&self, u: NodeId, slot: usize) -> bool {
+        let v = self.graph.out_neighbors(u)[slot];
+        self.faults.blocks(u, v)
+    }
+
+    /// Retry phase: drain every queue sitting on a dead link, re-consult
+    /// the router with the dead slots masked, and relocate or drop each
+    /// packet.
+    fn retry_dead_queues(&mut self, router: &impl Router) -> Result<(), EmuError> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        for u in 0..self.graph.num_nodes() as NodeId {
+            if self.faults.node_failed(u) {
+                continue; // its queues were already dropped by fail_node
+            }
+            let deg = self.graph.out_degree(u);
+            let base = self.edge_base(u);
+            for slot in 0..deg {
+                if !self.slot_dead(u, slot) {
+                    continue;
+                }
+                while let Some(mut flight) = self.queues[base + slot].pop_front() {
+                    self.in_flight -= 1;
+                    if flight.retries >= self.retry_limit {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    flight.retries += 1;
+                    self.retried += 1;
+                    let hop = {
+                        let faults = &self.faults;
+                        let graph = self.graph;
+                        let dead = move |s: usize| faults.blocks(u, graph.out_neighbors(u)[s]);
+                        router.reroute(u, &flight.packet, deg, &dead)
+                    };
+                    match hop {
+                        NextHop::Deliver => self.delivered += 1,
+                        NextHop::Forward(s) if s < deg && !self.slot_dead(u, s) => {
+                            self.queues[base + s].push_back(flight);
+                            self.in_flight += 1;
+                        }
+                        NextHop::Forward(s) if s >= deg => {
+                            return Err(EmuError::SimOutOfRange {
+                                reason: "router slot out of range",
+                            });
+                        }
+                        // Rerouted onto another dead slot or unreachable:
+                        // the packet has nowhere live to go.
+                        NextHop::Forward(_) | NextHop::Unreachable => self.dropped += 1,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the next transmittable flight of queue `base + slot`, dropping
+    /// TTL-exhausted heads (they do not consume link capacity).
+    fn pop_transmittable(&mut self, base: usize, slot: usize) -> Option<Flight> {
+        while let Some(flight) = self.queues[base + slot].pop_front() {
+            self.in_flight -= 1;
+            if flight.ttl == 0 {
+                self.dropped += 1;
+                continue;
+            }
+            return Some(flight);
+        }
+        None
+    }
+
     /// Runs one synchronous step; returns the number of packets moved.
     ///
     /// # Errors
     ///
     /// Propagates router slot violations.
     pub fn step(&mut self, router: &impl Router) -> Result<u64, EmuError> {
-        let mut arrivals: Vec<(NodeId, Packet)> = Vec::new();
+        self.retry_dead_queues(router)?;
+        let mut arrivals: Vec<(NodeId, Flight)> = Vec::new();
         for u in 0..self.graph.num_nodes() as NodeId {
+            if self.faults.node_failed(u) {
+                continue;
+            }
             let deg = self.graph.out_degree(u);
             if deg == 0 {
                 continue;
@@ -239,10 +530,14 @@ impl<'a> SyncSim<'a> {
             match self.model {
                 PortModel::AllPort => {
                     for slot in 0..deg {
-                        if let Some(p) = self.queues[base + slot].pop_front() {
+                        if self.slot_dead(u, slot) {
+                            continue;
+                        }
+                        if let Some(mut flight) = self.pop_transmittable(base, slot) {
                             let v = self.graph.out_neighbors(u)[slot];
                             self.link_traffic[base + slot] += 1;
-                            arrivals.push((v, p));
+                            flight.ttl -= 1;
+                            arrivals.push((v, flight));
                         }
                     }
                 }
@@ -250,10 +545,14 @@ impl<'a> SyncSim<'a> {
                     let start = self.rr[u as usize];
                     for off in 0..deg {
                         let slot = (start + off) % deg;
-                        if let Some(p) = self.queues[base + slot].pop_front() {
+                        if self.slot_dead(u, slot) {
+                            continue;
+                        }
+                        if let Some(mut flight) = self.pop_transmittable(base, slot) {
                             let v = self.graph.out_neighbors(u)[slot];
                             self.link_traffic[base + slot] += 1;
-                            arrivals.push((v, p));
+                            flight.ttl -= 1;
+                            arrivals.push((v, flight));
                             self.rr[u as usize] = (slot + 1) % deg;
                             break;
                         }
@@ -263,34 +562,45 @@ impl<'a> SyncSim<'a> {
         }
         let moved = arrivals.len() as u64;
         self.transmissions += moved;
-        self.in_flight -= moved;
-        for (v, p) in arrivals {
-            match router.next_hop(v, &p) {
-                None => self.delivered += 1,
-                Some(slot) => {
+        for (v, flight) in arrivals {
+            match router.next_hop(v, &flight.packet) {
+                NextHop::Deliver => self.delivered += 1,
+                NextHop::Forward(slot) => {
                     if slot >= self.graph.out_degree(v) {
                         return Err(EmuError::SimOutOfRange {
                             reason: "router slot out of range",
                         });
                     }
+                    // Queue even if the slot is currently dead: the retry
+                    // phase of the next step re-consults the router.
                     let base = self.edge_base(v);
-                    self.queues[base + slot].push_back(p);
+                    self.queues[base + slot].push_back(flight);
                     self.in_flight += 1;
                 }
+                // Mid-flight unreachability is fault-induced; count the
+                // drop rather than poisoning the whole run.
+                NextHop::Unreachable => self.dropped += 1,
             }
         }
         Ok(moved)
     }
 
-    /// Runs until all packets are delivered, returning statistics.
+    /// Runs until every packet is delivered or dropped, returning
+    /// statistics. Bails out early — with [`SimStats::livelocked`] set —
+    /// when traffic stops making progress: either a true fixed point
+    /// (nothing moved, nothing retried, nothing dropped for a full step) or
+    /// a delivery drought longer than `num_nodes + in_flight` steps
+    /// (packets circulating without ever terminating).
     ///
     /// # Errors
     ///
     /// * [`EmuError::SimOutOfRange`] — router misbehavior;
     /// * [`EmuError::InvalidSchedule`] — `max_steps` elapsed with packets
-    ///   still in flight (deadlock or bound blowout).
+    ///   still in flight (bound blowout).
     pub fn run(&mut self, router: &impl Router, max_steps: u64) -> Result<SimStats, EmuError> {
         let mut steps = 0u64;
+        let mut drought = 0u64;
+        let mut livelocked = false;
         while self.in_flight > 0 {
             if steps >= max_steps {
                 return Err(EmuError::InvalidSchedule {
@@ -300,14 +610,27 @@ impl<'a> SyncSim<'a> {
                     ),
                 });
             }
-            self.step(router)?;
+            let before = (self.delivered, self.dropped, self.retried);
+            let moved = self.step(router)?;
             steps += 1;
+            let terminated = (self.delivered, self.dropped) != (before.0, before.1);
+            drought = if terminated { 0 } else { drought + 1 };
+            let fixed_point = moved == 0 && (self.delivered, self.dropped, self.retried) == before;
+            let drought_limit = self.graph.num_nodes() as u64 + self.in_flight + 1;
+            if self.in_flight > 0 && (fixed_point || drought > drought_limit) {
+                livelocked = true;
+                break;
+            }
         }
         Ok(SimStats {
             steps,
             delivered: self.delivered,
             transmissions: self.transmissions,
             max_link_traffic: self.link_traffic.iter().copied().max().unwrap_or(0),
+            dropped: self.dropped,
+            retried: self.retried,
+            undelivered: self.in_flight,
+            livelocked,
         })
     }
 
@@ -328,19 +651,53 @@ mod tests {
         })
     }
 
+    fn pkt(src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload: 0,
+        }
+    }
+
     #[test]
     fn table_router_routes_shortest() {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
-        let p = Packet {
-            src: 0,
-            dst: 3,
-            payload: 0,
-        };
+        let p = pkt(0, 3);
         // From 0 toward 3: slot leading to node 1 (forward around the ring).
-        let slot = r.next_hop(0, &p).unwrap();
+        let NextHop::Forward(slot) = r.next_hop(0, &p) else {
+            panic!("expected a forwarding decision")
+        };
         assert_eq!(g.out_neighbors(0)[slot], 1);
-        assert_eq!(r.next_hop(3, &p), None);
+        assert_eq!(r.next_hop(3, &p), NextHop::Deliver);
+    }
+
+    #[test]
+    fn table_router_reports_unreachable() {
+        // 0 → 1, and 2 is isolated from them.
+        let g = DenseGraph::from_edges(3, [(0, 1), (1, 0)]).unwrap();
+        let r = TableRouter::new(&g).unwrap();
+        assert_eq!(r.next_hop(0, &pkt(0, 2)), NextHop::Unreachable);
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        assert!(matches!(
+            sim.inject(0, pkt(0, 2), &r),
+            Err(EmuError::Unreachable { node: 0, dst: 2 })
+        ));
+    }
+
+    #[test]
+    fn survivor_router_avoids_faults() {
+        let g = ring(8);
+        let mut faults = FaultSet::new();
+        faults.fail_node(1);
+        let r = TableRouter::new_with_faults(&g, &faults).unwrap();
+        // 0 → 2 must go the long way (via 7) since node 1 is dead.
+        let NextHop::Forward(slot) = r.next_hop(0, &pkt(0, 2)) else {
+            panic!("2 is still reachable")
+        };
+        assert_eq!(g.out_neighbors(0)[slot], 7);
+        // The dead node itself is unreachable as a destination.
+        assert_eq!(r.next_hop(0, &pkt(0, 1)), NextHop::Unreachable);
     }
 
     #[test]
@@ -348,20 +705,14 @@ mod tests {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(
-            0,
-            Packet {
-                src: 0,
-                dst: 3,
-                payload: 0,
-            },
-            &r,
-        )
-        .unwrap();
+        sim.inject(0, pkt(0, 3), &r).unwrap();
         let stats = sim.run(&r, 100).unwrap();
         assert_eq!(stats.steps, 3);
         assert_eq!(stats.delivered, 1);
         assert_eq!(stats.transmissions, 3);
+        assert_eq!(stats.dropped, 0);
+        assert!(!stats.livelocked);
+        assert!((stats.delivered_ratio() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]
@@ -372,16 +723,7 @@ mod tests {
         let mk = |model| {
             let mut sim = SyncSim::new(&g, model);
             for dst in [1u32, 5] {
-                sim.inject(
-                    0,
-                    Packet {
-                        src: 0,
-                        dst,
-                        payload: 0,
-                    },
-                    &r,
-                )
-                .unwrap();
+                sim.inject(0, pkt(0, dst), &r).unwrap();
             }
             sim.run(&r, 100).unwrap().steps
         };
@@ -396,16 +738,7 @@ mod tests {
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
         // Two packets from 0 to 2 must serialize on the 0→1 link.
         for _ in 0..2 {
-            sim.inject(
-                0,
-                Packet {
-                    src: 0,
-                    dst: 2,
-                    payload: 0,
-                },
-                &r,
-            )
-            .unwrap();
+            sim.inject(0, pkt(0, 2), &r).unwrap();
         }
         let stats = sim.run(&r, 100).unwrap();
         assert_eq!(stats.steps, 3); // second packet starts one step late
@@ -417,16 +750,7 @@ mod tests {
         let g = ring(4);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(
-            2,
-            Packet {
-                src: 2,
-                dst: 2,
-                payload: 0,
-            },
-            &r,
-        )
-        .unwrap();
+        sim.inject(2, pkt(2, 2), &r).unwrap();
         assert_eq!(sim.in_flight(), 0);
         let stats = sim.run(&r, 10).unwrap();
         assert_eq!(stats.delivered, 1);
@@ -438,16 +762,130 @@ mod tests {
         let g = ring(8);
         let r = TableRouter::new(&g).unwrap();
         let mut sim = SyncSim::new(&g, PortModel::AllPort);
-        sim.inject(
-            0,
-            Packet {
-                src: 0,
-                dst: 4,
-                payload: 0,
-            },
-            &r,
-        )
-        .unwrap();
+        sim.inject(0, pkt(0, 4), &r).unwrap();
         assert!(sim.run(&r, 2).is_err());
+    }
+
+    #[test]
+    fn mid_run_link_fault_rerouted_with_updated_table() {
+        let g = ring(8);
+        let stale = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(0, pkt(0, 2), &stale).unwrap();
+        // Kill the link the packet is queued on, then run with a
+        // survivor-rebuilt table (the fault was detected and tables
+        // refreshed): the retry re-consults it and the packet goes the
+        // long way round (6 hops via 7) instead of being lost.
+        sim.fail_link(0, 1).unwrap();
+        let fresh = TableRouter::new_with_faults(&g, sim.faults()).unwrap();
+        let stats = sim.run(&fresh, 100).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.retried >= 1);
+        assert!(stats.steps > 2, "the detour is longer than the direct path");
+    }
+
+    #[test]
+    fn stale_router_deflection_drops_after_retry_budget() {
+        let g = ring(8);
+        let stale = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(0, pkt(0, 2), &stale).unwrap();
+        sim.fail_link(0, 1).unwrap();
+        // With the stale table, deflection bounces 0 ↔ 7 (7's route to 2
+        // re-enters the dead link), so the retry budget caps the bouncing
+        // and the packet is dropped instead of spinning forever.
+        let stats = sim.run(&stale, 1_000).unwrap();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+        assert!(stats.retried >= 1);
+        assert!(!stats.livelocked);
+    }
+
+    #[test]
+    fn node_fault_drops_queued_packets() {
+        let g = ring(8);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(3, pkt(3, 5), &r).unwrap();
+        let lost = sim.fail_node(3).unwrap();
+        assert_eq!(lost, 1);
+        assert_eq!(sim.in_flight(), 0);
+        let stats = sim.run(&r, 10).unwrap();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 0);
+        assert!((stats.delivered_ratio() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn retry_limit_bounds_fault_retries() {
+        let g = ring(4);
+        let r = TableRouter::new(&g).unwrap();
+        // Retry limit 0: the first dead-slot encounter drops the packet.
+        let mut sim = SyncSim::new(&g, PortModel::AllPort).with_retry_limit(0);
+        sim.inject(0, pkt(0, 1), &r).unwrap();
+        sim.fail_link(0, 1).unwrap();
+        let stats = sim.run(&r, 10).unwrap();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.retried, 0);
+    }
+
+    #[test]
+    fn ttl_expiry_drops_packets() {
+        let g = ring(8);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort).with_ttl(2);
+        sim.inject(0, pkt(0, 4), &r).unwrap(); // distance 4 > ttl 2
+        sim.inject(0, pkt(0, 2), &r).unwrap(); // distance 2 fits exactly
+        let stats = sim.run(&r, 100).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+        assert!((stats.delivered_ratio() - 0.5).abs() < f64::EPSILON);
+    }
+
+    /// A router that keeps every packet circling the ring forever.
+    struct Spinner;
+    impl Router for Spinner {
+        fn next_hop(&self, _at: NodeId, _packet: &Packet) -> NextHop {
+            NextHop::Forward(0)
+        }
+    }
+
+    #[test]
+    fn undeliverable_traffic_reports_livelock_instead_of_spinning() {
+        let g = ring(6);
+        let table = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.inject(0, pkt(0, 3), &table).unwrap();
+        // Drive the sim with a router that never delivers: run() must bail
+        // out with a live-lock report long before max_steps.
+        let stats = sim.run(&Spinner, 1_000_000).unwrap();
+        assert!(stats.livelocked);
+        assert_eq!(stats.undelivered, 1);
+        assert_eq!(stats.delivered, 0);
+        assert!(stats.steps < 100);
+        assert!(stats.delivered_ratio() < f64::EPSILON);
+    }
+
+    #[test]
+    fn degree_minus_one_faults_still_deliver_with_survivor_router() {
+        // Ring connectivity is 2, so 1 arbitrary node fault keeps the
+        // survivors connected and a survivor-table router delivers 100%.
+        let g = ring(10);
+        let mut faults = FaultSet::new();
+        faults.fail_node(4);
+        let r = TableRouter::new_with_faults(&g, &faults).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        sim.fail_node(4).unwrap();
+        let mut injected = 0u64;
+        for src in [0u32, 2, 7] {
+            for dst in [3u32, 8, 9] {
+                sim.inject(src, pkt(src, dst), &r).unwrap();
+                injected += 1;
+            }
+        }
+        let stats = sim.run(&r, 1_000).unwrap();
+        assert_eq!(stats.delivered, injected);
+        assert_eq!(stats.dropped, 0);
     }
 }

@@ -4,7 +4,7 @@
 //! (the workspace builds offline, so `proptest` is not available).
 
 use scg_core::{materialize, ScgClass, SuperCayleyGraph, SMALL_NET_CAP};
-use scg_emu::{AllPortSchedule, Packet, PortModel, Router, SyncSim, TableRouter};
+use scg_emu::{AllPortSchedule, NextHop, Packet, PortModel, Router, SyncSim, TableRouter};
 use scg_perm::XorShift64;
 
 /// Shapes with k = nl + 1 <= 13 so scheduling stays fast.
@@ -71,11 +71,12 @@ fn router_is_distance_decreasing() {
             payload: 0,
         };
         match router.next_hop(at, &p) {
-            None => assert_eq!(at, dst),
-            Some(slot) => {
+            NextHop::Deliver => assert_eq!(at, dst),
+            NextHop::Forward(slot) => {
                 let next = graph.out_neighbors(at)[slot];
                 assert_eq!(dist[next as usize] + 1, dist[at as usize]);
             }
+            NextHop::Unreachable => panic!("connected network reported unreachable"),
         }
     }
 }

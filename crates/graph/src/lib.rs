@@ -14,7 +14,10 @@
 //! * a backtracking dilation-1 tree embedder ([`embed_tree`]) used to
 //!   certify Corollary 4's tree-into-star premise;
 //! * budget-limited Hamiltonian path search ([`hamiltonian_path`]) used by
-//!   the linear-array mesh embeddings of Corollary 6.
+//!   the linear-array mesh embeddings of Corollary 6;
+//! * a fail-stop fault model ([`FaultSet`], [`SurvivorView`]) with exact
+//!   max-flow connectivity audits ([`vertex_connectivity`],
+//!   [`edge_connectivity`]) and survivor component censuses.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 mod bounds;
 mod dense;
 mod error;
+mod fault;
 mod hamiltonian;
 mod stats;
 mod subgraph;
@@ -40,6 +44,7 @@ mod transitivity;
 pub use bounds::{moore_diameter_lower_bound, moore_diameter_lower_bound_undirected};
 pub use dense::DenseGraph;
 pub use error::GraphError;
+pub use fault::{edge_connectivity, vertex_connectivity, ComponentCensus, FaultSet, SurvivorView};
 pub use hamiltonian::{hamiltonian_cycle, hamiltonian_path, SearchBudget};
 pub use stats::DistanceStats;
 pub use subgraph::{complete_binary_tree, embed_tree, embed_tree_randomized};

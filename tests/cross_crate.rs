@@ -7,7 +7,7 @@ use supercayley::core::{
     apply_path, materialize, scg_route, CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph,
     SMALL_NET_CAP,
 };
-use supercayley::emu::{AllPortSchedule, Packet, PortModel, Router, SyncSim, TableRouter};
+use supercayley::emu::{AllPortSchedule, NextHop, Packet, PortModel, Router, SyncSim, TableRouter};
 use supercayley::perm::{factorial, Perm, XorShift64};
 
 fn host_for(pick: u8) -> SuperCayleyGraph {
@@ -111,16 +111,16 @@ fn lone_packet_takes_shortest_path() {
             assert_eq!(stats.steps, d);
             // Router is consistent with adjacency.
             if src != dst {
-                let slot = router
-                    .next_hop(
+                let NextHop::Forward(slot) = router.next_hop(
+                    src,
+                    &Packet {
                         src,
-                        &Packet {
-                            src,
-                            dst,
-                            payload: 0,
-                        },
-                    )
-                    .unwrap();
+                        dst,
+                        payload: 0,
+                    },
+                ) else {
+                    panic!("distinct connected pair must forward");
+                };
                 assert!(slot < graph.out_degree(src));
             }
         }
