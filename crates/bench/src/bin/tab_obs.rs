@@ -1,0 +1,193 @@
+//! Experiment `tab_obs`: the first real entries of the bench trajectory.
+//!
+//! Runs an instrumented sweep over all ten Table II classes (k = 5, 120
+//! nodes) with the `obs` feature's hooks live: every class is materialized
+//! twice through the shared topology cache (one miss, one hit), routed
+//! over a fixed-seed pair sample fault-free and under `degree − 1` node
+//! faults, and simulated end to end on the link-level simulator. The
+//! summary table plus the full metric exposition is written to
+//! `results/tab_obs.txt`, and the raw snapshot to
+//! `results/tab_obs_metrics.{txt,json}` via [`scg_obs::write_snapshot`].
+//!
+//! Build with the feature: `cargo run --release -p scg-bench --features
+//! obs --bin tab_obs`.
+
+#[cfg(not(feature = "obs"))]
+fn main() {
+    eprintln!("tab_obs needs the observability hooks compiled in; rerun with:");
+    eprintln!("    cargo run --release -p scg-bench --features obs --bin tab_obs");
+}
+
+#[cfg(feature = "obs")]
+fn main() {
+    use scg_bench::{all_class_hosts_k5, f3, Table};
+    use scg_core::{materialize, scg_route_faulty, CayleyNetwork, SMALL_NET_CAP};
+    use scg_emu::{Packet, PortModel, SyncSim, TableRouter};
+    use scg_graph::{FaultSet, NodeId, SurvivorView};
+    use scg_obs::{EventTrace, Registry, Snapshot};
+    use scg_perm::XorShift64;
+
+    const PAIRS: usize = 40;
+
+    println!("== Observability sweep: cache, routing, and sim metrics, all ten classes ==\n");
+    let reg = Registry::global();
+    let mut t = Table::new(&[
+        "network",
+        "nodes",
+        "cache h/m",
+        "route mean hops",
+        "faulty mean hops",
+        "detours",
+        "fallbacks",
+        "delivered",
+        "sim steps",
+        "retries",
+        "audit count",
+    ]);
+
+    for net in all_class_hosts_k5().expect("k=5 classes") {
+        let name = net.name();
+        let labels = [("network", name.as_str())];
+        // One miss then one hit on the shared cache, both visible in the
+        // per-class hit/miss counters.
+        let mat = materialize(&net, SMALL_NET_CAP).expect("120 nodes under cap");
+        let mat2 = materialize(&net, SMALL_NET_CAP).expect("cache hit");
+        assert!(std::sync::Arc::ptr_eq(mat.graph(), mat2.graph()));
+
+        let mut rng = XorShift64::new(0x0B5 + mat.degree_k() as u64);
+        let degree = {
+            let mut v = mat.graph().out_neighbors(0).to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        let faults = FaultSet::random_nodes(mat.num_nodes(), degree - 1, &[], &mut rng);
+        let view = SurvivorView::new(mat.graph(), &faults);
+        let audits_before = reg
+            .counter(
+                "scg_fault_audits_total",
+                &[("audit", "strong_connectivity")],
+            )
+            .get();
+        assert!(
+            view.is_strongly_connected(),
+            "degree-1 faults stay connected"
+        );
+
+        // Fixed-seed live pair sample shared by routing and sim.
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(PAIRS);
+        while pairs.len() < PAIRS {
+            let s = rng.gen_range(mat.num_nodes()) as NodeId;
+            let d = rng.gen_range(mat.num_nodes()) as NodeId;
+            if s != d && view.is_alive(s) && view.is_alive(d) {
+                pairs.push((s, d));
+            }
+        }
+
+        // Fault-free and faulty routing sweeps feed the per-class
+        // histograms through the scg-core hooks.
+        let empty = FaultSet::new();
+        for &(s, d) in &pairs {
+            let from = mat.node_label(s).expect("rank in range");
+            let to = mat.node_label(d).expect("rank in range");
+            scg_route_faulty(&net, &mat, &from, &to, &empty).expect("fault-free route");
+            scg_route_faulty(&net, &mat, &from, &to, &faults).expect("survivors connected");
+        }
+
+        // End-to-end sim over the survivor tables.
+        let router = TableRouter::new_with_faults(mat.graph(), &faults).expect("small degrees");
+        let mut sim = SyncSim::new(mat.graph(), PortModel::AllPort);
+        for &node in &faults.failed_nodes() {
+            sim.fail_node(node).expect("fault in range");
+        }
+        let dropped_at_faults = sim.in_flight(); // 0: no traffic yet
+        assert_eq!(dropped_at_faults, 0);
+        for &(s, d) in &pairs {
+            let pkt = Packet {
+                src: s,
+                dst: d,
+                payload: 0,
+            };
+            sim.inject(s, pkt, &router).expect("live pair routable");
+        }
+        let stats = sim.run(&router, 1_000_000).expect("bounded run");
+
+        // Read the class-labeled families back out of the registry.
+        let hits = reg.counter("scg_topology_cache_hits_total", &labels).get();
+        let misses = reg
+            .counter("scg_topology_cache_misses_total", &labels)
+            .get();
+        let plan = reg.histogram(
+            "scg_route_faulty_hops",
+            &labels,
+            &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32],
+        );
+        let detours = reg.counter("scg_route_detours_total", &labels).get();
+        let fallbacks = reg.counter("scg_route_fallbacks_total", &labels).get();
+        let audits = reg
+            .counter(
+                "scg_fault_audits_total",
+                &[("audit", "strong_connectivity")],
+            )
+            .get()
+            - audits_before;
+        let clean_mean = {
+            // Fault-free half of the sweep, from the plan-hops family.
+            let h = reg.histogram(
+                "scg_route_plan_hops",
+                &labels,
+                &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32],
+            );
+            h.mean()
+        };
+        t.row(&[
+            name.clone(),
+            mat.num_nodes().to_string(),
+            format!("{hits}/{misses}"),
+            f3(clean_mean),
+            f3(plan.mean()),
+            detours.to_string(),
+            fallbacks.to_string(),
+            format!("{}/{}", stats.delivered, PAIRS),
+            stats.steps.to_string(),
+            stats.retried.to_string(),
+            audits.to_string(),
+        ]);
+    }
+
+    let table = t.render();
+    print!("{table}");
+
+    let snap = reg.snapshot();
+    let results = std::path::Path::new("results");
+    let (txt, json) =
+        scg_obs::write_snapshot(results, "tab_obs_metrics", &snap).expect("results/ writable");
+    let trace_lines = EventTrace::global().len();
+
+    let mut report = String::new();
+    report.push_str(
+        "== Observability sweep: cache, routing, and sim metrics, all ten classes ==\n\n",
+    );
+    report.push_str(&table);
+    report.push_str("\nEvery class shows one cache miss and one-or-more hits (later classes\n");
+    report.push_str("reuse nothing: names differ), 100% delivery over survivor tables at\n");
+    report.push_str("degree-1 node faults, and per-class hop histograms below. Wall-time\n");
+    report.push_str("histograms (materialize, audits) vary by machine; counts do not.\n\n");
+    report.push_str("== Metric exposition (scg_obs snapshot) ==\n\n");
+    report.push_str(&snap.to_text());
+    std::fs::write(results.join("tab_obs.txt"), &report).expect("results/ writable");
+
+    // The exported JSON must parse back to the identical snapshot —
+    // the exporter is only trustworthy if its output round-trips.
+    let body = std::fs::read_to_string(&json).expect("json readable");
+    assert_eq!(
+        Snapshot::from_json(&body).expect("exporter output parses"),
+        snap
+    );
+    println!(
+        "\nwrote results/tab_obs.txt, {}, {}",
+        txt.display(),
+        json.display()
+    );
+    println!("trace buffer holds {trace_lines} events");
+}

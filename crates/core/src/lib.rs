@@ -53,6 +53,8 @@ mod classic;
 mod error;
 mod generator;
 mod network;
+#[cfg(feature = "obs")]
+mod obs_hooks;
 mod report;
 mod routing;
 mod topology;

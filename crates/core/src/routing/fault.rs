@@ -134,6 +134,29 @@ pub fn scg_route_faulty(
     to: &Perm,
     faults: &FaultSet,
 ) -> Result<RoutedPath, CoreError> {
+    let result = route_faulty_inner(net, mat, from, to, faults);
+    #[cfg(feature = "obs")]
+    match &result {
+        Ok(path) => crate::obs_hooks::route_faulty_done(
+            &net.name(),
+            path.len(),
+            path.detours,
+            path.fallback_used,
+        ),
+        Err(CoreError::NoRoute) => crate::obs_hooks::route_faulty_no_route(&net.name()),
+        Err(_) => {}
+    }
+    result
+}
+
+/// The uninstrumented routing core behind [`scg_route_faulty`].
+fn route_faulty_inner(
+    net: &SuperCayleyGraph,
+    mat: &Materialized,
+    from: &Perm,
+    to: &Perm,
+    faults: &FaultSet,
+) -> Result<RoutedPath, CoreError> {
     let src = mat.node_id(from)?;
     let dst = mat.node_id(to)?;
     if faults.node_failed(src) || faults.node_failed(dst) {

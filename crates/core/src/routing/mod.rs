@@ -60,6 +60,8 @@ pub fn scg_route(
         };
         out.extend(emu.expand_star_link(i as usize)?);
     }
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::route_planned(&net.name(), out.len());
     Ok(out)
 }
 

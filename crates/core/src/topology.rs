@@ -82,6 +82,8 @@ impl Materialized {
                 cap: factorial(MAX_TABLE_DEGREE),
             });
         }
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::materialize_timer(&net.name(), n);
         type BoxedAction = Box<dyn Fn(&Perm) -> Perm + Sync>;
         let gens = net.generators().to_vec();
         let actions: Vec<BoxedAction> = gens
@@ -242,8 +244,12 @@ impl TopologyCache {
         }
         let key = (net.name(), net.degree_k());
         if let Some(hit) = self.entries.lock().expect("cache lock").get(&key) {
+            #[cfg(feature = "obs")]
+            crate::obs_hooks::cache_hit(&key.0);
             return Ok(hit.clone());
         }
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::cache_miss(&key.0);
         // Build outside the lock: concurrent first materializations of
         // *different* networks should not serialize. A racing duplicate
         // build of the same network is discarded in favor of the first
@@ -275,7 +281,10 @@ impl TopologyCache {
     ///
     /// Panics if the cache mutex was poisoned.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
+        let mut entries = self.entries.lock().expect("cache lock");
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::cache_evicted(entries.len() as u64);
+        entries.clear();
     }
 }
 

@@ -35,6 +35,8 @@
 #![warn(missing_docs)]
 
 mod error;
+#[cfg(feature = "obs")]
+mod obs_hooks;
 mod schedule;
 mod sdc;
 mod sim;

@@ -1,0 +1,114 @@
+//! `obs`-feature hooks: simulator metrics.
+//!
+//! Compiled only with the `obs` cargo feature. Handles for the unlabeled
+//! simulator families are cached in `OnceLock` statics so the per-packet
+//! hot paths pay one atomic increment, not a registry lookup. Hooks are
+//! record-only: [`SimStats`](crate::SimStats) is computed from the
+//! simulator's own fields, never from these metrics, which is what the
+//! with/without-obs equality test in `tests/observability.rs` pins down.
+
+use std::sync::{Arc, OnceLock};
+
+use scg_obs::{Counter, EventTrace, Gauge, Histogram, Registry};
+
+/// Per-packet hop (latency) buckets: powers of two to 512.
+const HOPS_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Run-length buckets in steps.
+const STEPS_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 2048];
+
+macro_rules! static_counter {
+    ($name:ident, $metric:literal) => {
+        fn $name() -> &'static Arc<Counter> {
+            static H: OnceLock<Arc<Counter>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().counter($metric, &[]))
+        }
+    };
+}
+
+macro_rules! static_gauge {
+    ($name:ident, $metric:literal) => {
+        fn $name() -> &'static Arc<Gauge> {
+            static H: OnceLock<Arc<Gauge>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().gauge($metric, &[]))
+        }
+    };
+}
+
+static_counter!(injected_total, "scg_sim_injected_total");
+static_counter!(delivered_total, "scg_sim_delivered_total");
+static_counter!(dropped_total, "scg_sim_dropped_total");
+static_counter!(retried_total, "scg_sim_retried_total");
+static_counter!(unreachable_total, "scg_sim_unreachable_total");
+static_counter!(steps_total, "scg_sim_steps_total");
+static_counter!(runs_total, "scg_sim_runs_total");
+static_counter!(livelocks_total, "scg_sim_livelocks_total");
+static_gauge!(in_flight_gauge, "scg_sim_in_flight");
+static_gauge!(step_moved_gauge, "scg_sim_step_moved");
+static_gauge!(step_delivered_gauge, "scg_sim_step_delivered");
+static_gauge!(queue_depth_peak, "scg_sim_queue_depth_peak");
+
+fn packet_hops() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| Registry::global().histogram("scg_sim_packet_hops", &[], &HOPS_BOUNDS))
+}
+
+fn run_steps() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| Registry::global().histogram("scg_sim_run_steps", &[], &STEPS_BOUNDS))
+}
+
+/// A packet entered the network.
+pub(crate) fn injected() {
+    injected_total().inc();
+}
+
+/// A packet reached its destination after `hops` link traversals.
+pub(crate) fn delivered(hops: u64) {
+    delivered_total().inc();
+    packet_hops().observe(hops);
+}
+
+/// `n` packets were dropped (TTL, retry budget, dead node, or no route).
+pub(crate) fn dropped(n: u64) {
+    dropped_total().add(n);
+}
+
+/// One fault-time router re-consultation.
+pub(crate) fn retried() {
+    retried_total().inc();
+}
+
+/// An injection was rejected as unreachable.
+pub(crate) fn unreachable() {
+    unreachable_total().inc();
+}
+
+/// Per-cycle readings after one synchronous step.
+pub(crate) fn step(moved: u64, delivered_delta: u64, in_flight: u64, queue_peak: i64) {
+    steps_total().inc();
+    step_moved_gauge().set(i64::try_from(moved).unwrap_or(i64::MAX));
+    step_delivered_gauge().set(i64::try_from(delivered_delta).unwrap_or(i64::MAX));
+    in_flight_gauge().set(i64::try_from(in_flight).unwrap_or(i64::MAX));
+    queue_depth_peak().record_max(queue_peak);
+}
+
+/// One [`SyncSim::run`](crate::SyncSim::run) completed.
+pub(crate) fn run_done(steps: u64, livelocked: bool, undelivered: u64) {
+    runs_total().inc();
+    run_steps().observe(steps);
+    if livelocked {
+        livelocks_total().inc();
+    }
+    EventTrace::global().record(
+        "sim.run.end",
+        &[
+            ("steps", i64::try_from(steps).unwrap_or(i64::MAX)),
+            (
+                "undelivered",
+                i64::try_from(undelivered).unwrap_or(i64::MAX),
+            ),
+            ("livelocked", i64::from(livelocked)),
+        ],
+    );
+}

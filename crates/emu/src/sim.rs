@@ -354,6 +354,8 @@ impl<'a> SyncSim<'a> {
         }
         self.dropped += lost;
         self.in_flight -= lost;
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::dropped(lost);
         Ok(lost)
     }
 
@@ -403,6 +405,8 @@ impl<'a> SyncSim<'a> {
         match router.next_hop(at, &packet) {
             NextHop::Deliver => {
                 self.delivered += 1;
+                #[cfg(feature = "obs")]
+                crate::obs_hooks::delivered(0);
             }
             NextHop::Forward(slot) => {
                 if slot >= self.graph.out_degree(at) {
@@ -417,8 +421,12 @@ impl<'a> SyncSim<'a> {
                     retries: 0,
                 });
                 self.in_flight += 1;
+                #[cfg(feature = "obs")]
+                crate::obs_hooks::injected();
             }
             NextHop::Unreachable => {
+                #[cfg(feature = "obs")]
+                crate::obs_hooks::unreachable();
                 return Err(EmuError::Unreachable {
                     node: at,
                     dst: packet.dst,
@@ -465,10 +473,14 @@ impl<'a> SyncSim<'a> {
                     self.in_flight -= 1;
                     if flight.retries >= self.retry_limit {
                         self.dropped += 1;
+                        #[cfg(feature = "obs")]
+                        crate::obs_hooks::dropped(1);
                         continue;
                     }
                     flight.retries += 1;
                     self.retried += 1;
+                    #[cfg(feature = "obs")]
+                    crate::obs_hooks::retried();
                     let hop = {
                         let faults = &self.faults;
                         let graph = self.graph;
@@ -476,7 +488,11 @@ impl<'a> SyncSim<'a> {
                         router.reroute(u, &flight.packet, deg, &dead)
                     };
                     match hop {
-                        NextHop::Deliver => self.delivered += 1,
+                        NextHop::Deliver => {
+                            self.delivered += 1;
+                            #[cfg(feature = "obs")]
+                            crate::obs_hooks::delivered(u64::from(self.ttl_limit - flight.ttl));
+                        }
                         NextHop::Forward(s) if s < deg && !self.slot_dead(u, s) => {
                             self.queues[base + s].push_back(flight);
                             self.in_flight += 1;
@@ -488,7 +504,11 @@ impl<'a> SyncSim<'a> {
                         }
                         // Rerouted onto another dead slot or unreachable:
                         // the packet has nowhere live to go.
-                        NextHop::Forward(_) | NextHop::Unreachable => self.dropped += 1,
+                        NextHop::Forward(_) | NextHop::Unreachable => {
+                            self.dropped += 1;
+                            #[cfg(feature = "obs")]
+                            crate::obs_hooks::dropped(1);
+                        }
                     }
                 }
             }
@@ -503,6 +523,8 @@ impl<'a> SyncSim<'a> {
             self.in_flight -= 1;
             if flight.ttl == 0 {
                 self.dropped += 1;
+                #[cfg(feature = "obs")]
+                crate::obs_hooks::dropped(1);
                 continue;
             }
             return Some(flight);
@@ -516,6 +538,8 @@ impl<'a> SyncSim<'a> {
     ///
     /// Propagates router slot violations.
     pub fn step(&mut self, router: &impl Router) -> Result<u64, EmuError> {
+        #[cfg(feature = "obs")]
+        let delivered_before = self.delivered;
         self.retry_dead_queues(router)?;
         let mut arrivals: Vec<(NodeId, Flight)> = Vec::new();
         for u in 0..self.graph.num_nodes() as NodeId {
@@ -564,7 +588,11 @@ impl<'a> SyncSim<'a> {
         self.transmissions += moved;
         for (v, flight) in arrivals {
             match router.next_hop(v, &flight.packet) {
-                NextHop::Deliver => self.delivered += 1,
+                NextHop::Deliver => {
+                    self.delivered += 1;
+                    #[cfg(feature = "obs")]
+                    crate::obs_hooks::delivered(u64::from(self.ttl_limit - flight.ttl));
+                }
                 NextHop::Forward(slot) => {
                     if slot >= self.graph.out_degree(v) {
                         return Err(EmuError::SimOutOfRange {
@@ -579,10 +607,33 @@ impl<'a> SyncSim<'a> {
                 }
                 // Mid-flight unreachability is fault-induced; count the
                 // drop rather than poisoning the whole run.
-                NextHop::Unreachable => self.dropped += 1,
+                NextHop::Unreachable => {
+                    self.dropped += 1;
+                    #[cfg(feature = "obs")]
+                    crate::obs_hooks::dropped(1);
+                }
             }
         }
+        #[cfg(feature = "obs")]
+        self.obs_record_step(moved, self.delivered - delivered_before);
         Ok(moved)
+    }
+
+    /// Per-cycle metric readings (compiled only with the `obs` feature).
+    #[cfg(feature = "obs")]
+    fn obs_record_step(&self, moved: u64, delivered_delta: u64) {
+        let queue_peak = self
+            .queues
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .max()
+            .unwrap_or(0);
+        crate::obs_hooks::step(
+            moved,
+            delivered_delta,
+            self.in_flight,
+            i64::try_from(queue_peak).unwrap_or(i64::MAX),
+        );
     }
 
     /// Runs until every packet is delivered or dropped, returning
@@ -622,6 +673,8 @@ impl<'a> SyncSim<'a> {
                 break;
             }
         }
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::run_done(steps, livelocked, self.in_flight);
         Ok(SimStats {
             steps,
             delivered: self.delivered,
@@ -887,5 +940,18 @@ mod tests {
         let stats = sim.run(&r, 1_000).unwrap();
         assert_eq!(stats.delivered, injected);
         assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn delivered_ratio_is_one_for_zero_packet_run() {
+        // Regression: 0 delivered / 0 terminated must read as a perfect
+        // run (1.0), never 0/0 = NaN.
+        let g = ring(6);
+        let r = TableRouter::new(&g).unwrap();
+        let mut sim = SyncSim::new(&g, PortModel::AllPort);
+        let stats = sim.run(&r, 100).unwrap();
+        assert_eq!(stats.delivered + stats.dropped + stats.undelivered, 0);
+        assert!(stats.delivered_ratio().is_finite());
+        assert!((stats.delivered_ratio() - 1.0).abs() < f64::EPSILON);
     }
 }

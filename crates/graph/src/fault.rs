@@ -362,6 +362,8 @@ impl<'a> SurvivorView<'a> {
     /// Vacuously true when at most one node survives.
     #[must_use]
     pub fn is_strongly_connected(&self) -> bool {
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::audit_timer("strong_connectivity");
         let Some(root) = self.live_nodes().next() else {
             return true;
         };
@@ -403,6 +405,8 @@ impl<'a> SurvivorView<'a> {
     /// (links treated as undirected), sizes largest first.
     #[must_use]
     pub fn component_census(&self) -> ComponentCensus {
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::audit_timer("component_census");
         let n = self.graph.num_nodes();
         let mut undirected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (u, v) in self.graph.edges() {
@@ -448,6 +452,8 @@ impl<'a> SurvivorView<'a> {
     /// neighborhood.
     #[must_use]
     pub fn vertex_connectivity(&self) -> usize {
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::audit_timer("vertex_connectivity");
         let live: Vec<NodeId> = self.live_nodes().collect();
         if live.len() <= 1 {
             return 0;
@@ -502,6 +508,8 @@ impl<'a> SurvivorView<'a> {
     /// flowed against every other in both directions.
     #[must_use]
     pub fn edge_connectivity(&self) -> usize {
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::audit_timer("edge_connectivity");
         let live: Vec<NodeId> = self.live_nodes().collect();
         if live.len() <= 1 {
             return 0;

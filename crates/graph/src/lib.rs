@@ -37,6 +37,8 @@ mod dense;
 mod error;
 mod fault;
 mod hamiltonian;
+#[cfg(feature = "obs")]
+mod obs_hooks;
 mod stats;
 mod subgraph;
 mod transitivity;

@@ -1,0 +1,26 @@
+//! `obs`-feature hooks: survivor-view audit timings.
+//!
+//! Compiled only with the `obs` cargo feature; with it off, none of this
+//! exists and the audited functions carry zero instrumentation cost. The
+//! hooks only *record* — they never change control flow, so audit results
+//! are identical with and without the feature.
+
+use scg_obs::{EventTrace, Registry, Timer};
+
+/// Wall-time bucket bounds in microseconds: 1 µs .. 10 s, decades.
+pub(crate) const MICROS_BOUNDS: [u64; 8] =
+    [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A drop-timer feeding `scg_fault_audit_micros{audit=…}` and emitting a
+/// trace event when the audit finishes.
+pub(crate) fn audit_timer(audit: &'static str) -> Timer {
+    EventTrace::global().record("fault.audit", &[]);
+    Registry::global()
+        .counter("scg_fault_audits_total", &[("audit", audit)])
+        .inc();
+    Timer::new(Registry::global().histogram(
+        "scg_fault_audit_micros",
+        &[("audit", audit)],
+        &MICROS_BOUNDS,
+    ))
+}

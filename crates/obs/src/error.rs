@@ -1,0 +1,61 @@
+//! Error type for registry and snapshot operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the fallible observability APIs.
+///
+/// The instrumentation helpers ([`Registry::counter`](crate::Registry) and
+/// friends) deliberately never return these — a metrics layer must not be
+/// able to crash the program it observes — but the `try_*` variants and the
+/// JSON parser report them for tests and tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// A metric name was re-registered as a different kind (e.g. a counter
+    /// re-requested as a histogram).
+    KindCollision {
+        /// The colliding metric family name.
+        name: String,
+        /// The kind already registered under `name`.
+        existing: &'static str,
+        /// The kind the caller asked for.
+        requested: &'static str,
+    },
+    /// A metric name or label failed validation.
+    BadName {
+        /// The offending name.
+        name: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A JSON snapshot failed to parse.
+    Json {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What the parser expected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::KindCollision {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "metric `{name}` already registered as a {existing}, requested as a {requested}"
+            ),
+            ObsError::BadName { name, reason } => {
+                write!(f, "invalid metric or label name `{name}`: {reason}")
+            }
+            ObsError::Json { at, reason } => {
+                write!(f, "snapshot JSON parse error at byte {at}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ObsError {}

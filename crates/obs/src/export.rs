@@ -1,0 +1,49 @@
+//! Snapshot file exporter.
+//!
+//! The experiment binaries drop their metric snapshots under `results/` as
+//! a text/JSON pair so the bench trajectory is both human-readable and
+//! machine-parsable ([`Snapshot::from_json`](crate::Snapshot::from_json)
+//! reads the `.json` side back).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::Snapshot;
+
+/// Writes `snap` as `<dir>/<stem>.txt` (plain text) and `<dir>/<stem>.json`
+/// (JSON), creating `dir` if needed. Returns the two paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the writes.
+pub fn write_snapshot(dir: &Path, stem: &str, snap: &Snapshot) -> io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let txt = dir.join(format!("{stem}.txt"));
+    let json = dir.join(format!("{stem}.json"));
+    fs::write(&txt, snap.to_text())?;
+    fs::write(&json, snap.to_json())?;
+    Ok((txt, json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn writes_both_formats_and_round_trips() {
+        let reg = Registry::new();
+        reg.counter("exported_total", &[("side", "txt+json")])
+            .add(5);
+        let snap = reg.snapshot();
+
+        let dir = std::env::temp_dir().join(format!("scg_obs_export_{}", std::process::id()));
+        let (txt, json) = write_snapshot(&dir, "snap", &snap).expect("export");
+        let txt_body = fs::read_to_string(&txt).expect("txt readable");
+        let json_body = fs::read_to_string(&json).expect("json readable");
+        assert!(txt_body.contains("exported_total{side=\"txt+json\"} 5"));
+        assert_eq!(Snapshot::from_json(&json_body).expect("parses"), snap);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

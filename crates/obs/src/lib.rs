@@ -1,0 +1,58 @@
+//! Zero-dependency observability core for the super-Cayley workspace.
+//!
+//! The workspace builds with no network access, so it cannot depend on
+//! `prometheus`, `metrics`, or `tracing` — this crate vendors the small
+//! subset those ecosystems would provide (the same spirit as the vendored
+//! [`XorShift64`](https://docs.rs/scg-perm) PRNG):
+//!
+//! * [`Counter`], [`Gauge`], [`Histogram`] — lock-free instruments built on
+//!   relaxed atomics; increments are never lost, even under
+//!   `std::thread::scope` stress (see the crate tests);
+//! * [`Registry`] — a process-wide store of *labeled metric families*
+//!   (`name` + sorted `label=value` pairs → shared handle), with a
+//!   deterministic [`Snapshot`] view;
+//! * [`Snapshot`] — an immutable copy of every registered metric, rendered
+//!   as Prometheus-style plain text ([`Snapshot::to_text`]) or JSON
+//!   ([`Snapshot::to_json`]), and parsed back from JSON
+//!   ([`Snapshot::from_json`]) so exports round-trip losslessly;
+//! * [`EventTrace`] — a bounded ring buffer of structured events and spans
+//!   for after-the-fact inspection of a run;
+//! * [`write_snapshot`] — the exporter the experiment binaries use to drop
+//!   `<stem>.txt` / `<stem>.json` pairs under `results/`.
+//!
+//! Downstream crates (`scg-core`, `scg-emu`, `scg-graph`) instrument their
+//! hot paths behind an `obs` cargo feature; with the feature off this crate
+//! is not even compiled, so observability is zero-cost when disabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_obs::{Registry, Snapshot};
+//!
+//! let reg = Registry::new();
+//! reg.counter("requests_total", &[("class", "MS(3,2)")]).add(7);
+//! reg.histogram("hops", &[], &[1, 2, 4, 8]).observe(3);
+//!
+//! let snap = reg.snapshot();
+//! let json = snap.to_json();
+//! assert_eq!(Snapshot::from_json(&json).unwrap(), snap);
+//! assert!(snap.to_text().contains("requests_total{class=\"MS(3,2)\"} 7"));
+//! ```
+
+#![warn(missing_docs)]
+// Library code must not panic on instrument handles; unit tests may.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod error;
+mod export;
+mod metrics;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use error::ObsError;
+pub use export::write_snapshot;
+pub use metrics::{Counter, Gauge, Histogram, Timer};
+pub use registry::Registry;
+pub use snapshot::{MetricSnapshot, MetricValue, Snapshot};
+pub use trace::{EventTrace, SpanGuard, TraceEvent};

@@ -1,0 +1,304 @@
+//! The three instruments: counter, gauge, fixed-bucket histogram.
+//!
+//! All three are built on relaxed atomics: updates from any number of
+//! threads are individually atomic (`fetch_add` never loses an increment),
+//! and the only ordering guarantee is the per-metric modification order —
+//! exactly what a metrics layer needs, at the cost of one uncontended
+//! atomic RMW per update.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, in-flight packets).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (running-maximum gauges
+    /// such as peak queue depth).
+    pub fn record_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket cumulative-style histogram of `u64` observations.
+///
+/// Bucket `i` counts observations `<= bounds[i]` (exclusive of earlier
+/// buckets — counts are stored per-bucket and cumulated at snapshot time);
+/// one implicit overflow bucket counts observations above the last bound.
+/// Bounds are strictly increasing and fixed at construction, so concurrent
+/// `observe` calls are a single atomic increment after a binary search.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing — bucket
+    /// layouts are static configuration, and a malformed layout is a
+    /// programming error best caught at construction.
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// `count` buckets of equal `width` starting at `start`:
+    /// bounds `start, start+width, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `count == 0`.
+    #[must_use]
+    pub fn linear(start: u64, width: u64, count: usize) -> Self {
+        assert!(width > 0 && count > 0, "degenerate linear layout");
+        let bounds: Vec<u64> = (0..count as u64).map(|i| start + i * width).collect();
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// `count` geometrically growing buckets: bounds
+    /// `start, start*factor, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start == 0`, `factor < 2`, or `count == 0`.
+    #[must_use]
+    pub fn exponential(start: u64, factor: u64, count: usize) -> Self {
+        assert!(
+            start > 0 && factor >= 2 && count > 0,
+            "degenerate exponential layout"
+        );
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b = b.saturating_mul(factor);
+        }
+        bounds.dedup(); // saturation can repeat u64::MAX
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the overflow
+    /// bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+}
+
+/// A drop-guard that records elapsed wall-time into a histogram, in
+/// microseconds. Used by the `obs`-feature hooks to time materializations
+/// and connectivity audits without touching the early returns of the timed
+/// function.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing; the observation is recorded when the guard drops.
+    #[must_use]
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Timer {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        let micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.hist.observe(micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(20);
+        assert_eq!(g.get(), -5);
+        g.record_max(3);
+        assert_eq!(g.get(), 3);
+        g.record_max(-7); // never lowers
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let h = Histogram::with_bounds(&[1, 2, 4, 8]);
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1000] {
+            h.observe(v);
+        }
+        // <=1: {0,1}; <=2: {2}; <=4: {3,4}; <=8: {5,8}; overflow: {9,1000}.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 2, 2, 2]);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 1032);
+    }
+
+    #[test]
+    fn histogram_layout_constructors() {
+        assert_eq!(Histogram::linear(10, 10, 3).bounds(), &[10, 20, 30]);
+        assert_eq!(Histogram::exponential(1, 2, 5).bounds(), &[1, 2, 4, 8, 16]);
+        // Saturating growth dedups to a single terminal bound.
+        let h = Histogram::exponential(u64::MAX / 2, 4, 4);
+        assert_eq!(h.bounds().last(), Some(&u64::MAX));
+        assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[2, 1]);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = Histogram::with_bounds(&[10]);
+        assert!(h.mean().abs() < f64::EPSILON);
+        h.observe(2);
+        h.observe(4);
+        assert!((h.mean() - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let h = Arc::new(Histogram::exponential(1, 10, 8));
+        {
+            let _t = Timer::new(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! The labeled metric registry.
+//!
+//! A registry maps a *family name* plus a sorted set of `label=value` pairs
+//! to a shared metric handle. Re-requesting the same `(name, labels)`
+//! returns the *same* `Arc`, so instrumentation sites anywhere in the
+//! process accumulate into one instrument; distinct label sets under one
+//! name form a family (e.g. `scg_route_hops{network="MS(2,2)"}` vs
+//! `…{network="RS(2,2)"}`).
+//!
+//! The infallible accessors ([`Registry::counter`], [`Registry::gauge`],
+//! [`Registry::histogram`]) never panic and never return an error: on a
+//! kind collision they hand back a *detached* instrument that records
+//! normally but is not part of any snapshot, because an observability layer
+//! must not be able to take down the program it observes. Tests and
+//! tooling use the `try_*` variants to see the collision.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::ObsError;
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricSnapshot, MetricValue, Snapshot};
+
+/// Canonical label set: sorted by key, so label order at the call site
+/// never splits a family.
+pub(crate) type LabelSet = Vec<(String, String)>;
+
+fn canon_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut ls: LabelSet = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    ls.sort();
+    ls
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    children: BTreeMap<LabelSet, Handle>,
+}
+
+/// A store of labeled metric families with a deterministic snapshot view.
+///
+/// Most instrumentation goes through the process-wide instance
+/// ([`Registry::global`]); tests build their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    #[must_use]
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Family>> {
+        // A poisoned metrics mutex must not cascade: the data is a plain
+        // map, valid regardless of where a panicking thread stopped.
+        match self.families.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Result<Handle, ObsError> {
+        if name.is_empty() {
+            return Err(ObsError::BadName {
+                name: name.to_string(),
+                reason: "empty name",
+            });
+        }
+        let ls = canon_labels(labels);
+        let mut families = self.lock();
+        let family = families.entry(name.to_string()).or_default();
+        if let Some(existing) = family.children.get(&ls) {
+            let fresh = make();
+            if existing.kind() != fresh.kind() {
+                return Err(ObsError::KindCollision {
+                    name: name.to_string(),
+                    existing: existing.kind(),
+                    requested: fresh.kind(),
+                });
+            }
+            return Ok(existing.clone());
+        }
+        // Family kind consistency across label sets.
+        if let Some(peer) = family.children.values().next() {
+            let fresh = make();
+            if peer.kind() != fresh.kind() {
+                return Err(ObsError::KindCollision {
+                    name: name.to_string(),
+                    existing: peer.kind(),
+                    requested: fresh.kind(),
+                });
+            }
+            family.children.insert(ls, fresh.clone());
+            return Ok(fresh);
+        }
+        let fresh = make();
+        family.children.insert(ls, fresh.clone());
+        Ok(fresh)
+    }
+
+    /// The counter `(name, labels)`, creating it on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::KindCollision`] if `name` is already a gauge or
+    /// histogram family; [`ObsError::BadName`] for an empty name.
+    pub fn try_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Arc<Counter>, ObsError> {
+        match self.get_or_insert(name, labels, || Handle::Counter(Arc::new(Counter::new())))? {
+            Handle::Counter(c) => Ok(c),
+            // get_or_insert compared kinds already.
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The counter `(name, labels)`; on any registration error returns a
+    /// detached counter (records, but is invisible to snapshots) so
+    /// instrumentation can never fail the host program.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.try_counter(name, labels)
+            .unwrap_or_else(|_| Arc::new(Counter::new()))
+    }
+
+    /// The gauge `(name, labels)`, creating it on first use.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::try_counter`].
+    pub fn try_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Result<Arc<Gauge>, ObsError> {
+        match self.get_or_insert(name, labels, || Handle::Gauge(Arc::new(Gauge::new())))? {
+            Handle::Gauge(g) => Ok(g),
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The gauge `(name, labels)`; detached on error, like
+    /// [`Registry::counter`].
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.try_gauge(name, labels)
+            .unwrap_or_else(|_| Arc::new(Gauge::new()))
+    }
+
+    /// The histogram `(name, labels)`, creating it with `bounds` on first
+    /// use. A later request with different bounds returns the existing
+    /// histogram — bucket layout is fixed by the first registration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::try_counter`]; additionally [`ObsError::BadName`] if
+    /// `bounds` is empty or not strictly increasing (checked before
+    /// construction so the infallible path cannot panic).
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Result<Arc<Histogram>, ObsError> {
+        if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ObsError::BadName {
+                name: name.to_string(),
+                reason: "histogram bounds must be non-empty and strictly increasing",
+            });
+        }
+        match self.get_or_insert(name, labels, || {
+            Handle::Histogram(Arc::new(Histogram::with_bounds(bounds)))
+        })? {
+            Handle::Histogram(h) => Ok(h),
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The histogram `(name, labels)`; on any registration error returns a
+    /// detached single-bucket histogram, like [`Registry::counter`].
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Arc<Histogram> {
+        self.try_histogram(name, labels, bounds)
+            .unwrap_or_else(|_| Arc::new(Histogram::with_bounds(&[u64::MAX])))
+    }
+
+    /// Number of registered metrics (children across all families).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().values().map(|f| f.children.len()).sum()
+    }
+
+    /// Whether nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Unregisters everything. Outstanding handles stay usable but
+    /// detached.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// A deterministic point-in-time copy of every registered metric,
+    /// sorted by name then label set.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.lock();
+        let mut metrics = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, handle) in &family.children {
+                let value = match handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_one_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", &[("class", "MS")]);
+        let b = reg.counter("hits", &[("class", "MS")]);
+        a.inc();
+        b.add(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_families() {
+        let reg = Registry::new();
+        let a = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kind_collision_is_reported_by_try_and_absorbed_by_infallible() {
+        let reg = Registry::new();
+        reg.counter("metric", &[]).inc();
+        let err = reg.try_gauge("metric", &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            ObsError::KindCollision {
+                existing: "counter",
+                requested: "gauge",
+                ..
+            }
+        ));
+        // Cross-label collisions within one family are also kind-checked.
+        let err2 = reg
+            .try_histogram("metric", &[("l", "v")], &[1])
+            .unwrap_err();
+        assert!(matches!(err2, ObsError::KindCollision { .. }));
+        // The infallible path yields a working, detached instrument.
+        let detached = reg.gauge("metric", &[]);
+        detached.set(9);
+        assert_eq!(detached.get(), 9);
+        assert_eq!(reg.len(), 1, "detached instrument was not registered");
+    }
+
+    #[test]
+    fn histogram_bounds_fixed_by_first_registration() {
+        let reg = Registry::new();
+        let a = reg.histogram("h", &[], &[1, 2]);
+        let b = reg.histogram("h", &[], &[5, 10, 20]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(b.bounds(), &[1, 2]);
+        assert!(reg.try_histogram("h", &[], &[]).is_err());
+        assert!(reg.try_histogram("h2", &[], &[3, 3]).is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.try_counter("", &[]),
+            Err(ObsError::BadName { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_detaches_but_does_not_break_handles() {
+        let reg = Registry::new();
+        let c = reg.counter("n", &[]);
+        c.inc();
+        reg.clear();
+        assert!(reg.is_empty());
+        c.inc();
+        assert_eq!(c.get(), 2);
+        assert!(reg.snapshot().metrics.is_empty());
+    }
+}

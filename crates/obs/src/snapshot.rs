@@ -1,0 +1,668 @@
+//! Point-in-time snapshots and their two wire formats.
+//!
+//! A [`Snapshot`] is an immutable, deterministic (sorted) copy of a
+//! [`Registry`](crate::Registry). It renders to:
+//!
+//! * **plain text** — a Prometheus-flavored exposition, one sample per
+//!   line with `# TYPE` headers and cumulative `_bucket{le=…}` lines for
+//!   histograms, meant for `results/*.txt` files and eyeballs;
+//! * **JSON** — a lossless structural encoding with a matching parser
+//!   ([`Snapshot::from_json`]), so `snapshot → JSON → snapshot` is the
+//!   identity (the round-trip test locks this down).
+//!
+//! Both encoders are hand-rolled: the workspace builds offline, so there
+//! is no serde. The JSON parser accepts exactly the subset the encoder
+//! emits (objects, arrays, strings with `\"`/`\\`/`\u` escapes, integers).
+
+use std::collections::BTreeMap;
+
+use crate::error::ObsError;
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's current total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's full state.
+    Histogram {
+        /// Bucket upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket (non-cumulative) counts; last entry is overflow.
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One metric (family name + label set + value) in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Family name.
+    pub name: String,
+    /// Sorted `label = value` pairs.
+    pub labels: Vec<(String, String)>,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+/// A deterministic copy of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Metrics sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (k, v) in labels {
+        let mut s = String::new();
+        s.push_str(k);
+        s.push_str("=\"");
+        escape_into(&mut s, v);
+        s.push('"');
+        parts.push(s);
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Snapshot {
+    /// Retains only metrics whose name starts with `prefix` — used to
+    /// carve deterministic sub-snapshots (e.g. dropping wall-time
+    /// histograms before comparing against a golden file).
+    #[must_use]
+    pub fn filter_prefix(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|m| m.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Retains only metrics for which `keep` returns true.
+    #[must_use]
+    pub fn filter(&self, keep: impl Fn(&MetricSnapshot) -> bool) -> Snapshot {
+        Snapshot {
+            metrics: self.metrics.iter().filter(|m| keep(m)).cloned().collect(),
+        }
+    }
+
+    /// Prometheus-flavored plain-text exposition.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for m in &self.metrics {
+            if last_family != Some(m.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(m.value.kind());
+                out.push('\n');
+                last_family = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&m.name);
+                    out.push_str(&label_block(&m.labels, None));
+                    out.push_str(&format!(" {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&m.name);
+                    out.push_str(&label_block(&m.labels, None));
+                    out.push_str(&format!(" {v}\n"));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, b) in bounds.iter().enumerate() {
+                        cum += counts.get(i).copied().unwrap_or(0);
+                        out.push_str(&m.name);
+                        out.push_str("_bucket");
+                        out.push_str(&label_block(&m.labels, Some(("le", &b.to_string()))));
+                        out.push_str(&format!(" {cum}\n"));
+                    }
+                    cum += counts.last().copied().unwrap_or(0);
+                    out.push_str(&m.name);
+                    out.push_str("_bucket");
+                    out.push_str(&label_block(&m.labels, Some(("le", "+Inf"))));
+                    out.push_str(&format!(" {cum}\n"));
+                    out.push_str(&m.name);
+                    out.push_str("_count");
+                    out.push_str(&label_block(&m.labels, None));
+                    out.push_str(&format!(" {count}\n"));
+                    out.push_str(&m.name);
+                    out.push_str("_sum");
+                    out.push_str(&label_block(&m.labels, None));
+                    out.push_str(&format!(" {sum}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Lossless JSON encoding; [`Snapshot::from_json`] inverts it.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_into(&mut out, &m.name);
+            out.push_str("\",\"type\":\"");
+            out.push_str(m.value.kind());
+            out.push_str("\",\"labels\":{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":\"");
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+            match &m.value {
+                MetricValue::Counter(v) => out.push_str(&format!(",\"value\":{v}")),
+                MetricValue::Gauge(v) => out.push_str(&format!(",\"value\":{v}")),
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                } => {
+                    let join = |xs: &[u64]| {
+                        xs.iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    out.push_str(&format!(
+                        ",\"bounds\":[{}],\"counts\":[{}],\"count\":{count},\"sum\":{sum}",
+                        join(bounds),
+                        join(counts)
+                    ));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Json`] on malformed input or a structure the encoder
+    /// would never emit.
+    pub fn from_json(input: &str) -> Result<Snapshot, ObsError> {
+        let value = JsonParser::parse(input)?;
+        let top = value.as_object(0)?;
+        let metrics_val = top.get("metrics").ok_or(ObsError::Json {
+            at: 0,
+            reason: "missing `metrics` array",
+        })?;
+        let mut metrics = Vec::new();
+        for mv in metrics_val.as_array(0)? {
+            let obj = mv.as_object(0)?;
+            let name = obj
+                .get("name")
+                .ok_or(ObsError::Json {
+                    at: 0,
+                    reason: "metric missing `name`",
+                })?
+                .as_string(0)?
+                .to_string();
+            let kind = obj
+                .get("type")
+                .ok_or(ObsError::Json {
+                    at: 0,
+                    reason: "metric missing `type`",
+                })?
+                .as_string(0)?;
+            let mut labels: Vec<(String, String)> = Vec::new();
+            if let Some(lv) = obj.get("labels") {
+                for (k, v) in lv.as_object(0)? {
+                    labels.push((k.clone(), v.as_string(0)?.to_string()));
+                }
+            }
+            labels.sort();
+            let get_u64 = |key: &str| -> Result<u64, ObsError> {
+                obj.get(key)
+                    .ok_or(ObsError::Json {
+                        at: 0,
+                        reason: "missing numeric field",
+                    })?
+                    .as_u64(0)
+            };
+            let value = match kind {
+                "counter" => MetricValue::Counter(get_u64("value")?),
+                "gauge" => MetricValue::Gauge(
+                    obj.get("value")
+                        .ok_or(ObsError::Json {
+                            at: 0,
+                            reason: "missing gauge value",
+                        })?
+                        .as_i64(0)?,
+                ),
+                "histogram" => {
+                    let nums = |key: &str| -> Result<Vec<u64>, ObsError> {
+                        obj.get(key)
+                            .ok_or(ObsError::Json {
+                                at: 0,
+                                reason: "missing histogram array",
+                            })?
+                            .as_array(0)?
+                            .iter()
+                            .map(|v| v.as_u64(0))
+                            .collect()
+                    };
+                    MetricValue::Histogram {
+                        bounds: nums("bounds")?,
+                        counts: nums("counts")?,
+                        count: get_u64("count")?,
+                        sum: get_u64("sum")?,
+                    }
+                }
+                _ => {
+                    return Err(ObsError::Json {
+                        at: 0,
+                        reason: "unknown metric type",
+                    })
+                }
+            };
+            metrics.push(MetricSnapshot {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Snapshot { metrics })
+    }
+}
+
+/// The minimal JSON value model the snapshot format needs.
+#[derive(Debug, Clone)]
+enum Json {
+    Object(BTreeMap<String, Json>),
+    Array(Vec<Json>),
+    String(String),
+    /// All numbers the encoder emits are integers; i128 covers the full
+    /// u64 and i64 ranges.
+    Int(i128),
+}
+
+impl Json {
+    fn as_object(&self, at: usize) -> Result<&BTreeMap<String, Json>, ObsError> {
+        match self {
+            Json::Object(m) => Ok(m),
+            _ => Err(ObsError::Json {
+                at,
+                reason: "expected object",
+            }),
+        }
+    }
+
+    fn as_array(&self, at: usize) -> Result<&[Json], ObsError> {
+        match self {
+            Json::Array(v) => Ok(v),
+            _ => Err(ObsError::Json {
+                at,
+                reason: "expected array",
+            }),
+        }
+    }
+
+    fn as_string(&self, at: usize) -> Result<&str, ObsError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(ObsError::Json {
+                at,
+                reason: "expected string",
+            }),
+        }
+    }
+
+    fn as_u64(&self, at: usize) -> Result<u64, ObsError> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).map_err(|_| ObsError::Json {
+                at,
+                reason: "integer out of u64 range",
+            }),
+            _ => Err(ObsError::Json {
+                at,
+                reason: "expected integer",
+            }),
+        }
+    }
+
+    fn as_i64(&self, at: usize) -> Result<i64, ObsError> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).map_err(|_| ObsError::Json {
+                at,
+                reason: "integer out of i64 range",
+            }),
+            _ => Err(ObsError::Json {
+                at,
+                reason: "expected integer",
+            }),
+        }
+    }
+}
+
+/// A recursive-descent parser over the encoder's JSON subset.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(input: &'a str) -> Result<Json, ObsError> {
+        let mut p = JsonParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, reason: &'static str) -> ObsError {
+        ObsError::Json {
+            at: self.pos,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ObsError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected byte"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ObsError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ObsError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ObsError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ObsError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or_else(|| self.err("unterminated escape"))? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex_str = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let cp = u32::from_str_radix(hex_str, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte safe: operate on
+                    // the str slice).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ObsError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floats are not part of the snapshot format"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|_| self.err("integer overflow"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "depth".into(),
+                    labels: vec![],
+                    value: MetricValue::Gauge(-3),
+                },
+                MetricSnapshot {
+                    name: "hits".into(),
+                    labels: vec![("class".into(), "MS\"(2,2)\"".into())],
+                    value: MetricValue::Counter(41),
+                },
+                MetricSnapshot {
+                    name: "hops".into(),
+                    labels: vec![("net".into(), "RS(2,2)".into())],
+                    value: MetricValue::Histogram {
+                        bounds: vec![1, 2, 4],
+                        counts: vec![5, 3, 2, 1],
+                        count: 11,
+                        sum: 23,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let snap = sample();
+        let json = snap.to_json();
+        assert_eq!(Snapshot::from_json(&json).expect("parses"), snap);
+    }
+
+    #[test]
+    fn text_renders_cumulative_buckets() {
+        let text = sample().to_text();
+        assert!(text.contains("# TYPE hops histogram"));
+        assert!(text.contains("hops_bucket{net=\"RS(2,2)\",le=\"1\"} 5"));
+        assert!(text.contains("hops_bucket{net=\"RS(2,2)\",le=\"4\"} 10"));
+        assert!(text.contains("hops_bucket{net=\"RS(2,2)\",le=\"+Inf\"} 11"));
+        assert!(text.contains("hops_count{net=\"RS(2,2)\"} 11"));
+        assert!(text.contains("hops_sum{net=\"RS(2,2)\"} 23"));
+        assert!(text.contains("depth -3"));
+        // Quotes in label values are escaped.
+        assert!(text.contains("hits{class=\"MS\\\"(2,2)\\\"\"} 41"));
+    }
+
+    #[test]
+    fn text_rerender_after_json_round_trip_is_stable() {
+        let snap = sample();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back.to_text(), snap.to_text());
+    }
+
+    #[test]
+    fn filters_carve_sub_snapshots() {
+        let snap = sample();
+        assert_eq!(snap.filter_prefix("ho").metrics.len(), 1);
+        let only_labeled = snap.filter(|m| !m.labels.is_empty());
+        assert_eq!(only_labeled.metrics.len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"metrics\":}",
+            "{\"metrics\":[{\"name\":1}]}",
+            "{\"metrics\":[]} trailing",
+            "{\"metrics\":[{\"name\":\"x\",\"type\":\"counter\",\"value\":1.5}]}",
+            "{\"metrics\":[{\"name\":\"x\",\"type\":\"counter\",\"value\":-1}]}",
+            "{\"metrics\":[{\"name\":\"x\",\"type\":\"wat\",\"value\":1}]}",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unicode_labels_survive_the_round_trip() {
+        let snap = Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "m".into(),
+                labels: vec![("κ".into(), "π→σ\n".into())],
+                value: MetricValue::Counter(1),
+            }],
+        };
+        assert_eq!(Snapshot::from_json(&snap.to_json()).expect("parses"), snap);
+    }
+}

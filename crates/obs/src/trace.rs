@@ -1,0 +1,195 @@
+//! A bounded ring buffer of structured trace events.
+//!
+//! Metrics aggregate; traces remember *individual* occurrences — which
+//! network was materialized, how long one connectivity audit took, when a
+//! simulation bailed out on a live-lock. The buffer holds the most recent
+//! `capacity` events; older ones are overwritten (and counted as
+//! [`EventTrace::dropped`]), so tracing is safe to leave on in long runs.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One recorded event: a sequence number, a name, and integer fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic per-trace sequence number (0-based).
+    pub seq: u64,
+    /// Event name, e.g. `topology.materialize.end`.
+    pub name: String,
+    /// Structured payload: `(key, value)` pairs.
+    pub fields: Vec<(String, i64)>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    buf: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct EventTrace {
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+/// Capacity of the process-wide trace.
+const GLOBAL_CAPACITY: usize = 4096;
+
+impl EventTrace {
+    /// A trace holding at most `capacity` events (at least 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventTrace {
+            capacity: capacity.max(1),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The process-wide trace used by the `obs`-feature hooks.
+    #[must_use]
+    pub fn global() -> &'static EventTrace {
+        static GLOBAL: OnceLock<EventTrace> = OnceLock::new();
+        GLOBAL.get_or_init(|| EventTrace::with_capacity(GLOBAL_CAPACITY))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records an event, returning its sequence number.
+    pub fn record(&self, name: &str, fields: &[(&str, i64)]) -> u64 {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(TraceEvent {
+            seq,
+            name: name.to_string(),
+            fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+        seq
+    }
+
+    /// Starts a span: records `<name>.start` now and `<name>.end` (with an
+    /// `elapsed_us` field) when the returned guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.record(&format!("{name}.start"), &[]);
+        SpanGuard {
+            trace: self,
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().buf.iter().cloned().collect()
+    }
+
+    /// Number of currently buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten by the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Empties the buffer (sequence numbers keep counting).
+    pub fn clear(&self) {
+        self.lock().buf.clear();
+    }
+}
+
+/// Guard returned by [`EventTrace::span`]; records the end event on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    trace: &'a EventTrace,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let us = i64::try_from(self.start.elapsed().as_micros()).unwrap_or(i64::MAX);
+        self.trace
+            .record(&format!("{}.end", self.name), &[("elapsed_us", us)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_fields() {
+        let t = EventTrace::with_capacity(8);
+        t.record("a", &[("x", 1)]);
+        t.record("b", &[("y", -2), ("z", 3)]);
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(
+            evs[1].fields,
+            vec![("y".to_string(), -2), ("z".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = EventTrace::with_capacity(3);
+        for i in 0..5 {
+            t.record("e", &[("i", i)]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let evs = t.events();
+        assert_eq!(evs[0].seq, 2, "two oldest were overwritten");
+        assert_eq!(evs[2].seq, 4);
+    }
+
+    #[test]
+    fn span_emits_start_and_end() {
+        let t = EventTrace::with_capacity(8);
+        {
+            let _g = t.span("phase");
+            t.record("inside", &[]);
+        }
+        let names: Vec<String> = t.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["phase.start", "inside", "phase.end"]);
+        let end = &t.events()[2];
+        assert_eq!(end.fields[0].0, "elapsed_us");
+        assert!(end.fields[0].1 >= 0);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let t = EventTrace::with_capacity(4);
+        t.record("a", &[]);
+        t.clear();
+        assert!(t.is_empty());
+        let seq = t.record("b", &[]);
+        assert_eq!(seq, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! The deterministic metrics test harness: bucket-edge semantics, registry
+//! collision behavior, snapshot round-trips, and a threaded stress test
+//! proving no increment is ever lost under `std::thread::scope`.
+
+use std::sync::Arc;
+
+use scg_obs::{Histogram, ObsError, Registry, Snapshot};
+
+/// Every value sits in exactly one bucket; edges are inclusive upper
+/// bounds; the overflow bucket catches everything past the last bound.
+#[test]
+fn histogram_bucket_edges_exhaustively() {
+    let bounds = [2u64, 5, 9];
+    let h = Histogram::with_bounds(&bounds);
+    for v in 0..=12 {
+        h.observe(v);
+    }
+    // 0,1,2 -> <=2; 3,4,5 -> <=5; 6..=9 -> <=9; 10,11,12 -> overflow.
+    assert_eq!(h.bucket_counts(), vec![3, 3, 4, 3]);
+    assert_eq!(h.count(), 13);
+    assert_eq!(h.sum(), (0..=12).sum::<u64>());
+    // Exact edge values land in their own bucket, not the next one.
+    let edge = Histogram::with_bounds(&bounds);
+    for &b in &bounds {
+        edge.observe(b);
+    }
+    assert_eq!(edge.bucket_counts(), vec![1, 1, 1, 0]);
+}
+
+/// Registering one name as two kinds — in any label order, across label
+/// sets — is reported by the `try_*` API and absorbed (detached handle,
+/// registry untouched) by the infallible API.
+#[test]
+fn registry_label_collisions() {
+    let reg = Registry::new();
+    let c = reg.counter("scg_requests_total", &[("class", "MS(2,2)")]);
+    c.add(3);
+
+    // Same family, different labels, wrong kind.
+    assert!(matches!(
+        reg.try_gauge("scg_requests_total", &[("class", "RS(2,2)")]),
+        Err(ObsError::KindCollision {
+            existing: "counter",
+            requested: "gauge",
+            ..
+        })
+    ));
+    // Same labels, wrong kind.
+    assert!(reg
+        .try_histogram("scg_requests_total", &[("class", "MS(2,2)")], &[1, 2])
+        .is_err());
+    // Infallible path returns a detached instrument and leaves the
+    // registry unchanged.
+    let detached = reg.histogram("scg_requests_total", &[], &[1, 2]);
+    detached.observe(1);
+    assert_eq!(reg.len(), 1);
+    assert_eq!(reg.snapshot().metrics.len(), 1);
+
+    // Label *order* must not create a second child.
+    let again = reg.counter("scg_requests_total", &[("class", "MS(2,2)")]);
+    assert!(Arc::ptr_eq(&c, &again));
+}
+
+/// snapshot → JSON → snapshot is the identity, and the re-rendered text
+/// is byte-identical — the exporter pair can never drift apart.
+#[test]
+fn snapshot_round_trip_text_and_json() {
+    let reg = Registry::new();
+    reg.counter("hits_total", &[("net", "MS(2,2)")]).add(17);
+    reg.counter("hits_total", &[("net", "RS(2,2)")]).add(4);
+    reg.gauge("queue_depth", &[]).set(-2);
+    let h = reg.histogram("hops", &[("net", "MS(2,2)")], &[1, 2, 4, 8, 16]);
+    for v in [0u64, 1, 3, 3, 7, 9, 40] {
+        h.observe(v);
+    }
+
+    let snap = reg.snapshot();
+    let parsed = Snapshot::from_json(&snap.to_json()).expect("round-trip parse");
+    assert_eq!(parsed, snap);
+    assert_eq!(parsed.to_text(), snap.to_text());
+    assert_eq!(parsed.to_json(), snap.to_json());
+
+    // The snapshot is deterministic: sorted by (name, labels).
+    let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["hits_total", "hits_total", "hops", "queue_depth"]
+    );
+    assert_eq!(snap.metrics[0].labels[0].1, "MS(2,2)");
+    assert_eq!(snap.metrics[1].labels[0].1, "RS(2,2)");
+}
+
+/// Relaxed atomics still mean atomic RMW: hammering one counter, one
+/// gauge, and one histogram from many scoped threads loses nothing.
+#[test]
+fn threaded_stress_no_lost_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 25_000;
+
+    let reg = Registry::new();
+    let counter = reg.counter("stress_total", &[]);
+    let gauge = reg.gauge("stress_balance", &[]);
+    let hist = reg.histogram("stress_values", &[], &[8, 64, 512, 4096]);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Every thread adds and subtracts the same total, so
+                    // the gauge must return to zero.
+                    gauge.add(i as i64);
+                    gauge.sub(i as i64);
+                    hist.observe((t as u64 * PER_THREAD + i) % 5000);
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    assert_eq!(gauge.get(), 0);
+    assert_eq!(hist.count(), total);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), total);
+
+    // The concurrent path and a sequential replay agree exactly.
+    let replay = Histogram::with_bounds(&[8, 64, 512, 4096]);
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            replay.observe((t * PER_THREAD + i) % 5000);
+        }
+    }
+    assert_eq!(hist.bucket_counts(), replay.bucket_counts());
+    assert_eq!(hist.sum(), replay.sum());
+}
+
+/// Concurrent get-or-create on the same family returns handles that all
+/// feed one instrument.
+#[test]
+fn threaded_registry_get_or_create_converges() {
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let reg = &reg;
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    reg.counter("converge_total", &[("k", "v")]).inc();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.len(), 1);
+    assert_eq!(reg.counter("converge_total", &[("k", "v")]).get(), 8_000);
+}

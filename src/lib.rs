@@ -23,6 +23,7 @@
 //! | [`embed`] | `scg-embed` | validated embeddings: stars, TNs, trees, hypercubes, meshes (§5) |
 //! | [`emu`] | `scg-emu` | SDC/all-port emulation, Figure 1 schedules (Thms 4–5), simulator |
 //! | [`comm`] | `scg-comm` | multinode broadcast and total exchange (Corollaries 2–3) |
+//! | [`obs`] | `scg-obs` | zero-dependency metrics registry, snapshots, event tracing |
 //!
 //! # Quickstart
 //!
@@ -80,4 +81,14 @@ pub mod emu {
 /// Communication tasks (`scg-comm`).
 pub mod comm {
     pub use scg_comm::*;
+}
+
+/// Metrics and event tracing (`scg-obs`).
+///
+/// Always available as a library; the workspace's *instrumentation hooks*
+/// (cache, routing, simulator, and fault-audit metrics feeding
+/// [`obs::Registry::global`]) are additionally compiled in when the
+/// `obs` cargo feature is enabled.
+pub mod obs {
+    pub use scg_obs::*;
 }

@@ -101,6 +101,40 @@ fn te_tradeoff_shape() {
     );
 }
 
+/// Theorem 1/2/3 corollary, observed per-route: every routed hop count
+/// stays within `star_dilation × star_distance`, the same bound the
+/// observability sweep (`tab_obs`) histograms against. Fixed-seed pair
+/// samples on one class per dilation constant.
+#[test]
+fn routed_hops_respect_dilation_bounds() {
+    use supercayley::core::{
+        materialize, scg_route, star_distance_between, StarEmulation, SMALL_NET_CAP,
+    };
+    for net in [
+        SuperCayleyGraph::macro_star(2, 2).unwrap(), // dilation 3
+        SuperCayleyGraph::rotation_star(2, 2).unwrap(), // dilation 3
+        SuperCayleyGraph::insertion_selection(5).unwrap(), // dilation 2
+        SuperCayleyGraph::macro_is(2, 2).unwrap(),   // dilation 4
+    ] {
+        let mat = materialize(&net, SMALL_NET_CAP).unwrap();
+        let emu = StarEmulation::new(&net).unwrap();
+        let mut rng = supercayley::perm::XorShift64::new(0xD11A);
+        for _ in 0..50 {
+            let s = rng.gen_range(mat.num_nodes()) as supercayley::graph::NodeId;
+            let d = rng.gen_range(mat.num_nodes()) as supercayley::graph::NodeId;
+            let from = mat.node_label(s).unwrap();
+            let to = mat.node_label(d).unwrap();
+            let path = scg_route(&net, &from, &to).unwrap();
+            assert!(
+                path.len() as u32 <= emu.star_dilation() as u32 * star_distance_between(&from, &to),
+                "{}: {s}->{d} took {} hops",
+                net.name(),
+                path.len()
+            );
+        }
+    }
+}
+
 /// All ten classes construct, are vertex-transitive, and their game view
 /// solves scrambles back to sorted (spanning bag + core + graph).
 #[test]
