@@ -1,0 +1,313 @@
+//! Experiment `bench_routing`: the routing hot path, before and after the
+//! compiled route planner.
+//!
+//! Sweeps all ten Table II classes at `k = 5` plus the larger `k = 9` and
+//! `k = 13` shapes (routing never materializes the `k!` nodes, so big `k`
+//! is free) and measures, per class:
+//!
+//! * `legacy` — the pre-planner `scg_route` implementation, reconstructed
+//!   verbatim from the public API: fresh [`StarEmulation`] + `star_route`
+//!   + a per-hop `Vec` cascade;
+//! * `scg_route` — the public entry point, now a plan-cache lookup plus
+//!   slice copies;
+//! * `route_into` — the steady-state path: a held [`RoutePlan`] writing
+//!   into a reused [`RouteBuf`], zero heap allocation;
+//! * batch throughput — [`route_batch`] at 1 thread and at the machine's
+//!   parallelism.
+//!
+//! Writes the human table to `results/bench_routing.txt` and the
+//! machine-readable record to `results/BENCH_routing.json` (integers
+//! only; validated by parsing it back through [`scg_obs::json`]).
+//! `--smoke` shrinks budgets for CI, keeping every correctness
+//! cross-check.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use scg_bench::Table;
+use scg_core::{
+    apply_path, route_batch, route_plan, scg_route, star_route, CayleyNetwork, Generator,
+    StarEmulation, SuperCayleyGraph,
+};
+use scg_perm::{Perm, XorShift64};
+
+/// Fixed-seed routed pairs per class (cycled by the timed closures).
+const FULL_PAIRS: usize = 512;
+const SMOKE_PAIRS: usize = 48;
+
+/// One measured per-class row.
+struct Row {
+    network: String,
+    k: usize,
+    legacy_ns: u64,
+    scg_route_ns: u64,
+    route_into_ns: u64,
+    batch_seq_pps: u64,
+    batch_par_pps: u64,
+}
+
+impl Row {
+    fn speedup_x1000(&self) -> u64 {
+        (self.legacy_ns * 1000)
+            .checked_div(self.scg_route_ns)
+            .unwrap_or(0)
+    }
+}
+
+/// Mean wall time of `f` in nanoseconds over a time budget.
+fn mean_ns(budget: Duration, mut f: impl FnMut()) -> u64 {
+    let warm = Instant::now();
+    while warm.elapsed() < budget / 5 {
+        f();
+    }
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    let elapsed = loop {
+        f();
+        iters += 1;
+        let e = start.elapsed();
+        if e >= budget {
+            break e;
+        }
+    };
+    (elapsed.as_nanos() / u128::from(iters)) as u64
+}
+
+/// The pre-PR `scg_route` body, kept as the measured baseline: a fresh
+/// emulation helper and a fresh `Vec` cascade per call.
+fn legacy_scg_route(net: &SuperCayleyGraph, from: &Perm, to: &Perm) -> Vec<Generator> {
+    let emu = StarEmulation::new(net).expect("all classes emulate");
+    let mut out = Vec::new();
+    for g in star_route(from, to) {
+        let Generator::Transposition { i } = g else {
+            unreachable!("star routes consist of transpositions")
+        };
+        out.extend(emu.expand_star_link(i as usize).expect("valid link"));
+    }
+    out
+}
+
+fn sample_pairs(k: usize, count: usize, seed: u64) -> Vec<(Perm, Perm)> {
+    let mut rng = XorShift64::new(seed);
+    (0..count)
+        .map(|_| (Perm::random(k, &mut rng), Perm::random(k, &mut rng)))
+        .collect()
+}
+
+fn measure_class(net: &SuperCayleyGraph, budget: Duration, pairs: usize, threads: usize) -> Row {
+    let k = net.degree_k();
+    let sample = sample_pairs(k, pairs, 0xB52 + k as u64);
+    let plan = route_plan(net).expect("plan compiles");
+    let mut buf = plan.new_buf();
+
+    // Correctness cross-checks on the full sample: the planner reproduces
+    // the legacy path byte for byte, and batch equals sequential.
+    for (from, to) in &sample {
+        let new = scg_route(net, from, to).expect("route");
+        assert_eq!(new, legacy_scg_route(net, from, to), "{}", net.name());
+        assert_eq!(apply_path(from, &new).expect("walk"), *to);
+    }
+    let batch = route_batch(net, &sample, threads).expect("batch");
+    for (i, (from, to)) in sample.iter().enumerate() {
+        assert_eq!(batch[i], scg_route(net, from, to).expect("route"));
+    }
+
+    let mut c = 0usize;
+    let legacy_ns = mean_ns(budget, || {
+        let p = &sample[c];
+        c = (c + 1) % sample.len();
+        black_box(legacy_scg_route(net, &p.0, &p.1));
+    });
+    let mut c = 0usize;
+    let scg_route_ns = mean_ns(budget, || {
+        let p = &sample[c];
+        c = (c + 1) % sample.len();
+        black_box(scg_route(net, &p.0, &p.1).expect("route"));
+    });
+    let mut c = 0usize;
+    let route_into_ns = mean_ns(budget, || {
+        let p = &sample[c];
+        c = (c + 1) % sample.len();
+        plan.route_into(&p.0, &p.1, &mut buf).expect("route");
+        black_box(buf.len());
+    });
+
+    let batch_pps = |n_threads: usize| {
+        let ns = mean_ns(budget, || {
+            black_box(route_batch(net, &sample, n_threads).expect("batch"));
+        });
+        (sample.len() as u64 * 1_000_000_000)
+            .checked_div(ns)
+            .unwrap_or(0)
+    };
+    let batch_seq_pps = batch_pps(1);
+    let batch_par_pps = batch_pps(threads);
+
+    Row {
+        network: net.name(),
+        k,
+        legacy_ns,
+        scg_route_ns,
+        route_into_ns,
+        batch_seq_pps,
+        batch_par_pps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (budget, pairs) = if smoke {
+        (Duration::from_millis(8), SMOKE_PAIRS)
+    } else {
+        (Duration::from_millis(150), FULL_PAIRS)
+    };
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // All ten classes at k = 5, then the large shapes: plans are O(k²),
+    // so k = 9 and k = 13 route without ever materializing 9!/13! nodes.
+    let mut hosts = scg_bench::all_class_hosts_k5().expect("k=5 classes");
+    hosts.extend([
+        SuperCayleyGraph::macro_star(4, 2).expect("MS(4,2)"),
+        SuperCayleyGraph::complete_rotation_star(4, 2).expect("Complete-RS(4,2)"),
+        SuperCayleyGraph::insertion_selection(9).expect("IS(9)"),
+        SuperCayleyGraph::macro_is(4, 2).expect("MIS(4,2)"),
+        SuperCayleyGraph::macro_star(6, 2).expect("MS(6,2)"),
+    ]);
+
+    println!(
+        "== Routing hot path: legacy vs compiled plan ({} mode, {threads} threads) ==",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut t = Table::new(&[
+        "network",
+        "k",
+        "legacy ns",
+        "scg_route ns",
+        "route_into ns",
+        "speedup",
+        "batch seq p/s",
+        "batch par p/s",
+    ]);
+    let mut rows = Vec::new();
+    for net in &hosts {
+        let row = measure_class(net, budget, pairs, threads);
+        println!(
+            "{}: legacy {} ns -> scg_route {} ns (x{}.{:03}), route_into {} ns",
+            row.network,
+            row.legacy_ns,
+            row.scg_route_ns,
+            row.speedup_x1000() / 1000,
+            row.speedup_x1000() % 1000,
+            row.route_into_ns
+        );
+        t.row(&[
+            row.network.clone(),
+            row.k.to_string(),
+            row.legacy_ns.to_string(),
+            row.scg_route_ns.to_string(),
+            row.route_into_ns.to_string(),
+            format!(
+                "{}.{:03}x",
+                row.speedup_x1000() / 1000,
+                row.speedup_x1000() % 1000
+            ),
+            row.batch_seq_pps.to_string(),
+            row.batch_par_pps.to_string(),
+        ]);
+        rows.push(row);
+    }
+
+    // The acceptance row: the first k >= 9 class in the sweep.
+    let accept = rows
+        .iter()
+        .find(|r| r.k >= 9)
+        .expect("sweep includes k >= 9 classes");
+
+    let mut json = String::from("{\"bench\":\"bench_routing\",");
+    json.push_str(&format!(
+        "\"mode\":\"{}\",\"threads\":{threads},\"pairs_per_class\":{pairs},\"classes\":[",
+        if smoke { "smoke" } else { "full" }
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"network\":\"{}\",\"k\":{},\"legacy_single_ns\":{},\"scg_route_single_ns\":{},\
+             \"route_into_single_ns\":{},\"speedup_x1000\":{},\"batch_seq_pairs_per_s\":{},\
+             \"batch_par_pairs_per_s\":{}}}",
+            json_escape(&r.network),
+            r.k,
+            r.legacy_ns,
+            r.scg_route_ns,
+            r.route_into_ns,
+            r.speedup_x1000(),
+            r.batch_seq_pps,
+            r.batch_par_pps
+        ));
+    }
+    json.push_str(&format!(
+        "],\"acceptance\":{{\"network\":\"{}\",\"k\":{},\"legacy_single_ns\":{},\
+         \"scg_route_single_ns\":{},\"speedup_x1000\":{},\"meets_3x\":{}}}}}",
+        json_escape(&accept.network),
+        accept.k,
+        accept.legacy_ns,
+        accept.scg_route_ns,
+        accept.speedup_x1000(),
+        u8::from(accept.speedup_x1000() >= 3000)
+    ));
+
+    // The artifact must parse back through the shared hand-rolled parser
+    // before it is trustworthy.
+    let parsed = scg_obs::json::parse(&json).expect("BENCH_routing.json parses");
+    let top = parsed.as_object(0).expect("top-level object");
+    let acc = top["acceptance"].as_object(0).expect("acceptance object");
+    assert!(acc["speedup_x1000"].as_u64(0).expect("speedup int") > 0);
+    assert_eq!(
+        top["classes"].as_array(0).expect("classes array").len(),
+        rows.len()
+    );
+
+    let results = std::path::Path::new("results");
+    std::fs::create_dir_all(results).expect("results/ creatable");
+    let table = t.render();
+    let mut report = String::new();
+    report.push_str("== Routing hot path: legacy vs compiled plan ==\n\n");
+    report.push_str(&format!(
+        "mode: {}; {threads} threads; {pairs} fixed-seed pairs per class.\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    report.push_str(
+        "legacy = pre-planner scg_route (fresh StarEmulation + per-hop Vec cascade);\n\
+         scg_route = plan-cache lookup + slice copies; route_into = held plan +\n\
+         reused RouteBuf (allocation-free steady state). Batch columns are\n\
+         route_batch pairs/second at 1 thread and at full parallelism.\n\n",
+    );
+    report.push_str(&table);
+    report.push_str(&format!(
+        "\nAcceptance (k >= 9): {} legacy {} ns vs scg_route {} ns -> {}.{:03}x\n",
+        accept.network,
+        accept.legacy_ns,
+        accept.scg_route_ns,
+        accept.speedup_x1000() / 1000,
+        accept.speedup_x1000() % 1000
+    ));
+    std::fs::write(results.join("bench_routing.txt"), &report).expect("results/ writable");
+    std::fs::write(results.join("BENCH_routing.json"), &json).expect("results/ writable");
+    print!("\n{table}");
+    println!("\nwrote results/bench_routing.txt, results/BENCH_routing.json");
+    if !smoke {
+        assert!(
+            accept.speedup_x1000() >= 3000,
+            "acceptance: expected >= 3x on {} (k = {}), got {}.{:03}x",
+            accept.network,
+            accept.k,
+            accept.speedup_x1000() / 1000,
+            accept.speedup_x1000() % 1000
+        );
+    }
+}

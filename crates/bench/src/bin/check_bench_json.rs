@@ -1,0 +1,65 @@
+//! Validates a `results/BENCH_*.json` artifact: it must parse through the
+//! shared [`scg_obs::json`] parser (integers only, no trailing data) and,
+//! for routing artifacts, carry a well-formed acceptance record.
+//!
+//! Usage: `check_bench_json <path> [<path>...]` — exits nonzero with a
+//! message on the first malformed file.
+
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = scg_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let top = v.as_object(0).map_err(|e| format!("{path}: {e}"))?;
+    let bench = top
+        .get("bench")
+        .ok_or_else(|| format!("{path}: missing \"bench\" field"))?
+        .as_string(0)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if bench == "bench_routing" {
+        let classes = top
+            .get("classes")
+            .ok_or_else(|| format!("{path}: missing \"classes\""))?
+            .as_array(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if classes.is_empty() {
+            return Err(format!("{path}: empty class sweep"));
+        }
+        let acc = top
+            .get("acceptance")
+            .ok_or_else(|| format!("{path}: missing \"acceptance\""))?
+            .as_object(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        for field in ["legacy_single_ns", "scg_route_single_ns", "speedup_x1000"] {
+            acc.get(field)
+                .ok_or_else(|| format!("{path}: acceptance missing \"{field}\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        let k = acc
+            .get("k")
+            .ok_or_else(|| format!("{path}: acceptance missing \"k\""))?
+            .as_u64(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if k < 9 {
+            return Err(format!("{path}: acceptance class has k = {k} < 9"));
+        }
+    }
+    println!("{path}: ok ({bench}, {} bytes)", text.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_bench_json <path> [<path>...]");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        if let Err(msg) = check(path) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -69,8 +69,11 @@ pub use generator::Generator;
 pub use network::CayleyNetwork;
 pub use report::NetworkReport;
 pub use routing::{
-    bfs_route, bubble_distance, bubble_sort_sequence, rotator_sort_sequence, scg_route,
-    scg_route_faulty, star_diameter, star_dimension_parts, star_distance, star_distance_between,
-    star_route, star_sort_sequence, tn_distance, tn_sort_sequence, RoutedPath, StarEmulation,
+    bfs_route, bubble_distance, bubble_sort_sequence, rotator_sort_sequence, route_batch,
+    scg_route, scg_route_faulty, star_diameter, star_dimension_parts, star_distance,
+    star_distance_between, star_route, star_sort_sequence, tn_distance, tn_sort_sequence, RouteBuf,
+    RoutePlan, RoutedPath, StarEmulation,
 };
-pub use topology::{materialize, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP};
+pub use topology::{
+    materialize, route_plan, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP,
+};

@@ -51,6 +51,32 @@ pub(crate) fn materialize_timer(network: &str, nodes: u64) -> Timer {
     ))
 }
 
+/// Plan-cache hit for `network`: a compiled [`RoutePlan`](crate::RoutePlan)
+/// was served from the shared cache.
+pub(crate) fn plan_cache_hit(network: &str) {
+    Registry::global()
+        .counter("scg_route_plan_cache_hits_total", &[("network", network)])
+        .inc();
+}
+
+/// Plan-cache miss for `network` (a compile follows).
+pub(crate) fn plan_cache_miss(network: &str) {
+    Registry::global()
+        .counter("scg_route_plan_cache_misses_total", &[("network", network)])
+        .inc();
+}
+
+/// Times one [`RoutePlan::build`](crate::RoutePlan::build) into
+/// `scg_route_plan_build_micros` and leaves a trace event.
+pub(crate) fn plan_build_timer(network: &str) -> Timer {
+    EventTrace::global().record("route.plan_build", &[]);
+    Timer::new(Registry::global().histogram(
+        "scg_route_plan_build_micros",
+        &[("network", network)],
+        &MICROS_BOUNDS,
+    ))
+}
+
 /// One fault-free emulation route planned by
 /// [`scg_route`](crate::scg_route): records the request and its hop count.
 pub(crate) fn route_planned(network: &str, hops: usize) {

@@ -271,7 +271,7 @@ impl<'a> StarEmulation<'a> {
                     // Return box j1+1's trip, then undo everything.
                     seq.extend(bring_i);
                     seq.extend(self.nucleus_t(i0 + 2));
-                    seq.extend(bring_j.clone());
+                    seq.extend(bring_j);
                     seq.extend(self.nucleus_t(j0 + 2));
                     seq.extend(self.unrotate(amount_j));
                     seq.extend(self.nucleus_t(i0 + 2));

@@ -19,8 +19,6 @@
 //! The result is a [`RoutedPath`] report — the generator sequence plus how
 //! much fault handling it took — rather than a bare generator list.
 
-use std::collections::VecDeque;
-
 use scg_graph::{FaultSet, NodeId, SurvivorView};
 use scg_perm::Perm;
 
@@ -28,8 +26,8 @@ use crate::classes::SuperCayleyGraph;
 use crate::error::CoreError;
 use crate::generator::Generator;
 use crate::network::CayleyNetwork;
-use crate::routing::scg_route;
-use crate::topology::Materialized;
+use crate::routing::plan::{RouteBuf, RoutePlan};
+use crate::topology::{route_plan, Materialized};
 
 /// A fault-aware route and the effort it took.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +147,25 @@ pub fn scg_route_faulty(
     result
 }
 
+/// Replans `from → to` into `buf` and mirrors the metric footprint of a
+/// public [`scg_route`](crate::scg_route) call, so instrumented sweeps see
+/// the same per-plan hop histograms they did when the faulty router
+/// composed the public API.
+fn replan_into(
+    net: &SuperCayleyGraph,
+    plan: &RoutePlan,
+    from: &Perm,
+    to: &Perm,
+    buf: &mut RouteBuf,
+) -> Result<(), CoreError> {
+    plan.route_into(from, to, buf)?;
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::route_planned(&net.name(), buf.len());
+    #[cfg(not(feature = "obs"))]
+    let _ = net;
+    Ok(())
+}
+
 /// The uninstrumented routing core behind [`scg_route_faulty`].
 fn route_faulty_inner(
     net: &SuperCayleyGraph,
@@ -162,6 +179,7 @@ fn route_faulty_inner(
     if faults.node_failed(src) || faults.node_failed(dst) {
         return Err(CoreError::NoRoute);
     }
+    let compiled = route_plan(net)?;
     let degree = mat.node_degree();
     let detour_budget = 2 * degree;
 
@@ -169,10 +187,16 @@ fn route_faulty_inner(
     let mut detours = 0usize;
     let mut cur = src;
     let mut cur_label = *from;
-    let mut plan: VecDeque<Generator> = scg_route(net, from, to)?.into();
+    // The pending plan is a reusable buffer walked by cursor; detour
+    // replans rewrite it in place, so the steady-state path allocates
+    // nothing beyond the result vector.
+    let mut pending = compiled.new_buf();
+    let mut scratch = compiled.new_buf();
+    replan_into(net, &compiled, from, to, &mut pending)?;
+    let mut pos = 0usize;
 
     while cur != dst {
-        let Some(g) = plan.pop_front() else {
+        let Some(&g) = pending.hops().get(pos) else {
             // Plan exhausted short of the destination (cannot happen for a
             // correct emulation plan): let BFS finish the job.
             let mut path = RoutedPath {
@@ -183,6 +207,7 @@ fn route_faulty_inner(
             survivor_fallback(net, mat, faults, cur, dst, &mut path.hops)?;
             return Ok(path);
         };
+        pos += 1;
         let gi = gen_index(net, g)?;
         let v = mat.neighbor_id(cur, gi);
         if !faults.blocks(cur, v) {
@@ -208,7 +233,7 @@ fn route_faulty_inner(
         // the faulted one masked. Prefer one whose replanned suffix is
         // verified fault-free; otherwise take any live alternative and
         // keep walking (the budget caps repeated encounters).
-        let mut clean: Option<(usize, Vec<Generator>)> = None;
+        let mut clean: Option<usize> = None;
         let mut live: Option<usize> = None;
         for ai in 0..degree {
             if ai == gi {
@@ -222,20 +247,23 @@ fn route_faulty_inner(
                 live = Some(ai);
             }
             let w_label = net.generators()[ai].apply(&cur_label)?;
-            let suffix = scg_route(net, &w_label, to)?;
-            if plan_is_clean(net, mat, faults, w, &suffix)? {
-                clean = Some((ai, suffix));
+            replan_into(net, &compiled, &w_label, to, &mut scratch)?;
+            if plan_is_clean(net, mat, faults, w, scratch.hops())? {
+                clean = Some(ai);
                 break;
             }
         }
         let step = match (clean, live) {
-            (Some((ai, suffix)), _) => {
-                plan = suffix.into();
+            (Some(ai), _) => {
+                // The verified-clean suffix is still in `scratch`.
+                std::mem::swap(&mut pending, &mut scratch);
+                pos = 0;
                 Some(ai)
             }
             (None, Some(ai)) => {
                 let alt = net.generators()[ai];
-                plan = scg_route(net, &alt.apply(&cur_label)?, to)?.into();
+                replan_into(net, &compiled, &alt.apply(&cur_label)?, to, &mut pending)?;
+                pos = 0;
                 Some(ai)
             }
             (None, None) => None,
@@ -272,7 +300,7 @@ fn route_faulty_inner(
 mod tests {
     use super::*;
     use crate::classes::apply_path;
-    use crate::routing::{star_distance_between, StarEmulation};
+    use crate::routing::{scg_route, star_distance_between, StarEmulation};
     use crate::topology::{materialize, SMALL_NET_CAP};
     use scg_perm::XorShift64;
 

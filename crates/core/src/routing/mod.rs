@@ -3,11 +3,13 @@
 
 mod expand;
 mod fault;
+mod plan;
 mod sort;
 mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
 pub use fault::{scg_route_faulty, RoutedPath};
+pub use plan::{RouteBuf, RoutePlan};
 pub use sort::{
     bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,
 };
@@ -23,6 +25,7 @@ use crate::classes::SuperCayleyGraph;
 use crate::error::CoreError;
 use crate::generator::Generator;
 use crate::network::CayleyNetwork;
+use crate::topology::route_plan;
 
 /// Routes `from → to` on a super Cayley graph by emulating the optimal
 /// star-graph route (each star link expands per Theorems 1–3).
@@ -35,6 +38,12 @@ use crate::network::CayleyNetwork;
 /// insertion-cycle realization of transpositions (`T_x = I_{x-1}^{x-2}∘I_x`),
 /// an extension beyond the paper's stated theorems.
 ///
+/// Link expansions come from the network's compiled [`RoutePlan`] (shared
+/// through the process-wide cache, compiled on first use). Callers routing
+/// many pairs should hold the plan and a [`RouteBuf`] directly — see
+/// [`route_plan`](crate::route_plan) — or use [`route_batch`]; this
+/// convenience wrapper allocates the returned vector.
+///
 /// # Errors
 ///
 /// * [`CoreError::DegreeMismatch`] — label degrees do not match the network.
@@ -43,25 +52,68 @@ pub fn scg_route(
     from: &Perm,
     to: &Perm,
 ) -> Result<Vec<Generator>, CoreError> {
-    let k = net.degree_k();
-    for p in [from, to] {
-        if p.degree() != k {
-            return Err(CoreError::DegreeMismatch {
-                expected: k,
-                found: p.degree(),
+    let plan = route_plan(net)?;
+    let mut buf = plan.new_buf();
+    plan.route_into(from, to, &mut buf)?;
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::route_planned(&net.name(), buf.len());
+    Ok(buf.into_hops())
+}
+
+/// Routes every `(from, to)` pair in parallel over `threads` scoped OS
+/// threads, returning the paths in input order.
+///
+/// Each thread shares the network's compiled [`RoutePlan`] and reuses one
+/// [`RouteBuf`], so the per-pair cost is the greedy star-sort loop plus
+/// slice copies — no per-pair planning or allocation beyond the returned
+/// vectors. `threads` is clamped to `1..=pairs.len()`; results are
+/// identical to routing each pair with [`scg_route`].
+///
+/// # Errors
+///
+/// * [`CoreError::DegreeMismatch`] — any label's degree does not match the
+///   network (the first failing pair in input order is reported).
+pub fn route_batch(
+    net: &SuperCayleyGraph,
+    pairs: &[(Perm, Perm)],
+    threads: usize,
+) -> Result<Vec<Vec<Generator>>, CoreError> {
+    let plan = route_plan(net)?;
+    let mut out: Vec<Vec<Generator>> = vec![Vec::new(); pairs.len()];
+    if pairs.is_empty() {
+        return Ok(out);
+    }
+    let threads = threads.clamp(1, pairs.len());
+    let chunk = pairs.len().div_ceil(threads);
+    let mut errors: Vec<Option<CoreError>> = vec![None; pairs.len().div_ceil(chunk)];
+    std::thread::scope(|scope| {
+        for ((pair_chunk, out_chunk), err_slot) in pairs
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(errors.iter_mut())
+        {
+            let plan = &plan;
+            scope.spawn(move || {
+                let mut buf = plan.new_buf();
+                for ((from, to), slot) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
+                    match plan.route_into(from, to, &mut buf) {
+                        Ok(()) => slot.extend_from_slice(buf.hops()),
+                        Err(e) => {
+                            *err_slot = Some(e);
+                            return;
+                        }
+                    }
+                }
             });
         }
-    }
-    let emu = StarEmulation::new(net)?;
-    let mut out = Vec::new();
-    for g in star_route(from, to) {
-        let Generator::Transposition { i } = g else {
-            unreachable!("star routes consist of transpositions")
-        };
-        out.extend(emu.expand_star_link(i as usize)?);
+    });
+    if let Some(e) = errors.into_iter().flatten().next() {
+        return Err(e);
     }
     #[cfg(feature = "obs")]
-    crate::obs_hooks::route_planned(&net.name(), out.len());
+    for path in &out {
+        crate::obs_hooks::route_planned(&net.name(), path.len());
+    }
     Ok(out)
 }
 
@@ -96,6 +148,17 @@ pub fn bfs_route(
         return Ok(Vec::new());
     }
     let gens = net.generators();
+    // Generator application is pure position rearrangement, so it is right
+    // multiplication by the generator's image of the identity:
+    // `g.apply(u) = u ∘ g.apply(id)`. Precomputing those images turns the
+    // inner loop into `compose_into` on one scratch permutation — no
+    // generator dispatch and no fresh Perm per edge visit.
+    let id = Perm::identity(k);
+    let gen_perms = gens
+        .iter()
+        .map(|g| g.apply(&id))
+        .collect::<Result<Vec<Perm>, _>>()?;
+    let mut scratch = id;
     let mut prev: HashMap<Perm, (Perm, usize)> = HashMap::new();
     let mut frontier = vec![*from];
     let mut expanded = 0u64;
@@ -110,8 +173,9 @@ pub fn bfs_route(
                     cap,
                 });
             }
-            for (gi, g) in gens.iter().enumerate() {
-                let v = g.apply(&u)?;
+            for (gi, gen_perm) in gen_perms.iter().enumerate() {
+                u.compose_into(gen_perm, &mut scratch);
+                let v = scratch;
                 if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(v) {
                     e.insert((u, gi));
                     if v == *to {

@@ -1,0 +1,438 @@
+//! The compiled route planner: per-network expansion arenas.
+//!
+//! [`StarEmulation`] proves the theorems but allocates a fresh cascade of
+//! tiny `Vec<Generator>`s on every expansion — fine for validation, wrong
+//! for the hot path. A [`RoutePlan`] runs that logic **once per network**:
+//! at construction it expands every star link `T_2..T_k` (Theorems 1–3)
+//! and every transposition-network link `T_{i,j}` (the six-case table of
+//! Theorems 6–7) into a single flat `Generator` arena indexed by
+//! per-link offsets. After that, a link expansion is a pure slice lookup
+//! and a full route is the greedy star-sort loop writing
+//! `extend_from_slice` into a caller-supplied reusable [`RouteBuf`] — zero
+//! heap allocation on the steady-state path.
+//!
+//! Plans are cached per network inside the shared
+//! [`TopologyCache`](crate::TopologyCache) (see [`route_plan`](crate::route_plan)),
+//! so routing, communication, embedding, and emulation all compile each
+//! network exactly once per process.
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_core::{apply_path, RoutePlan, SuperCayleyGraph};
+//! use scg_perm::Perm;
+//!
+//! # fn main() -> Result<(), scg_core::CoreError> {
+//! let ms = SuperCayleyGraph::macro_star(3, 2)?;
+//! let plan = RoutePlan::build(&ms)?;
+//! assert_eq!(plan.star_link(6)?.len(), 3); // Theorem 1, precompiled
+//!
+//! let mut buf = plan.new_buf();
+//! let from: Perm = "7 6 5 4 3 2 1".parse()?;
+//! let to = Perm::identity(7);
+//! plan.route_into(&from, &to, &mut buf)?; // no heap allocation
+//! assert_eq!(apply_path(&from, buf.hops())?, to);
+//! # Ok(())
+//! # }
+//! ```
+
+use scg_perm::{Perm, MAX_DEGREE};
+
+use crate::classes::SuperCayleyGraph;
+use crate::error::CoreError;
+use crate::generator::Generator;
+use crate::network::CayleyNetwork;
+use crate::routing::expand::StarEmulation;
+use crate::routing::star_route::star_diameter;
+
+/// A per-network compiled routing artifact: every Theorem 1–3 star-link
+/// expansion and every Theorem 6–7 TN-link expansion, flattened into one
+/// arena and served as slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePlan {
+    name: String,
+    k: usize,
+    dilation: usize,
+    /// All expansions back to back: star links first (`T_2..T_k` in
+    /// order), then TN links in pair-index order.
+    arena: Vec<Generator>,
+    /// `star_offsets[j-2]..star_offsets[j-1]` spans `T_j`; length `k`.
+    star_offsets: Vec<u32>,
+    /// `tn_offsets[p]..tn_offsets[p+1]` spans pair index `p` (see
+    /// [`RoutePlan::tn_pair_index`]); length `k(k−1)/2 + 1`.
+    tn_offsets: Vec<u32>,
+}
+
+impl RoutePlan {
+    /// Compiles the plan for `net` by running the [`StarEmulation`]
+    /// expansions once for every link.
+    ///
+    /// Cost is `O(k²)` expansions and is independent of the `k!` node
+    /// count — building a plan never materializes the network.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (every link of every class expands); kept
+    /// fallible for future host kinds.
+    pub fn build(net: &SuperCayleyGraph) -> Result<Self, CoreError> {
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::plan_build_timer(&net.name());
+        let emu = StarEmulation::new(net)?;
+        let k = net.degree_k();
+        let mut arena = Vec::new();
+        let mut star_offsets = Vec::with_capacity(k);
+        star_offsets.push(0u32);
+        for j in 2..=k {
+            arena.extend(emu.expand_star_link(j)?);
+            star_offsets.push(arena.len() as u32);
+        }
+        let mut tn_offsets = Vec::with_capacity(k * (k - 1) / 2 + 1);
+        tn_offsets.push(arena.len() as u32);
+        for i in 1..=k {
+            for j in i + 1..=k {
+                arena.extend(emu.expand_tn_link(i, j)?);
+                tn_offsets.push(arena.len() as u32);
+            }
+        }
+        arena.shrink_to_fit();
+        Ok(RoutePlan {
+            name: net.name(),
+            k,
+            dilation: emu.star_dilation(),
+            arena,
+            star_offsets,
+            tn_offsets,
+        })
+    }
+
+    /// The network name this plan was compiled for, e.g. `MS(3,2)`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The permutation degree `k`.
+    #[must_use]
+    pub fn degree_k(&self) -> usize {
+        self.k
+    }
+
+    /// Worst-case star-link expansion length (the Theorem 1–3 dilation);
+    /// same value as [`StarEmulation::star_dilation`].
+    #[must_use]
+    pub fn star_dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Total number of generators stored in the arena.
+    #[must_use]
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The precompiled expansion of the star link `T_j` — a slice into
+    /// the arena, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `j` is outside `2..=k`.
+    pub fn star_link(&self, j: usize) -> Result<&[Generator], CoreError> {
+        if !(2..=self.k).contains(&j) {
+            return Err(CoreError::InvalidParameters { l: self.k, n: j });
+        }
+        Ok(self.star_link_unchecked(j))
+    }
+
+    /// `star_link` without the range check; `j` must be in `2..=k`.
+    #[inline]
+    fn star_link_unchecked(&self, j: usize) -> &[Generator] {
+        let lo = self.star_offsets[j - 2] as usize;
+        let hi = self.star_offsets[j - 1] as usize;
+        &self.arena[lo..hi]
+    }
+
+    /// The index of pair `(i, j)`, `1 ≤ i < j ≤ k`, in row-major upper
+    /// triangle order: `(1,2), (1,3), …, (1,k), (2,3), …`.
+    #[inline]
+    fn tn_pair_index(&self, i: usize, j: usize) -> usize {
+        (i - 1) * self.k - i * (i - 1) / 2 + (j - i - 1)
+    }
+
+    /// The precompiled expansion of the transposition-network link
+    /// `T_{i,j}` — a slice into the arena, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `(i, j)` is not a
+    /// valid position pair (`1 ≤ i < j ≤ k`).
+    pub fn tn_link(&self, i: usize, j: usize) -> Result<&[Generator], CoreError> {
+        if i >= j || i < 1 || j > self.k {
+            return Err(CoreError::InvalidParameters { l: i, n: j });
+        }
+        let p = self.tn_pair_index(i, j);
+        let lo = self.tn_offsets[p] as usize;
+        let hi = self.tn_offsets[p + 1] as usize;
+        Ok(&self.arena[lo..hi])
+    }
+
+    /// A [`RouteBuf`] pre-sized for this network's worst-case route
+    /// (`star_dilation × star_diameter` hops), so even the first
+    /// [`route_into`](RoutePlan::route_into) call performs no heap
+    /// allocation.
+    #[must_use]
+    pub fn new_buf(&self) -> RouteBuf {
+        RouteBuf::with_capacity(self.dilation * star_diameter(self.k) as usize)
+    }
+
+    /// Routes `from → to` by the greedy star-sort loop, appending each
+    /// link's precompiled expansion to `buf`. The buffer is cleared
+    /// first; on success it holds the full generator path.
+    ///
+    /// Allocation-free whenever `buf`'s capacity suffices — buffers from
+    /// [`new_buf`](RoutePlan::new_buf) always do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DegreeMismatch`] if either label's degree
+    /// differs from the network's.
+    pub fn route_into(&self, from: &Perm, to: &Perm, buf: &mut RouteBuf) -> Result<(), CoreError> {
+        for p in [from, to] {
+            if p.degree() != self.k {
+                return Err(CoreError::DegreeMismatch {
+                    expected: self.k,
+                    found: p.degree(),
+                });
+            }
+        }
+        buf.hops.clear();
+        let k = self.k;
+        // The relative permutation `to⁻¹ ∘ from` fused into one pair of
+        // passes over raw symbol bytes: a[i] = position of from's symbol
+        // i+1 inside to.
+        let mut inv_to = [0u8; MAX_DEGREE];
+        for (pos, &sym) in to.symbols().iter().enumerate() {
+            inv_to[sym as usize - 1] = pos as u8 + 1;
+        }
+        let mut a = [0u8; MAX_DEGREE];
+        for (i, &sym) in from.symbols().iter().enumerate() {
+            a[i] = inv_to[sym as usize - 1];
+        }
+        // The greedy cycle algorithm of star_sort_sequence over the raw
+        // array. Each move swaps position 1 with an unsorted position and
+        // sorts the latter, so once a position reads sorted it stays
+        // sorted — the cycle-opening scan is a monotone cursor and the
+        // whole loop does no permutation copies.
+        let mut scan = 1usize;
+        loop {
+            let s = a[0];
+            let i = if s != 1 {
+                s as usize
+            } else {
+                while scan < k && a[scan] == scan as u8 + 1 {
+                    scan += 1;
+                }
+                if scan == k {
+                    return Ok(()); // identity reached
+                }
+                scan + 1
+            };
+            buf.hops.extend_from_slice(self.star_link_unchecked(i));
+            a.swap(0, i - 1);
+        }
+    }
+
+    /// Convenience wrapper over [`route_into`](RoutePlan::route_into)
+    /// that allocates a fresh result vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`route_into`](RoutePlan::route_into).
+    pub fn route(&self, from: &Perm, to: &Perm) -> Result<Vec<Generator>, CoreError> {
+        let mut buf = self.new_buf();
+        self.route_into(from, to, &mut buf)?;
+        Ok(buf.into_hops())
+    }
+}
+
+/// A reusable route buffer for [`RoutePlan::route_into`].
+///
+/// Clearing keeps the capacity, so a warmed buffer routes any number of
+/// pairs without touching the allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouteBuf {
+    hops: Vec<Generator>,
+}
+
+impl RouteBuf {
+    /// An empty buffer (first use may allocate; prefer
+    /// [`RoutePlan::new_buf`] for a pre-sized one).
+    #[must_use]
+    pub fn new() -> Self {
+        RouteBuf::default()
+    }
+
+    /// An empty buffer with room for `cap` hops.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        RouteBuf {
+            hops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The route written by the last
+    /// [`route_into`](RoutePlan::route_into).
+    #[must_use]
+    pub fn hops(&self) -> &[Generator] {
+        &self.hops
+    }
+
+    /// Number of hops held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the buffer holds no hops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Current capacity in hops.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.hops.capacity()
+    }
+
+    /// Drops the hops, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.hops.clear();
+    }
+
+    /// Consumes the buffer, yielding the hop vector.
+    #[must_use]
+    pub fn into_hops(self) -> Vec<Generator> {
+        self.hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::apply_path;
+    use crate::routing::star_route::{star_distance_between, star_route};
+    use scg_perm::XorShift64;
+
+    fn all_classes_small() -> Vec<SuperCayleyGraph> {
+        vec![
+            SuperCayleyGraph::macro_star(2, 2).unwrap(),
+            SuperCayleyGraph::rotation_star(2, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_star(2, 2).unwrap(),
+            SuperCayleyGraph::macro_rotator(2, 2).unwrap(),
+            SuperCayleyGraph::rotation_rotator(2, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_rotator(2, 2).unwrap(),
+            SuperCayleyGraph::insertion_selection(5).unwrap(),
+            SuperCayleyGraph::macro_is(2, 2).unwrap(),
+            SuperCayleyGraph::rotation_is(2, 2).unwrap(),
+            SuperCayleyGraph::complete_rotation_is(2, 2).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn plan_lookups_match_fresh_expansion_all_classes() {
+        for net in all_classes_small() {
+            let plan = RoutePlan::build(&net).unwrap();
+            let emu = StarEmulation::new(&net).unwrap();
+            let k = net.degree_k();
+            for j in 2..=k {
+                assert_eq!(
+                    plan.star_link(j).unwrap(),
+                    emu.expand_star_link(j).unwrap().as_slice(),
+                    "{} T_{j}",
+                    net.name()
+                );
+            }
+            for i in 1..=k {
+                for j in i + 1..=k {
+                    assert_eq!(
+                        plan.tn_link(i, j).unwrap(),
+                        emu.expand_tn_link(i, j).unwrap().as_slice(),
+                        "{} T_{{{i},{j}}}",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_into_matches_star_route_expansion() {
+        let net = SuperCayleyGraph::macro_star(3, 2).unwrap();
+        let plan = RoutePlan::build(&net).unwrap();
+        let emu = StarEmulation::new(&net).unwrap();
+        let mut rng = XorShift64::new(41);
+        let mut buf = plan.new_buf();
+        for _ in 0..25 {
+            let from = Perm::random(7, &mut rng);
+            let to = Perm::random(7, &mut rng);
+            plan.route_into(&from, &to, &mut buf).unwrap();
+            // Identical to the expansion of the optimal star route.
+            let mut expect = Vec::new();
+            for g in star_route(&from, &to) {
+                let Generator::Transposition { i } = g else {
+                    unreachable!()
+                };
+                expect.extend(emu.expand_star_link(i as usize).unwrap());
+            }
+            assert_eq!(buf.hops(), expect.as_slice());
+            assert_eq!(apply_path(&from, buf.hops()).unwrap(), to);
+            assert!(
+                buf.len() as u32 <= plan.star_dilation() as u32 * star_distance_between(&from, &to)
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_capacity_survives_reuse() {
+        let net = SuperCayleyGraph::macro_is(3, 2).unwrap();
+        let plan = RoutePlan::build(&net).unwrap();
+        let mut buf = plan.new_buf();
+        let cap = buf.capacity();
+        assert!(cap >= plan.star_dilation() * star_diameter(7) as usize);
+        let mut rng = XorShift64::new(43);
+        for _ in 0..50 {
+            let from = Perm::random(7, &mut rng);
+            let to = Perm::random(7, &mut rng);
+            plan.route_into(&from, &to, &mut buf).unwrap();
+            assert_eq!(buf.capacity(), cap, "route grew the warmed buffer");
+        }
+    }
+
+    #[test]
+    fn invalid_links_and_degrees_are_rejected() {
+        let net = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let plan = RoutePlan::build(&net).unwrap();
+        assert!(plan.star_link(1).is_err());
+        assert!(plan.star_link(6).is_err());
+        assert!(plan.tn_link(3, 3).is_err());
+        assert!(plan.tn_link(0, 2).is_err());
+        assert!(plan.tn_link(2, 9).is_err());
+        let mut buf = plan.new_buf();
+        let bad = Perm::identity(4);
+        assert!(matches!(
+            plan.route_into(&bad, &Perm::identity(5), &mut buf),
+            Err(CoreError::DegreeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let net = SuperCayleyGraph::insertion_selection(5).unwrap();
+        let plan = RoutePlan::build(&net).unwrap();
+        let mut buf = RouteBuf::new();
+        let u = Perm::from_rank(5, 99).unwrap();
+        plan.route_into(&u, &u, &mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(plan.route(&u, &u).unwrap(), Vec::new());
+    }
+}

@@ -40,8 +40,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use scg_graph::{DenseGraph, NodeId};
 use scg_perm::{factorial, rank_transition_tables, Perm, PermAction, MAX_TABLE_DEGREE};
 
+use crate::classes::{ScgClass, SuperCayleyGraph};
 use crate::error::CoreError;
 use crate::network::CayleyNetwork;
+use crate::routing::RoutePlan;
 
 /// Materialization cap for quick interactive checks and unit tests: admits
 /// `k ≤ 6` (`6! = 720` nodes).
@@ -206,6 +208,12 @@ impl Materialized {
 #[derive(Debug, Default)]
 pub struct TopologyCache {
     entries: Mutex<HashMap<(String, usize), Materialized>>,
+    /// Compiled route planners. Kept separate from `entries` because
+    /// plans cost `O(k²)` to build (no node-count cap applies) and are
+    /// wanted for networks far too large to materialize; keyed by the
+    /// Copy `(class, l, n)` triple so the hot `scg_route` lookup never
+    /// formats a name `String`.
+    plans: Mutex<HashMap<(ScgClass, usize, usize), Arc<RoutePlan>>>,
 }
 
 impl TopologyCache {
@@ -259,6 +267,36 @@ impl TopologyCache {
         Ok(entries.entry(key).or_insert(built).clone())
     }
 
+    /// The compiled [`RoutePlan`] for `net`, building and caching it on
+    /// first use. Hits clone the stored `Arc`, so every consumer of the
+    /// same network shares one arena.
+    ///
+    /// Unlike [`materialize`](TopologyCache::materialize) there is no
+    /// node-count cap: a plan costs `O(k²)` link expansions regardless of
+    /// the `k!` node count.
+    ///
+    /// # Errors
+    ///
+    /// As [`RoutePlan::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan-cache mutex was poisoned by a panicking builder.
+    pub fn route_plan(&self, net: &SuperCayleyGraph) -> Result<Arc<RoutePlan>, CoreError> {
+        let key = (net.class(), net.levels(), net.box_size());
+        if let Some(hit) = self.plans.lock().expect("plan cache lock").get(&key) {
+            #[cfg(feature = "obs")]
+            crate::obs_hooks::plan_cache_hit(&net.name());
+            return Ok(Arc::clone(hit));
+        }
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::plan_cache_miss(&net.name());
+        // Build outside the lock, first insert wins (as in materialize).
+        let built = Arc::new(RoutePlan::build(net)?);
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        Ok(Arc::clone(plans.entry(key).or_insert(built)))
+    }
+
     /// Number of cached networks.
     ///
     /// # Panics
@@ -267,6 +305,16 @@ impl TopologyCache {
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Number of cached route plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan-cache mutex was poisoned.
+    #[must_use]
+    pub fn num_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
     }
 
     /// Whether the cache is empty.
@@ -285,6 +333,8 @@ impl TopologyCache {
         #[cfg(feature = "obs")]
         crate::obs_hooks::cache_evicted(entries.len() as u64);
         entries.clear();
+        drop(entries);
+        self.plans.lock().expect("plan cache lock").clear();
     }
 }
 
@@ -298,6 +348,17 @@ pub fn materialize<N: CayleyNetwork + ?Sized>(
     cap: u64,
 ) -> Result<Materialized, CoreError> {
     TopologyCache::global().materialize(net, cap)
+}
+
+/// The compiled [`RoutePlan`] for `net` through the process-wide
+/// [`TopologyCache`] — one plan per network per process, shared by
+/// routing, communication, embedding, and emulation.
+///
+/// # Errors
+///
+/// As [`RoutePlan::build`].
+pub fn route_plan(net: &SuperCayleyGraph) -> Result<Arc<RoutePlan>, CoreError> {
+    TopologyCache::global().route_plan(net)
 }
 
 #[cfg(test)]
@@ -357,6 +418,25 @@ mod tests {
                 cap: 10
             }
         ));
+    }
+
+    #[test]
+    fn plan_cache_returns_shared_arcs() {
+        let cache = TopologyCache::new();
+        let ms = SuperCayleyGraph::macro_star(3, 2).unwrap();
+        let a = cache.route_plan(&ms).unwrap();
+        let b = cache.route_plan(&ms).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.num_plans(), 1);
+        // Plans are not capped by node count: k = 13 (6 227 020 800
+        // nodes) compiles instantly.
+        let big = SuperCayleyGraph::macro_star(6, 2).unwrap();
+        let plan = cache.route_plan(&big).unwrap();
+        assert_eq!(plan.degree_k(), 13);
+        assert_eq!(cache.num_plans(), 2);
+        cache.clear();
+        assert_eq!(cache.num_plans(), 0);
+        assert_eq!(a.degree_k(), 7); // handles outlive the clear
     }
 
     #[test]

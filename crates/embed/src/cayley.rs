@@ -4,9 +4,11 @@
 //!
 //! Guest and host share the node set `S_k`; the node map is the identity on
 //! labels (load 1, expansion 1), and each guest link expands into the host
-//! generator sequence given by [`StarEmulation`].
+//! generator sequence served by the host's compiled
+//! [`RoutePlan`](scg_core::RoutePlan) (shared through the process-wide
+//! topology cache, like the graphs and rank tables).
 
-use scg_core::{materialize, CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph};
+use scg_core::{materialize, route_plan, CayleyNetwork, Generator, SuperCayleyGraph};
 use scg_graph::NodeId;
 
 use crate::embedding::Embedding;
@@ -49,14 +51,14 @@ impl CayleyEmbedding {
                 ),
             });
         }
-        let emu = StarEmulation::new(host)?;
-        // Pre-expand each guest generator once.
+        let plan = route_plan(host)?;
+        // Each guest generator's expansion is a precompiled arena slice.
         let guest_generators: Vec<Generator> = guest.generators().to_vec();
-        let mut expansions = Vec::with_capacity(guest_generators.len());
+        let mut expansions: Vec<&[Generator]> = Vec::with_capacity(guest_generators.len());
         for g in &guest_generators {
             let seq = match *g {
-                Generator::Transposition { i } => emu.expand_star_link(i as usize)?,
-                Generator::Exchange { i, j } => emu.expand_tn_link(i as usize, j as usize)?,
+                Generator::Transposition { i } => plan.star_link(i as usize)?,
+                Generator::Exchange { i, j } => plan.tn_link(i as usize, j as usize)?,
                 other => {
                     return Err(EmbedError::Unsupported {
                         reason: format!("cannot expand guest generator {other}"),

@@ -26,7 +26,7 @@
 use std::fmt::Write as _;
 
 use scg_core::{
-    apply_path, CayleyNetwork, Generator, NucleusKind, ScgClass, StarEmulation, SuperCayleyGraph,
+    apply_path, route_plan, CayleyNetwork, Generator, NucleusKind, ScgClass, SuperCayleyGraph,
 };
 use scg_perm::Perm;
 
@@ -80,7 +80,7 @@ impl AllPortSchedule {
     ///   budget within the defensive `3k` makespan cap (not observed for
     ///   the classes with emulation theorems).
     pub fn build(host: &SuperCayleyGraph) -> Result<Self, EmuError> {
-        let emu = StarEmulation::new(host)?;
+        let plan = route_plan(host)?;
         let k = host.degree_k();
         let links: Vec<Generator> = host.generators().to_vec();
         let link_index = |g: &Generator| -> usize {
@@ -92,7 +92,7 @@ impl AllPortSchedule {
         // Expansion paths per dimension, as link indices.
         let mut paths: Vec<(usize, Vec<usize>)> = Vec::with_capacity(k - 1);
         for j in 2..=k {
-            let gens = emu.expand_star_link(j)?;
+            let gens = plan.star_link(j)?;
             paths.push((j, gens.iter().map(link_index).collect()));
         }
 

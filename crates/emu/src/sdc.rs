@@ -10,7 +10,7 @@
 //! (Theorem 3) — and the *mean* expansion length is what a long
 //! dimension-sweep algorithm actually pays.
 
-use scg_core::{CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph};
+use scg_core::{route_plan, CayleyNetwork, Generator, SuperCayleyGraph};
 
 use crate::error::EmuError;
 
@@ -75,10 +75,10 @@ pub fn pipelined_dimension_cost(
     j: usize,
     packets: u64,
 ) -> Result<PipelinedCost, EmuError> {
-    let emu = StarEmulation::new(host)?;
-    let path = emu.expand_star_link(j)?;
+    let plan = route_plan(host)?;
+    let path = plan.star_link(j)?;
     let mut mult = std::collections::HashMap::new();
-    for g in &path {
+    for g in path {
         *mult.entry(*g).or_insert(0usize) += 1;
     }
     let bottleneck = mult.values().copied().max().unwrap_or(0);
@@ -89,7 +89,7 @@ pub fn pipelined_dimension_cost(
     let mut link_free: std::collections::HashMap<Generator, u64> = std::collections::HashMap::new();
     let mut prev_hop_done = vec![0u64; packets as usize];
     let mut steps = 0u64;
-    for &link in &path {
+    for &link in path {
         for hop_done in &mut prev_hop_done {
             let free = link_free.get(&link).copied().unwrap_or(0);
             let done = free.max(*hop_done) + 1;
@@ -114,10 +114,10 @@ impl SdcReport {
     /// Returns [`EmuError::Core`] for hosts with no emulation theorem
     /// (insertion-only nucleus).
     pub fn measure(host: &SuperCayleyGraph) -> Result<Self, EmuError> {
-        let emu = StarEmulation::new(host)?;
+        let plan = route_plan(host)?;
         let k = host.degree_k();
         let per_dimension: Vec<usize> = (2..=k)
-            .map(|j| emu.expand_star_link(j).map(|p| p.len()))
+            .map(|j| plan.star_link(j).map(|p| p.len()))
             .collect::<Result<_, _>>()?;
         let worst = per_dimension.iter().copied().max().unwrap_or(0);
         let mean = per_dimension.iter().sum::<usize>() as f64 / per_dimension.len() as f64;

@@ -141,13 +141,31 @@ impl TableRouter {
                 reason: "out-degree too large for u8 slot table",
             });
         }
-        // Surviving reverse adjacency for BFS *toward* each destination.
-        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Surviving reverse adjacency for BFS *toward* each destination,
+        // in CSR form (offsets + one flat id array): two allocations
+        // total instead of one list per node, and each node's
+        // predecessors are contiguous for the BFS scans below. The
+        // two-pass count-then-fill keeps predecessors in `edges()` order,
+        // exactly as the per-node-Vec build produced them.
+        let mut rev_offsets = vec![0u32; n + 1];
         for (u, v) in graph.edges() {
             if !faults.blocks(u, v) {
-                rev[v as usize].push(u);
+                rev_offsets[v as usize + 1] += 1;
             }
         }
+        for i in 0..n {
+            rev_offsets[i + 1] += rev_offsets[i];
+        }
+        let mut rev_ids = vec![0 as NodeId; rev_offsets[n] as usize];
+        let mut cursor: Vec<u32> = rev_offsets[..n].to_vec();
+        for (u, v) in graph.edges() {
+            if !faults.blocks(u, v) {
+                let c = &mut cursor[v as usize];
+                rev_ids[*c as usize] = u;
+                *c += 1;
+            }
+        }
+        let rev = |v: usize| &rev_ids[rev_offsets[v] as usize..rev_offsets[v + 1] as usize];
         let mut slots = vec![TableSlot::Unreachable; n * n];
         let mut dist = vec![UNREACHABLE; n];
         let mut queue = VecDeque::new();
@@ -159,7 +177,7 @@ impl TableRouter {
             dist[dst] = 0;
             queue.push_back(dst as NodeId);
             while let Some(v) = queue.pop_front() {
-                for &u in &rev[v as usize] {
+                for &u in rev(v as usize) {
                     if dist[u as usize] == UNREACHABLE {
                         dist[u as usize] = dist[v as usize] + 1;
                         queue.push_back(u);

@@ -45,6 +45,7 @@
 
 mod error;
 mod export;
+pub mod json;
 mod metrics;
 mod registry;
 mod snapshot;

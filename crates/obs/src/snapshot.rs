@@ -11,12 +11,12 @@
 //!   identity (the round-trip test locks this down).
 //!
 //! Both encoders are hand-rolled: the workspace builds offline, so there
-//! is no serde. The JSON parser accepts exactly the subset the encoder
-//! emits (objects, arrays, strings with `\"`/`\\`/`\u` escapes, integers).
-
-use std::collections::BTreeMap;
+//! is no serde. Parsing goes through the shared [`crate::json`] module,
+//! which accepts exactly the subset the encoder emits (objects, arrays,
+//! strings with `\"`/`\\`/`\u` escapes, integers).
 
 use crate::error::ObsError;
+use crate::json;
 
 /// The value of one metric at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,7 +241,7 @@ impl Snapshot {
     /// [`ObsError::Json`] on malformed input or a structure the encoder
     /// would never emit.
     pub fn from_json(input: &str) -> Result<Snapshot, ObsError> {
-        let value = JsonParser::parse(input)?;
+        let value = json::parse(input)?;
         let top = value.as_object(0)?;
         let metrics_val = top.get("metrics").ok_or(ObsError::Json {
             at: 0,
@@ -323,251 +323,6 @@ impl Snapshot {
             });
         }
         Ok(Snapshot { metrics })
-    }
-}
-
-/// The minimal JSON value model the snapshot format needs.
-#[derive(Debug, Clone)]
-enum Json {
-    Object(BTreeMap<String, Json>),
-    Array(Vec<Json>),
-    String(String),
-    /// All numbers the encoder emits are integers; i128 covers the full
-    /// u64 and i64 ranges.
-    Int(i128),
-}
-
-impl Json {
-    fn as_object(&self, at: usize) -> Result<&BTreeMap<String, Json>, ObsError> {
-        match self {
-            Json::Object(m) => Ok(m),
-            _ => Err(ObsError::Json {
-                at,
-                reason: "expected object",
-            }),
-        }
-    }
-
-    fn as_array(&self, at: usize) -> Result<&[Json], ObsError> {
-        match self {
-            Json::Array(v) => Ok(v),
-            _ => Err(ObsError::Json {
-                at,
-                reason: "expected array",
-            }),
-        }
-    }
-
-    fn as_string(&self, at: usize) -> Result<&str, ObsError> {
-        match self {
-            Json::String(s) => Ok(s),
-            _ => Err(ObsError::Json {
-                at,
-                reason: "expected string",
-            }),
-        }
-    }
-
-    fn as_u64(&self, at: usize) -> Result<u64, ObsError> {
-        match self {
-            Json::Int(i) => u64::try_from(*i).map_err(|_| ObsError::Json {
-                at,
-                reason: "integer out of u64 range",
-            }),
-            _ => Err(ObsError::Json {
-                at,
-                reason: "expected integer",
-            }),
-        }
-    }
-
-    fn as_i64(&self, at: usize) -> Result<i64, ObsError> {
-        match self {
-            Json::Int(i) => i64::try_from(*i).map_err(|_| ObsError::Json {
-                at,
-                reason: "integer out of i64 range",
-            }),
-            _ => Err(ObsError::Json {
-                at,
-                reason: "expected integer",
-            }),
-        }
-    }
-}
-
-/// A recursive-descent parser over the encoder's JSON subset.
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn parse(input: &'a str) -> Result<Json, ObsError> {
-        let mut p = JsonParser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing data"));
-        }
-        Ok(v)
-    }
-
-    fn err(&self, reason: &'static str) -> ObsError {
-        ObsError::Json {
-            at: self.pos,
-            reason,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ObsError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err("unexpected byte"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ObsError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ObsError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            map.insert(key, val);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ObsError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ObsError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match self.peek().ok_or_else(|| self.err("unterminated escape"))? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("short \\u escape"))?;
-                            let hex_str = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("non-ascii \\u escape"))?;
-                            let cp = u32::from_str_radix(hex_str, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?);
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                    self.pos += 1;
-                }
-                _ => {
-                    // Consume one UTF-8 scalar (multi-byte safe: operate on
-                    // the str slice).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ObsError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(self.err("floats are not part of the snapshot format"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        text.parse::<i128>()
-            .map(Json::Int)
-            .map_err(|_| self.err("integer overflow"))
     }
 }
 

@@ -164,6 +164,26 @@ impl Perm {
         out
     }
 
+    /// [`compose`](Perm::compose) writing the result into `out` instead of
+    /// returning a fresh permutation — the hot-loop form for callers that
+    /// reuse one scratch slot across many compositions.
+    ///
+    /// Equivalent to `*out = self.compose(other)` for every input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    pub fn compose_into(&self, other: &Perm, out: &mut Perm) {
+        assert_eq!(self.degree, other.degree, "degree mismatch in compose_into");
+        // Copy first so out's trailing bytes match self's (always zero in a
+        // valid Perm) — derived equality and hashing see the whole array.
+        *out = *self;
+        let k = self.degree as usize;
+        for i in 0..k {
+            out.symbols[i] = self.symbols[other.symbols[i] as usize - 1];
+        }
+    }
+
     /// The group inverse: `self.inverse().compose(&self)` is the identity.
     #[must_use]
     pub fn inverse(&self) -> Perm {
@@ -534,6 +554,20 @@ mod tests {
         assert_eq!(ab.symbol_at(1), 4);
         assert_eq!(a.inverse().compose(&a), Perm::identity(4));
         assert_eq!(a.compose(&a.inverse()), Perm::identity(4));
+    }
+
+    #[test]
+    fn compose_into_matches_compose_exhaustively() {
+        // Byte-for-byte agreement (trailing array bytes included, since
+        // equality and hashing are derived on the whole symbol array),
+        // over all of S_4 × S_4 — and the scratch slot is safely reusable.
+        let mut out = Perm::identity(4);
+        for a in crate::Permutations::lexicographic(4) {
+            for b in crate::Permutations::lexicographic(4) {
+                a.compose_into(&b, &mut out);
+                assert_eq!(out, a.compose(&b), "{a} ∘ {b}");
+            }
+        }
     }
 
     #[test]

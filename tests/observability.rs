@@ -204,6 +204,44 @@ fn hooks_populate_global_registry() {
     assert!(reg.counter("scg_sim_delivered_total", &[]).get() > delivered_before);
 }
 
+/// The route planner leaves its own footprint: a build-time histogram
+/// sample plus cache hit/miss counters, and repeated `scg_route` calls on
+/// a warm plan only move the hit counter.
+#[cfg(feature = "obs")]
+#[test]
+fn planner_hooks_populate_global_registry() {
+    let reg = Registry::global();
+    let net = SuperCayleyGraph::rotation_rotator(2, 2).expect("RR(2,2) constructs");
+    let name = net.name();
+    let labels = [("network", name.as_str())];
+    let hits = reg.counter("scg_route_plan_cache_hits_total", &labels);
+    let misses = reg.counter("scg_route_plan_cache_misses_total", &labels);
+    let hits_before = hits.get();
+
+    let mut rng = XorShift64::new(0x0B5);
+    let from = supercayley::perm::Perm::random(5, &mut rng);
+    let to = supercayley::perm::Perm::random(5, &mut rng);
+    // First call may build (miss) or reuse a plan another test compiled;
+    // either way it must count exactly one lookup.
+    scg_route(&net, &from, &to).expect("route");
+    scg_route(&net, &from, &to).expect("route");
+    let hits_after = hits.get();
+    let misses_after = misses.get();
+    assert!(
+        hits_after - hits_before >= 1,
+        "second scg_route call did not hit the plan cache"
+    );
+    assert!(
+        misses_after >= 1,
+        "some call must have compiled RR(2,2)'s plan"
+    );
+    // A miss implies a recorded build duration. Same decade edges the
+    // core timer hooks use.
+    const MICROS_BOUNDS: [u64; 8] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+    let build = reg.histogram("scg_route_plan_build_micros", &labels, &MICROS_BOUNDS);
+    assert!(build.count() >= misses_after, "plan build went untimed");
+}
+
 /// The global event trace records `sim.run.end` spans when the hooks are
 /// live.
 #[cfg(feature = "obs")]

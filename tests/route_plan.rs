@@ -1,0 +1,158 @@
+//! Cross-crate checks of the compiled route planner: plan lookups are
+//! byte-identical to fresh [`StarEmulation`] output, batch routing equals
+//! sequential routing, and every planned route respects the Theorem 1–3
+//! dilation bound.
+
+use supercayley::core::{
+    apply_path, route_batch, route_plan, scg_route, star_diameter, star_distance_between,
+    CayleyNetwork, Generator, StarEmulation, SuperCayleyGraph,
+};
+use supercayley::perm::{Perm, XorShift64};
+
+fn all_classes_small() -> Vec<SuperCayleyGraph> {
+    vec![
+        SuperCayleyGraph::macro_star(2, 2).unwrap(),
+        SuperCayleyGraph::rotation_star(2, 2).unwrap(),
+        SuperCayleyGraph::complete_rotation_star(2, 2).unwrap(),
+        SuperCayleyGraph::macro_rotator(2, 2).unwrap(),
+        SuperCayleyGraph::rotation_rotator(2, 2).unwrap(),
+        SuperCayleyGraph::complete_rotation_rotator(2, 2).unwrap(),
+        SuperCayleyGraph::insertion_selection(5).unwrap(),
+        SuperCayleyGraph::macro_is(2, 2).unwrap(),
+        SuperCayleyGraph::rotation_is(2, 2).unwrap(),
+        SuperCayleyGraph::complete_rotation_is(2, 2).unwrap(),
+    ]
+}
+
+/// Every link expansion the shared cached plan serves is byte-identical to
+/// what a fresh `StarEmulation` computes, on all ten classes.
+#[test]
+fn cached_plans_match_fresh_emulation_on_all_classes() {
+    for net in all_classes_small() {
+        let plan = route_plan(&net).unwrap();
+        let emu = StarEmulation::new(&net).unwrap();
+        let k = net.degree_k();
+        assert_eq!(plan.star_dilation(), emu.star_dilation(), "{}", net.name());
+        for j in 2..=k {
+            assert_eq!(
+                plan.star_link(j).unwrap(),
+                emu.expand_star_link(j).unwrap().as_slice(),
+                "{} T_{j}",
+                net.name()
+            );
+        }
+        for i in 1..=k {
+            for j in i + 1..=k {
+                assert_eq!(
+                    plan.tn_link(i, j).unwrap(),
+                    emu.expand_tn_link(i, j).unwrap().as_slice(),
+                    "{} T_{{{i},{j}}}",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+/// `route_batch` over several threads returns exactly the routes sequential
+/// `scg_route` produces, in input order.
+#[test]
+fn route_batch_equals_sequential_routing() {
+    let mut rng = XorShift64::new(0x9A7E);
+    for net in all_classes_small() {
+        let k = net.degree_k();
+        let pairs: Vec<(Perm, Perm)> = (0..64)
+            .map(|_| (Perm::random(k, &mut rng), Perm::random(k, &mut rng)))
+            .collect();
+        for threads in [1, 3, 8] {
+            let batch = route_batch(&net, &pairs, threads).unwrap();
+            assert_eq!(batch.len(), pairs.len());
+            for (route, (from, to)) in batch.iter().zip(&pairs) {
+                assert_eq!(
+                    route,
+                    &scg_route(&net, from, to).unwrap(),
+                    "{} threads={threads}",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every planned route walks `from` to `to` and obeys the paper's bound:
+/// at most `star_dilation × star_distance(from, to)` hops (hence at most
+/// `star_dilation × star_diameter` anywhere).
+#[test]
+fn planned_routes_arrive_within_the_dilation_bound() {
+    let mut rng = XorShift64::new(0xB0CD);
+    for net in all_classes_small() {
+        let plan = route_plan(&net).unwrap();
+        let k = net.degree_k();
+        let mut buf = plan.new_buf();
+        for _ in 0..50 {
+            let from = Perm::random(k, &mut rng);
+            let to = Perm::random(k, &mut rng);
+            plan.route_into(&from, &to, &mut buf).unwrap();
+            assert_eq!(apply_path(&from, buf.hops()).unwrap(), to, "{}", net.name());
+            let bound = plan.star_dilation() as u32 * star_distance_between(&from, &to);
+            assert!(
+                buf.len() as u32 <= bound,
+                "{}: {} hops > bound {bound}",
+                net.name(),
+                buf.len()
+            );
+            assert!(buf.len() as u32 <= plan.star_dilation() as u32 * star_diameter(k));
+        }
+    }
+}
+
+/// The planner works on networks far too large to materialize: `MS(6,2)`
+/// has `13!` ≈ 6.2 billion nodes, yet plans compile in `O(k²)` and routes
+/// still verify by label walking.
+#[test]
+fn plans_route_networks_too_large_to_materialize() {
+    let big = SuperCayleyGraph::macro_star(6, 2).unwrap();
+    let plan = route_plan(&big).unwrap();
+    let mut rng = XorShift64::new(0xFEED);
+    let mut buf = plan.new_buf();
+    for _ in 0..20 {
+        let from = Perm::random(13, &mut rng);
+        let to = Perm::random(13, &mut rng);
+        plan.route_into(&from, &to, &mut buf).unwrap();
+        assert_eq!(apply_path(&from, buf.hops()).unwrap(), to);
+        for g in buf.hops() {
+            assert!(
+                big.generators().contains(g),
+                "route uses a non-generator {g}"
+            );
+        }
+    }
+}
+
+/// Plans for the same network are shared: two lookups return the same arena.
+#[test]
+fn plan_cache_shares_one_arena_per_network() {
+    let net = SuperCayleyGraph::rotation_is(2, 2).unwrap();
+    let a = route_plan(&net).unwrap();
+    let b = route_plan(&net).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    // And a same-shape network of a different class gets a different plan.
+    let other = route_plan(&SuperCayleyGraph::macro_is(2, 2).unwrap()).unwrap();
+    assert!(!std::sync::Arc::ptr_eq(&a, &other));
+}
+
+/// Mixed-degree pairs are rejected without panicking, batch included.
+#[test]
+fn degree_mismatches_surface_as_errors() {
+    let net = SuperCayleyGraph::macro_star(2, 2).unwrap();
+    let bad = Perm::identity(7);
+    let good = Perm::identity(5);
+    assert!(scg_route(&net, &bad, &good).is_err());
+    let pairs = vec![(good, good), (bad, good)];
+    assert!(route_batch(&net, &pairs, 2).is_err());
+    let empty: Vec<(Perm, Perm)> = Vec::new();
+    assert_eq!(
+        route_batch(&net, &empty, 4).unwrap(),
+        Vec::<Vec<Generator>>::new()
+    );
+}
