@@ -1,0 +1,372 @@
+//! The lint driver: file discovery, test-region detection, suppression
+//! matching, and diagnostic assembly.
+//!
+//! The driver walks the workspace's *library* sources — `crates/<name>/src`
+//! for every crate except the bench harness, plus the root `src/` tree
+//! minus `src/bin` — lexes each file once, computes which lines are
+//! test-gated, runs every rule, and resolves `// scg-allow` suppressions.
+//! Files under `tests/`, `benches/`, and `examples/` are intentionally out
+//! of scope: the invariants protect production code paths.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{check_file, FileInfo, RuleId};
+
+/// A fully resolved finding: a rule violation plus its suppression state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when a justified `scg-allow` covers this site.
+    pub suppressed: Option<String>,
+}
+
+impl Diagnostic {
+    /// Whether this diagnostic counts against `--deny`.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.suppressed.is_none()
+    }
+}
+
+/// The outcome of analyzing a tree.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every diagnostic (active and suppressed), in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files lexed and checked.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Diagnostics that count against `--deny`.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_active())
+    }
+
+    /// Active-violation count for one rule.
+    #[must_use]
+    pub fn count(&self, rule: RuleId) -> usize {
+        self.active().filter(|d| d.rule == rule).count()
+    }
+}
+
+/// A parsed `// scg-allow(SCG00x[, ...]): reason` comment.
+#[derive(Debug)]
+struct Suppression {
+    rules: Vec<RuleId>,
+    line: u32,
+    col: u32,
+    reason: String,
+    used: bool,
+}
+
+/// Analyzes every library source under `root` (a workspace checkout).
+///
+/// # Errors
+///
+/// Returns an error string if `root` has no recognizable workspace layout
+/// or a source file cannot be read — the analyzer refuses to "pass" on a
+/// tree it could not actually see.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let files = discover(root)?;
+    let mut analysis = Analysis::default();
+    for (path, info) in files {
+        let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        analyze_source(&src, &info, &mut analysis);
+    }
+    analysis
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(analysis)
+}
+
+/// Analyzes one in-memory source file (the unit the fixture tests drive).
+pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
+    let tokens = lex(src);
+    let test_lines = test_line_set(src, &tokens);
+    let mut suppressions = collect_suppressions(src, &tokens);
+    let violations = check_file(src, &tokens, info, &|line| test_lines.contains(&line));
+    analysis.files_scanned += 1;
+    for v in violations {
+        let reason = suppressions
+            .iter_mut()
+            .find(|s| {
+                !s.reason.is_empty()
+                    && s.rules.contains(&v.rule)
+                    && (s.line == v.line || s.line + 1 == v.line)
+            })
+            .map(|s| {
+                s.used = true;
+                s.reason.clone()
+            });
+        analysis.diagnostics.push(Diagnostic {
+            rule: v.rule,
+            file: info.rel_path.clone(),
+            line: v.line,
+            col: v.col,
+            message: v.message,
+            suppressed: reason,
+        });
+    }
+    // Suppression hygiene (SCG000): missing reasons and dead suppressions
+    // are both findings — stale allows are how invariants rot.
+    for s in &suppressions {
+        if test_lines.contains(&s.line) {
+            continue;
+        }
+        if s.reason.is_empty() {
+            analysis.diagnostics.push(Diagnostic {
+                rule: RuleId::Scg000,
+                file: info.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: "scg-allow without a reason; write `// scg-allow(SCG00x): why`"
+                    .to_string(),
+                suppressed: None,
+            });
+        } else if !s.used {
+            analysis.diagnostics.push(Diagnostic {
+                rule: RuleId::Scg000,
+                file: info.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "scg-allow({}) matches no finding on this or the next line; remove it",
+                    s.rules
+                        .iter()
+                        .map(|r| r.code())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Finds the library sources to lint: `(absolute path, file facts)` pairs.
+fn discover(root: &Path) -> Result<Vec<(PathBuf, FileInfo)>, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{}: not a workspace root (no crates/ directory)",
+            root.display()
+        ));
+    }
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if name == "bench" {
+            continue; // the bench harness is exempt by charter
+        }
+        collect_rs(&dir.join("src"), &name, root, &mut out)?;
+    }
+    // The root facade crate: src/ minus src/bin.
+    collect_rs(&root.join("src"), "supercayley", root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (skipping any `bin/`
+/// subtree) into `out`.
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    root: &Path,
+    out: &mut Vec<(PathBuf, FileInfo)>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().and_then(|n| n.to_str()) == Some("bin") {
+                continue; // binaries are operator tooling, not library code
+            }
+            collect_rs(&path, crate_name, root, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((
+                path.clone(),
+                FileInfo {
+                    rel_path: rel,
+                    crate_name: crate_name.to_string(),
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The set of 1-based lines inside test-gated code: items annotated
+/// `#[test]`, `#[cfg(test)]`, or any attribute mentioning `test` outside a
+/// `not(..)` (so `#[cfg_attr(not(test), ...)]` does *not* exempt).
+fn test_line_set(src: &str, tokens: &[Token]) -> BTreeSet<u32> {
+    let sig: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let txt = |i: usize| tokens[sig[i]].text(src);
+    let mut lines = BTreeSet::new();
+    let mut i = 0;
+    while i + 1 < sig.len() {
+        // Outer attribute start: `#` `[` (inner `#![...]` attributes gate
+        // the whole file's lint level, not a test region).
+        if !(txt(i) == "#" && txt(i + 1) == "[") {
+            i += 1;
+            continue;
+        }
+        let (is_test, after_attr) = scan_attr(src, tokens, &sig, i);
+        if !is_test {
+            i = after_attr;
+            continue;
+        }
+        let start_line = tokens[sig[i]].line;
+        let end = item_end(src, tokens, &sig, after_attr);
+        let end_line = tokens[sig[end.min(sig.len() - 1)]].line;
+        for l in start_line..=end_line {
+            lines.insert(l);
+        }
+        i = end + 1;
+    }
+    lines
+}
+
+/// Scans the attribute starting at significant index `i` (`#` `[` ...).
+/// Returns whether it test-gates its item, and the index just past `]`.
+fn scan_attr(src: &str, tokens: &[Token], sig: &[usize], i: usize) -> (bool, usize) {
+    let mut depth = 0usize;
+    let mut j = i + 1; // at `[`
+    let mut is_test = false;
+    while j < sig.len() {
+        let t = tokens[sig[j]].text(src);
+        match t {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (is_test, j + 1);
+                }
+            }
+            "test" => {
+                // `not(test)` keeps the item in the lint set.
+                let negated = j >= 2
+                    && tokens[sig[j - 1]].text(src) == "("
+                    && tokens[sig[j - 2]].text(src) == "not";
+                if !negated {
+                    is_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (is_test, j)
+}
+
+/// Finds the end (significant index) of the item starting at `i`: skips
+/// stacked attributes, then runs to the first `;` at depth 0 or the brace
+/// that closes the item's body.
+fn item_end(src: &str, tokens: &[Token], sig: &[usize], mut i: usize) -> usize {
+    // Skip further attributes on the same item.
+    while i + 1 < sig.len()
+        && tokens[sig[i]].text(src) == "#"
+        && tokens[sig[i + 1]].text(src) == "["
+    {
+        let (_, after) = scan_attr(src, tokens, sig, i);
+        i = after;
+    }
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < sig.len() {
+        match tokens[sig[j]].text(src) {
+            ";" if depth == 0 => return j,
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j.saturating_sub(1)
+}
+
+/// Parses every `scg-allow` comment in the file.
+fn collect_suppressions(src: &str, tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("scg-allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Suppression {
+                rules: Vec::new(),
+                line: t.line,
+                col: t.col,
+                reason: String::new(),
+                used: false,
+            });
+            continue;
+        };
+        let rules: Vec<RuleId> = rest[..close]
+            .split(',')
+            .filter_map(RuleId::from_code)
+            .collect();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        out.push(Suppression {
+            rules,
+            line: t.line,
+            col: t.col,
+            reason,
+            used: false,
+        });
+    }
+    out
+}

@@ -1,0 +1,340 @@
+//! A hand-rolled, span-accurate Rust lexer.
+//!
+//! The workspace builds offline, so the analyzer cannot lean on `syn` or
+//! `proc-macro2` — in the same spirit as the vendored
+//! [`XorShift64`](https://docs.rs/scg-perm) PRNG and the hand-rolled
+//! [`scg_obs::json`] parser, this module lexes just enough Rust to make the
+//! lint rules sound: it never mistakes the inside of a string, char
+//! literal, raw string, or (nested) block comment for code, and every token
+//! carries a 1-based `line:col` span so diagnostics point at the real
+//! source location.
+//!
+//! The lexer is deliberately *not* a parser: rules pattern-match on token
+//! sequences (see [`crate::rules`]), which is exactly as strong as the
+//! invariants we enforce need (method/path call shapes, attribute shapes,
+//! `let _ =` statements).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, `r#match`).
+    Ident,
+    /// An integer or float literal (lexed permissively).
+    Number,
+    /// A `// ...` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* ... */` comment, nesting-aware.
+    BlockComment,
+    /// A `"..."` or `b"..."` string literal, escape-aware.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` / `br#"..."#`.
+    RawStr,
+    /// A char or byte literal: `'a'`, `'\''`, `b'x'`.
+    Char,
+    /// A lifetime such as `'a` (disambiguated from char literals).
+    Lifetime,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span plus 1-based line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the same source passed to [`lex`]).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    /// Byte position.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Whitespace is skipped; comments are
+/// kept as tokens (rules need them for `// scg-allow` and `// ord:`
+/// matching). Unterminated literals and comments are tolerated — the token
+/// simply extends to end of input — so the analyzer degrades gracefully on
+/// files that do not compile.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = lex_one(&mut cur, c);
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes exactly one token whose first character is `c`; the cursor sits on
+/// `c` at entry and one past the token at exit.
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    match c {
+        '/' if cur.peek2() == Some('/') => {
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        }
+        '/' if cur.peek2() == Some('*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(), cur.peek2()) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        '"' => {
+            lex_string(cur);
+            TokenKind::Str
+        }
+        '\'' => lex_quote(cur),
+        'r' if cur.peek2() == Some('"') => {
+            cur.bump();
+            lex_raw_string(cur);
+            TokenKind::RawStr
+        }
+        'r' if cur.peek2() == Some('#') && cur.peek3().is_some_and(|c| c == '"' || c == '#') => {
+            cur.bump();
+            lex_raw_string(cur);
+            TokenKind::RawStr
+        }
+        'r' if cur.peek2() == Some('#') => {
+            // Raw identifier `r#ident`.
+            cur.bump();
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        'b' if cur.peek2() == Some('"') => {
+            cur.bump();
+            lex_string(cur);
+            TokenKind::Str
+        }
+        'b' if cur.peek2() == Some('\'') => {
+            cur.bump();
+            cur.bump();
+            lex_char_body(cur);
+            TokenKind::Char
+        }
+        'b' if cur.peek2() == Some('r') && cur.peek3().is_some_and(|c| c == '"' || c == '#') => {
+            cur.bump();
+            cur.bump();
+            lex_raw_string(cur);
+            TokenKind::RawStr
+        }
+        c if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        c if c.is_ascii_digit() => {
+            cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+            TokenKind::Number
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Cursor on the opening `"`; consumes through the closing quote,
+/// honouring `\"` and `\\` escapes.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Cursor on the `#`-or-`"` run after `r` / `br`; consumes `#*" ... "#*`.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some('"') {
+        return; // not actually a raw string; tolerate
+    }
+    cur.bump();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mark = (cur.pos, cur.line, cur.col);
+            for _ in 0..hashes {
+                if cur.peek() == Some('#') {
+                    cur.bump();
+                } else {
+                    (cur.pos, cur.line, cur.col) = mark;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+    }
+}
+
+/// Cursor on a `'`: decides char literal vs lifetime and consumes it.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // A char literal is `'` + (escape | single char) + `'`; anything of the
+    // shape `'ident` not closed by a quote is a lifetime.
+    match (cur.peek2(), cur.peek3()) {
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump();
+            lex_char_escape_tail(cur);
+            TokenKind::Char
+        }
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            TokenKind::Char
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            cur.bump();
+            cur.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        _ => {
+            // Stray quote; consume it alone.
+            cur.bump();
+            TokenKind::Char
+        }
+    }
+}
+
+/// Cursor just past `'\`; consumes the rest of the escape and the closing
+/// quote (handles `'\u{1F600}'`).
+fn lex_char_escape_tail(cur: &mut Cursor<'_>) {
+    cur.bump(); // the escaped character (n, ', u, ...)
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// Cursor just past `b'`; consumes the body and closing quote.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    match cur.peek() {
+        Some('\\') => {
+            cur.bump();
+            lex_char_escape_tail(cur);
+        }
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+}

@@ -1,0 +1,54 @@
+//! `scg-analyze`: the workspace's in-tree static-analysis pass.
+//!
+//! Four PRs in, the codebase has real invariants that generic tooling
+//! cannot see: routing must go through the cached
+//! [`materialize`](https://docs.rs/scg-core)/`RoutePlan` path instead of
+//! rebuilding topology ad hoc; symbol arithmetic on `S_k` permutations
+//! (the paper's alphabet is exactly `k = nl + 1` symbols, §2.1) must not
+//! truncate through `as` casts; and the fault-tolerance story audited in
+//! the fault-injection PR assumes library code returns `Result`s rather
+//! than panicking. This crate turns those review-folklore rules into a
+//! CI-enforced contract:
+//!
+//! * a hand-rolled, span-accurate Rust [`lexer`] (string/char/raw-string/
+//!   nested-comment aware — no `syn`, matching the workspace's
+//!   vendored-everything policy);
+//! * the [`rules`] engine — `SCG001` (no panicking constructs), `SCG002`
+//!   (no topology-cache bypass), `SCG003` (no lossy narrow-int `as` casts
+//!   in `perm`/`core`/`graph`), `SCG004` (atomic orderings need `// ord:`
+//!   justifications), `SCG005` (no `let _ =` discards) — plus `SCG000`
+//!   suppression hygiene;
+//! * the [`driver`] that walks library sources, exempts test-gated code,
+//!   and resolves justified `// scg-allow(SCG00x): reason` comments;
+//! * [`report`] rendering: rustc-style text plus a JSON artifact built on
+//!   the shared [`scg_obs::json`] model and re-validated through the same
+//!   parser that checks `results/BENCH_*.json`.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p scg-analyze -- --deny
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use scg_analyze::driver::{analyze_source, Analysis};
+//! use scg_analyze::rules::{FileInfo, RuleId};
+//!
+//! let info = FileInfo {
+//!     rel_path: "crates/perm/src/x.rs".to_string(),
+//!     crate_name: "perm".to_string(),
+//! };
+//! let mut analysis = Analysis::default();
+//! analyze_source("fn f(x: usize) -> u8 { x as u8 }", &info, &mut analysis);
+//! assert_eq!(analysis.count(RuleId::Scg003), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod driver;
+pub mod lexer;
+pub mod report;
+pub mod rules;

@@ -1,0 +1,382 @@
+//! The lint rules: workspace invariants as token-pattern checks.
+//!
+//! Every rule walks the [`lexer`](crate::lexer) token stream of one file and
+//! reports violations with exact `line:col` spans. Rules never fire inside
+//! test code (`#[test]` functions, `#[cfg(test)]` modules — see
+//! [`crate::driver`]'s region detection) and each can be silenced per-site
+//! with a justified suppression:
+//!
+//! ```text
+//! // scg-allow(SCG003): k ≤ MAX_DEGREE = 20 fits u8
+//! ```
+//!
+//! either trailing the offending line or alone on the line above. A
+//! suppression without a reason, or one that matches nothing, is itself
+//! reported (as `SCG000`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// The identity of a rule (or of the suppression-hygiene meta check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Suppression hygiene: malformed or unused `scg-allow` comments.
+    Scg000,
+    /// No `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in library code.
+    Scg001,
+    /// No cache-bypassing topology construction outside the topology
+    /// engine (`to_graph` / `StarEmulation::new` / `Materialized::build`).
+    Scg002,
+    /// No potentially lossy `as` casts to narrow integer types in the
+    /// symbol/index hot-path crates (`perm`, `core`, `graph`).
+    Scg003,
+    /// Atomic-ordering hygiene: non-`Relaxed` orderings, and `Relaxed` on
+    /// plain loads/stores/exchanges, need an adjacent `// ord:` comment.
+    Scg004,
+    /// No `let _ = ...` discards in library code (silently dropping a
+    /// `Result` is how routing errors vanish).
+    Scg005,
+}
+
+/// Every real rule, in report order (`SCG000` is emitted by the driver).
+pub const ALL_RULES: [RuleId; 5] = [
+    RuleId::Scg001,
+    RuleId::Scg002,
+    RuleId::Scg003,
+    RuleId::Scg004,
+    RuleId::Scg005,
+];
+
+impl RuleId {
+    /// The `SCG00x` code used in diagnostics and suppressions.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::Scg000 => "SCG000",
+            RuleId::Scg001 => "SCG001",
+            RuleId::Scg002 => "SCG002",
+            RuleId::Scg003 => "SCG003",
+            RuleId::Scg004 => "SCG004",
+            RuleId::Scg005 => "SCG005",
+        }
+    }
+
+    /// Parses a `SCG00x` code (as written in a suppression).
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<RuleId> {
+        match code.trim() {
+            "SCG000" => Some(RuleId::Scg000),
+            "SCG001" => Some(RuleId::Scg001),
+            "SCG002" => Some(RuleId::Scg002),
+            "SCG003" => Some(RuleId::Scg003),
+            "SCG004" => Some(RuleId::Scg004),
+            "SCG005" => Some(RuleId::Scg005),
+            _ => None,
+        }
+    }
+
+    /// One-line description for `--list-rules` and reports.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Scg000 => {
+                "suppression hygiene: scg-allow needs a reason and a matching finding"
+            }
+            RuleId::Scg001 => {
+                "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in library code"
+            }
+            RuleId::Scg002 => {
+                "no to_graph/StarEmulation::new/Materialized::build outside the topology engine"
+            }
+            RuleId::Scg003 => "no lossy `as` casts to narrow integers in perm/core/graph",
+            RuleId::Scg004 => "atomic orderings need an adjacent `// ord:` justification",
+            RuleId::Scg005 => "no `let _ =` discards in library code",
+        }
+    }
+}
+
+/// One finding, before suppression matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+/// Per-file facts the rules need beyond the token stream.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/perm/src/rank.rs`.
+    pub rel_path: String,
+    /// The crate directory name (`perm`, `core`, ..) or `supercayley` for
+    /// the root `src/` tree.
+    pub crate_name: String,
+}
+
+/// Indices (into the token slice) of non-comment tokens — the stream rules
+/// pattern-match on.
+#[must_use]
+pub fn significant(tokens: &[Token]) -> Vec<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Files where the raw topology constructors are the implementation, not a
+/// bypass: the topology engine itself and the route planner/emulation
+/// modules that feed it.
+fn scg002_allowed(rel_path: &str) -> bool {
+    rel_path == "crates/core/src/topology.rs"
+        || rel_path == "crates/core/src/routing/plan.rs"
+        || rel_path == "crates/core/src/routing/expand.rs"
+        || rel_path == "crates/core/src/network.rs"
+}
+
+/// Crates whose index arithmetic SCG003 audits.
+fn scg003_applies(crate_name: &str) -> bool {
+    matches!(crate_name, "perm" | "core" | "graph")
+}
+
+/// Runs every rule over one lexed file. `is_test_line` reports whether a
+/// 1-based line sits inside test-gated code.
+#[must_use]
+pub fn check_file(
+    src: &str,
+    tokens: &[Token],
+    info: &FileInfo,
+    is_test_line: &dyn Fn(u32) -> bool,
+) -> Vec<Violation> {
+    let sig = significant(tokens);
+    let mut out = Vec::new();
+    scg001(src, tokens, &sig, &mut out);
+    if !scg002_allowed(&info.rel_path) {
+        scg002(src, tokens, &sig, &mut out);
+    }
+    if scg003_applies(&info.crate_name) {
+        scg003(src, tokens, &sig, &mut out);
+    }
+    scg004(src, tokens, &sig, &mut out);
+    scg005(src, tokens, &sig, &mut out);
+    out.retain(|v| !is_test_line(v.line));
+    out.sort_by_key(|v| (v.line, v.col, v.rule));
+    out
+}
+
+/// `tok(sig[i])` helper: the token at significant index `i`, if any.
+fn at<'t>(tokens: &'t [Token], sig: &[usize], i: usize) -> Option<&'t Token> {
+    sig.get(i).map(|&ix| &tokens[ix])
+}
+
+fn text_at<'s>(src: &'s str, tokens: &[Token], sig: &[usize], i: usize) -> Option<&'s str> {
+    at(tokens, sig, i).map(|t| t.text(src))
+}
+
+fn is_punct(tokens: &[Token], sig: &[usize], i: usize, src: &str, ch: &str) -> bool {
+    at(tokens, sig, i).is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == ch)
+}
+
+/// SCG001 — panicking constructs in library code.
+fn scg001(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text(src);
+        let method_call = matches!(name, "unwrap" | "expect")
+            && i > 0
+            && is_punct(tokens, sig, i - 1, src, ".")
+            && is_punct(tokens, sig, i + 1, src, "(");
+        let macro_call = matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && is_punct(tokens, sig, i + 1, src, "!");
+        if method_call || macro_call {
+            let shape = if method_call { "()" } else { "!" };
+            out.push(Violation {
+                rule: RuleId::Scg001,
+                line: tok.line,
+                col: tok.col,
+                message: format!("`{name}{shape}` in library code; return a Result instead"),
+            });
+        }
+    }
+}
+
+/// SCG002 — topology-cache bypass.
+fn scg002(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text(src) {
+            "to_graph"
+                if i > 0
+                    && is_punct(tokens, sig, i - 1, src, ".")
+                    && is_punct(tokens, sig, i + 1, src, "(") =>
+            {
+                out.push(Violation {
+                    rule: RuleId::Scg002,
+                    line: tok.line,
+                    col: tok.col,
+                    message: "`.to_graph()` bypasses the topology cache; use \
+                              `scg_core::materialize` (shared Arcs, parallel build)"
+                        .to_string(),
+                });
+            }
+            head @ ("StarEmulation" | "Materialized")
+                if is_punct(tokens, sig, i + 1, src, ":")
+                    && is_punct(tokens, sig, i + 2, src, ":") =>
+            {
+                let tail = text_at(src, tokens, sig, i + 3);
+                let bypass = match head {
+                    "StarEmulation" => tail == Some("new"),
+                    _ => tail == Some("build"),
+                };
+                if bypass && is_punct(tokens, sig, i + 4, src, "(") {
+                    out.push(Violation {
+                        rule: RuleId::Scg002,
+                        line: tok.line,
+                        col: tok.col,
+                        message: format!(
+                            "`{head}::{}()` rebuilds cached state; go through \
+                             `scg_core::materialize`/`route_plan`",
+                            tail.unwrap_or_default()
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Integer types an `as` cast may truncate or re-sign into.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// SCG003 — lossy `as` casts in symbol/index arithmetic.
+fn scg003(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind != TokenKind::Ident || tok.text(src) != "as" {
+            continue;
+        }
+        let Some(target) = at(tokens, sig, i + 1) else {
+            continue;
+        };
+        if target.kind == TokenKind::Ident && NARROW_INTS.contains(&target.text(src)) {
+            out.push(Violation {
+                rule: RuleId::Scg003,
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`as {}` may truncate a symbol/index; use `try_into` or a \
+                     checked helper",
+                    target.text(src)
+                ),
+            });
+        }
+    }
+}
+
+/// Atomic orderings SCG004 recognizes.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic accessors whose `Relaxed` use is a plain cross-thread read/write
+/// (not a lost-update-free counter RMW) and therefore needs justifying.
+const PLAIN_ACCESS: [&str; 4] = ["load", "store", "swap", "compare_exchange"];
+
+/// SCG004 — atomic-ordering justification comments.
+fn scg004(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text(src);
+        if !ORDERINGS.contains(&name) {
+            continue;
+        }
+        // Must be a path segment (`Ordering::Relaxed` or a `use`-imported
+        // `::Relaxed`); a bare struct field named `Release` is not ours.
+        if !(i >= 2
+            && is_punct(tokens, sig, i - 1, src, ":")
+            && is_punct(tokens, sig, i - 2, src, ":"))
+        {
+            continue;
+        }
+        let needs_reason = if name == "Relaxed" {
+            // Walk back to the start of the statement and look at which
+            // accessor this ordering feeds.
+            let mut plain = false;
+            let mut rmw = false;
+            for j in (0..i).rev() {
+                let Some(t) = at(tokens, sig, j) else { break };
+                let txt = t.text(src);
+                if t.kind == TokenKind::Punct && matches!(txt, ";" | "{" | "}") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident {
+                    if PLAIN_ACCESS.contains(&txt) || txt == "compare_exchange_weak" {
+                        plain = true;
+                        break;
+                    }
+                    if txt.starts_with("fetch_") {
+                        rmw = true;
+                        break;
+                    }
+                }
+            }
+            plain || !rmw
+        } else {
+            true
+        };
+        if needs_reason && !has_ord_comment(src, tokens, tok.line) {
+            out.push(Violation {
+                rule: RuleId::Scg004,
+                line: tok.line,
+                col: tok.col,
+                message: format!("`Ordering::{name}` without an adjacent `// ord:` justification"),
+            });
+        }
+    }
+}
+
+/// Whether a comment on `line` or the line above carries an `ord:` tag.
+fn has_ord_comment(src: &str, tokens: &[Token], line: u32) -> bool {
+    tokens.iter().any(|t| {
+        matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+            && (t.line == line || t.line + 1 == line)
+            && t.text(src).contains("ord:")
+    })
+}
+
+/// SCG005 — `let _ =` discards.
+fn scg005(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind == TokenKind::Ident
+            && tok.text(src) == "let"
+            && text_at(src, tokens, sig, i + 1) == Some("_")
+            && at(tokens, sig, i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && is_punct(tokens, sig, i + 2, src, "=")
+        {
+            out.push(Violation {
+                rule: RuleId::Scg005,
+                line: tok.line,
+                col: tok.col,
+                message: "`let _ =` silently discards a value (Results vanish here); \
+                          handle or document it"
+                    .to_string(),
+            });
+        }
+    }
+}

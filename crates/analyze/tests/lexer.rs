@@ -1,0 +1,166 @@
+//! Corpus tests for the hand-rolled lexer: the tricky corners of Rust's
+//! surface syntax that a naive scanner gets wrong — raw strings, nested
+//! block comments, and char literals whose *contents* look like other
+//! tokens (`'"'`, `'/'`).
+
+use scg_analyze::lexer::{lex, Token, TokenKind};
+
+/// Kinds-and-texts view of a lex, ignoring nothing — comments included.
+fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+    lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+}
+
+fn find(src: &str, kind: TokenKind) -> Vec<&str> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| t.text(src))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_comment_markers() {
+    // A `"` inside r#"..."# must not terminate the literal, and `//` inside
+    // must not open a comment.
+    let src = r####"let s = r#"quote " and // not a comment"#; let t = 1;"####;
+    assert_eq!(
+        find(src, TokenKind::RawStr),
+        vec![r####"r#"quote " and // not a comment"#"####]
+    );
+    assert!(!lex(src).iter().any(|t| t.kind == TokenKind::LineComment));
+    // The `let t = 1` after the literal still lexes.
+    assert!(find(src, TokenKind::Ident).contains(&"t"));
+}
+
+#[test]
+fn raw_string_hash_counts_must_match() {
+    // r##"..."# does not close with a single hash; only "## ends it.
+    let src = r#####"r##"inner "# still inside"## after"#####;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::RawStr);
+    assert_eq!(toks[0].text(src), r#####"r##"inner "# still inside"##"#####);
+    assert_eq!(toks[1].text(src), "after");
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_raw_strings() {
+    // `r#match` shares the `r#` prefix with raw strings but is an ident.
+    let src = "let r#match = r#type;";
+    assert_eq!(
+        kinds(src),
+        vec![
+            (TokenKind::Ident, "let"),
+            (TokenKind::Ident, "r#match"),
+            (TokenKind::Punct, "="),
+            (TokenKind::Ident, "r#type"),
+            (TokenKind::Punct, ";"),
+        ]
+    );
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "a /* outer /* inner */ still outer */ b";
+    assert_eq!(
+        kinds(src),
+        vec![
+            (TokenKind::Ident, "a"),
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner */ still outer */"
+            ),
+            (TokenKind::Ident, "b"),
+        ]
+    );
+}
+
+#[test]
+fn block_comment_hides_string_and_panic_tokens() {
+    // Nothing inside a comment may surface as a code token — this is what
+    // keeps doc examples out of the lint rules.
+    let src = "/* \"unterminated? no: comment\" .unwrap() panic! */ ok";
+    let toks = lex(src);
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!((toks[1].kind, toks[1].text(src)), (TokenKind::Ident, "ok"));
+}
+
+#[test]
+fn char_literal_containing_a_quote_does_not_open_a_string() {
+    // '"' then a "real" string: a scanner that treats the first `"` as a
+    // string opener would glue everything together.
+    let src = r#"let q = '"'; let s = "x";"#;
+    assert_eq!(find(src, TokenKind::Char), vec![r#"'"'"#]);
+    assert_eq!(find(src, TokenKind::Str), vec![r#""x""#]);
+}
+
+#[test]
+fn char_literal_containing_slash_does_not_open_a_comment() {
+    // '/' followed by '/' as two char literals — naive scanners see `//`.
+    let src = "let a = '/'; let b = '/'; let c = 1;";
+    assert_eq!(find(src, TokenKind::Char), vec!["'/'", "'/'"]);
+    assert!(!lex(src).iter().any(|t| t.kind == TokenKind::LineComment));
+    assert!(find(src, TokenKind::Ident).contains(&"c"));
+}
+
+#[test]
+fn escaped_quote_chars_and_byte_literals() {
+    let src = r"let a = '\''; let b = '\\'; let c = b'x';";
+    assert_eq!(find(src, TokenKind::Char), vec![r"'\''", r"'\\'", "b'x'"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+    assert_eq!(find(src, TokenKind::Lifetime), vec!["'a", "'a", "'a"]);
+    assert!(find(src, TokenKind::Char).is_empty());
+}
+
+#[test]
+fn string_escapes_do_not_terminate_early() {
+    let src = r#"let s = "a \" b \\"; let t = 2;"#;
+    assert_eq!(find(src, TokenKind::Str), vec![r#""a \" b \\""#]);
+    assert!(find(src, TokenKind::Ident).contains(&"t"));
+}
+
+#[test]
+fn spans_are_line_and_column_accurate() {
+    let src = "let a = 1;\n  /* c */ let bb = 2;\nlet ccc = r\"raw\";\n";
+    let toks = lex(src);
+    let at = |text: &str| -> &Token {
+        toks.iter()
+            .find(|t| t.text(src) == text)
+            .unwrap_or_else(|| panic!("token {text:?} not found"))
+    };
+    // Lines and columns are 1-based; the comment does not disturb them.
+    assert_eq!((at("a").line, at("a").col), (1, 5));
+    assert_eq!((at("/* c */").line, at("/* c */").col), (2, 3));
+    assert_eq!((at("bb").line, at("bb").col), (2, 15));
+    assert_eq!((at("r\"raw\"").line, at("r\"raw\"").col), (3, 11));
+    // Byte offsets round-trip through `text`.
+    for t in &toks {
+        assert_eq!(&src[t.start..t.end], t.text(src));
+    }
+}
+
+#[test]
+fn multiline_tokens_advance_the_line_counter() {
+    let src = "let s = \"line\nbreak\";\nlet r = r#\"a\nb\"#;\nlet done = 1;";
+    let toks = lex(src);
+    let done = toks
+        .iter()
+        .find(|t| t.text(src) == "done")
+        .expect("token after multiline literals");
+    assert_eq!(done.line, 5);
+}
+
+#[test]
+fn unterminated_literals_do_not_panic() {
+    // The lexer is tolerant: broken input (mid-edit files) must not crash
+    // the analyzer, only end the token at EOF.
+    for src in ["\"never closed", "r#\"never closed\"", "'x", "/* open"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} lexed to nothing");
+        assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded-violation fixtures: one deliberately bad source file that trips
+//! every rule, with the exact `file:line:col` spans asserted — if a rule
+//! stops firing (or fires somewhere else), this is the test that catches
+//! it. The rendered diagnostics are also pinned to a golden file with the
+//! same `UPDATE_GOLDEN=1` convention as `tests/observability.rs`.
+
+use scg_analyze::driver::{analyze_source, Analysis, Diagnostic};
+use scg_analyze::report::{render_text, validate_report};
+use scg_analyze::rules::{FileInfo, RuleId};
+
+/// A fixture that seeds every rule exactly where the line numbers say.
+const FIXTURE: &str = r#"//! Fixture.
+
+pub fn one(v: Vec<u32>) -> u32 {
+    let first = v.first().unwrap();
+    if *first > 9 {
+        panic!("nine");
+    }
+    *first
+}
+
+pub fn two(net: &Net) -> Graph {
+    net.to_graph()
+}
+
+pub fn three(x: usize) -> u8 {
+    x as u8
+}
+
+pub fn four(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn five() {
+    let _ = std::fs::remove_file("x");
+}
+
+pub fn allowed(x: usize) -> u8 {
+    x as u8 // scg-allow(SCG003): fixture-checked narrowing
+}
+
+pub fn empty_reason(x: usize) -> u8 {
+    x as u8 // scg-allow(SCG003):
+}
+
+pub fn unused() {
+    // scg-allow(SCG001): nothing here panics
+    let y = 1 + 1;
+    assert_eq!(y, 2);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_anything_goes() {
+        let v: Vec<u32> = vec![1];
+        let _ = v.first().unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+
+fn analyze_fixture() -> Analysis {
+    let info = FileInfo {
+        rel_path: "crates/perm/src/fixture.rs".to_string(),
+        crate_name: "perm".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source(FIXTURE, &info, &mut analysis);
+    analysis
+}
+
+fn spans_of(analysis: &Analysis, rule: RuleId) -> Vec<(u32, u32, bool)> {
+    analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.col, d.suppressed.is_some()))
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_at_the_seeded_span() {
+    let analysis = analyze_fixture();
+    // SCG001: `unwrap()` on line 4, `panic!` on line 6 — and *not* the
+    // unwrap/panic inside `#[cfg(test)] mod tests` (lines 41+).
+    assert_eq!(
+        spans_of(&analysis, RuleId::Scg001),
+        vec![(4, 27, false), (6, 9, false)]
+    );
+    // SCG002: the `.to_graph()` cache bypass on line 12.
+    assert_eq!(spans_of(&analysis, RuleId::Scg002), vec![(12, 9, false)]);
+    // SCG003 in a perm-crate path: the bare cast (line 16), the justified
+    // suppression (line 28, suppressed), and the empty-reason one (line 32,
+    // NOT suppressed — an empty reason does not count).
+    assert_eq!(
+        spans_of(&analysis, RuleId::Scg003),
+        vec![(16, 7, false), (28, 7, true), (32, 7, false)]
+    );
+    // SCG004: Relaxed load with no `// ord:` justification, line 20.
+    assert_eq!(spans_of(&analysis, RuleId::Scg004), vec![(20, 25, false)]);
+    // SCG005: the `let _ =` discard on line 24.
+    assert_eq!(spans_of(&analysis, RuleId::Scg005), vec![(24, 5, false)]);
+    // SCG000 hygiene: the reasonless allow on line 32 and the unused allow
+    // on line 36.
+    assert_eq!(
+        spans_of(&analysis, RuleId::Scg000),
+        vec![(32, 13, false), (36, 5, false)]
+    );
+    // Nothing fires past the `#[cfg(test)]` module boundary.
+    assert!(analysis.diagnostics.iter().all(|d| d.line < 40));
+}
+
+#[test]
+fn active_count_excludes_only_justified_suppressions() {
+    let analysis = analyze_fixture();
+    let active: Vec<&Diagnostic> = analysis.active().collect();
+    // 10 findings total, exactly 1 justified suppression.
+    assert_eq!(analysis.diagnostics.len(), 10);
+    assert_eq!(active.len(), 9);
+    assert!(active.iter().all(|d| d.suppressed.is_none()));
+}
+
+#[test]
+fn scg003_is_scoped_to_perm_core_graph() {
+    // The same cast in a comm-crate path must not trip SCG003.
+    let info = FileInfo {
+        rel_path: "crates/comm/src/fixture.rs".to_string(),
+        crate_name: "comm".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source("pub fn f(x: usize) -> u8 { x as u8 }", &info, &mut analysis);
+    assert_eq!(analysis.count(RuleId::Scg003), 0);
+}
+
+#[test]
+fn scg002_exempts_the_blessed_topology_files() {
+    let src = "pub fn f(net: &Net) -> Graph { net.to_graph() }";
+    for (path, expected) in [
+        ("crates/core/src/topology.rs", 0),
+        ("crates/core/src/routing/plan.rs", 0),
+        ("crates/comm/src/pairing.rs", 1),
+    ] {
+        let info = FileInfo {
+            rel_path: path.to_string(),
+            crate_name: "core".to_string(),
+        };
+        let mut analysis = Analysis::default();
+        analyze_source(src, &info, &mut analysis);
+        assert_eq!(analysis.count(RuleId::Scg002), expected, "{path}");
+    }
+}
+
+#[test]
+fn scg004_accepts_an_adjacent_ord_justification() {
+    let src = "pub fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Relaxed) // ord: Relaxed — snapshot only\n}\n";
+    let info = FileInfo {
+        rel_path: "crates/obs/src/m.rs".to_string(),
+        crate_name: "obs".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source(src, &info, &mut analysis);
+    assert_eq!(analysis.count(RuleId::Scg004), 0);
+}
+
+/// The rendered diagnostics for the fixture, byte-for-byte. Any change to
+/// rule messages, span formatting, or ordering shows up as a golden diff.
+#[test]
+fn fixture_diagnostics_match_golden() {
+    let analysis = analyze_fixture();
+    let actual = render_text(&analysis, true);
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnostics.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &actual).expect("golden path writable");
+    }
+    let golden = include_str!("golden/diagnostics.txt");
+    assert_eq!(
+        actual, golden,
+        "rerun with UPDATE_GOLDEN=1 if the change is intended"
+    );
+}
+
+/// The JSON report for the fixture passes the same validator CI runs on
+/// the workspace report.
+#[test]
+fn fixture_json_report_validates() {
+    let analysis = analyze_fixture();
+    let text = scg_analyze::report::to_json(&analysis).encode();
+    validate_report(&text).expect("fixture report validates");
+}

@@ -166,7 +166,7 @@ impl BagGame {
         let mut cur = scg_perm::Perm::identity(self.num_balls());
         for _ in 0..steps {
             let g = gens[rng.gen_range(gens.len())];
-            cur = g.apply(&cur).expect("legal move applies");
+            cur = g.apply(&cur).expect("legal move applies"); // scg-allow(SCG001): generators come from the validated network of this game
         }
         BagConfig::from(cur)
     }

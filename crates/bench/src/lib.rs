@@ -8,6 +8,7 @@
 //! plain-text table writer they share.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use scg_core::{CoreError, SuperCayleyGraph};
 

@@ -17,6 +17,7 @@
 
 use std::fmt;
 
+use scg_perm::cast::sym_u8;
 use scg_perm::{Perm, PermError};
 
 /// One generator of a (super) Cayley graph, acting on node labels.
@@ -82,7 +83,7 @@ impl Generator {
     /// `T_i` (swap positions 1 and `i`).
     #[must_use]
     pub fn transposition(i: usize) -> Self {
-        Generator::Transposition { i: i as u8 }
+        Generator::Transposition { i: sym_u8(i) }
     }
 
     /// `T_{i,j}`; the arguments may come in either order.
@@ -95,29 +96,29 @@ impl Generator {
         assert_ne!(i, j, "T_{{i,i}} is not a generator");
         let (i, j) = if i < j { (i, j) } else { (j, i) };
         Generator::Exchange {
-            i: i as u8,
-            j: j as u8,
+            i: sym_u8(i),
+            j: sym_u8(j),
         }
     }
 
     /// `I_i`.
     #[must_use]
     pub fn insertion(i: usize) -> Self {
-        Generator::Insertion { i: i as u8 }
+        Generator::Insertion { i: sym_u8(i) }
     }
 
     /// `I_i^{-1}`.
     #[must_use]
     pub fn selection(i: usize) -> Self {
-        Generator::Selection { i: i as u8 }
+        Generator::Selection { i: sym_u8(i) }
     }
 
     /// `S_{n,i}`.
     #[must_use]
     pub fn swap(n: usize, i: usize) -> Self {
         Generator::Swap {
-            n: n as u8,
-            i: i as u8,
+            n: sym_u8(n),
+            i: sym_u8(i),
         }
     }
 
@@ -125,8 +126,8 @@ impl Generator {
     #[must_use]
     pub fn rotation(n: usize, i: usize) -> Self {
         Generator::Rotation {
-            n: n as u8,
-            i: i as u8,
+            n: sym_u8(n),
+            i: sym_u8(i),
         }
     }
 
@@ -173,7 +174,7 @@ impl Generator {
             Generator::Rotation { n, i } => {
                 let l = (k - 1) / n as usize;
                 let inv = (l - (i as usize % l)) % l;
-                Generator::Rotation { n, i: inv as u8 }
+                Generator::Rotation { n, i: sym_u8(inv) }
             }
         }
     }

@@ -42,6 +42,7 @@ pub trait CayleyNetwork {
     fn neighbor(&self, u: &Perm, g: usize) -> Perm {
         self.generators()[g]
             .apply(u)
+            // scg-allow(SCG001): generator lists are validated against degree k at construction
             .expect("validated generator applies to degree-correct label")
     }
 
@@ -49,6 +50,7 @@ pub trait CayleyNetwork {
     fn neighbors(&self, u: &Perm) -> Vec<Perm> {
         self.generators()
             .iter()
+            // scg-allow(SCG001): generator lists are validated against degree k at construction
             .map(|g| g.apply(u).expect("validated generator"))
             .collect()
     }
@@ -63,6 +65,7 @@ pub trait CayleyNetwork {
     /// (communication schedules route through `Box<dyn CayleyNetwork>`).
     fn for_each_neighbor(&self, u: &Perm, f: &mut dyn FnMut(usize, &Perm)) {
         for (g, gen) in self.generators().iter().enumerate() {
+            // scg-allow(SCG001): generator lists are validated against degree k at construction
             let v = gen.apply(u).expect("validated generator");
             f(g, &v);
         }
@@ -75,6 +78,7 @@ pub trait CayleyNetwork {
         let gens = self.generators();
         let perms: Vec<Perm> = gens
             .iter()
+            // scg-allow(SCG001): generator lists are validated against degree k at construction
             .map(|g| g.as_perm(k).expect("validated generator"))
             .collect();
         perms.iter().all(|p| perms.contains(&p.inverse()))
@@ -89,6 +93,7 @@ pub trait CayleyNetwork {
         let perms: Vec<Perm> = self
             .generators()
             .iter()
+            // scg-allow(SCG001): generator lists are validated against degree k at construction
             .map(|g| g.as_perm(k).expect("validated generator"))
             .collect();
         scg_perm::StabilizerChain::new(&perms).is_symmetric_group()
@@ -114,6 +119,7 @@ pub trait CayleyNetwork {
         let k = self.degree_k();
         let mut out: Vec<NodeId> = Vec::with_capacity(self.node_degree());
         Ok(DenseGraph::from_neighbor_fn(n as usize, |u| {
+            // scg-allow(SCG001): u enumerates 0..n = 0..k!, every rank unranks
             let label = Perm::from_rank(k, u64::from(u)).expect("rank below k!");
             out.clear();
             self.for_each_neighbor(&label, &mut |_, v| out.push(v.rank() as NodeId));
@@ -158,6 +164,7 @@ pub trait CayleyNetwork {
 pub(crate) fn dedup_by_action(k: usize, gens: Vec<Generator>) -> Vec<Generator> {
     let mut out: Vec<Generator> = Vec::with_capacity(gens.len());
     for g in gens {
+        // scg-allow(SCG001): generator lists are validated against degree k at construction
         let p = g.as_perm(k).expect("validated generator");
         if p.is_identity() {
             continue;

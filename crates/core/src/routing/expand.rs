@@ -138,6 +138,7 @@ impl<'a> StarEmulation<'a> {
                 }
             }
             SuperKind::Swap | SuperKind::None => {
+                // scg-allow(SCG001): rotate/unrotate are only dispatched for rotation-class hosts
                 unreachable!("rotation helper called on non-rotation host")
             }
         }
@@ -159,6 +160,7 @@ impl<'a> StarEmulation<'a> {
                     vec![Generator::rotation(n, l - 1); back]
                 }
             }
+            // scg-allow(SCG001): rotate/unrotate are only dispatched for rotation-class hosts
             SuperKind::Swap | SuperKind::None => unreachable!(),
         }
     }
@@ -277,6 +279,7 @@ impl<'a> StarEmulation<'a> {
                     seq.extend(self.nucleus_t(i0 + 2));
                     seq.extend(self.unrotate(amount_i));
                 }
+                // scg-allow(SCG001): the i1 == j1 branch above already handled l = 1 hosts
                 SuperKind::None => unreachable!("l = 1 implies i1 = j1 = 0"),
             },
         }

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+use scg_perm::cast::{len_u32, sym_u8};
 use scg_perm::{Perm, MAX_DEGREE};
 
 use crate::classes::SuperCayleyGraph;
@@ -84,14 +85,14 @@ impl RoutePlan {
         star_offsets.push(0u32);
         for j in 2..=k {
             arena.extend(emu.expand_star_link(j)?);
-            star_offsets.push(arena.len() as u32);
+            star_offsets.push(len_u32(arena.len()));
         }
         let mut tn_offsets = Vec::with_capacity(k * (k - 1) / 2 + 1);
-        tn_offsets.push(arena.len() as u32);
+        tn_offsets.push(len_u32(arena.len()));
         for i in 1..=k {
             for j in i + 1..=k {
                 arena.extend(emu.expand_tn_link(i, j)?);
-                tn_offsets.push(arena.len() as u32);
+                tn_offsets.push(len_u32(arena.len()));
             }
         }
         arena.shrink_to_fit();
@@ -211,7 +212,7 @@ impl RoutePlan {
         // i+1 inside to.
         let mut inv_to = [0u8; MAX_DEGREE];
         for (pos, &sym) in to.symbols().iter().enumerate() {
-            inv_to[sym as usize - 1] = pos as u8 + 1;
+            inv_to[sym as usize - 1] = sym_u8(pos + 1);
         }
         let mut a = [0u8; MAX_DEGREE];
         for (i, &sym) in from.symbols().iter().enumerate() {
@@ -228,7 +229,7 @@ impl RoutePlan {
             let i = if s != 1 {
                 s as usize
             } else {
-                while scan < k && a[scan] == scan as u8 + 1 {
+                while scan < k && a[scan] == sym_u8(scan + 1) {
                     scan += 1;
                 }
                 if scan == k {

@@ -6,6 +6,7 @@
 //! ball-arrangement view), so each function here takes a single permutation
 //! and returns the move sequence that sorts it.
 
+use scg_perm::cast::{len_u32, sym_u8};
 use scg_perm::Perm;
 
 use crate::generator::Generator;
@@ -16,7 +17,7 @@ use crate::generator::Generator;
 #[must_use]
 pub fn tn_distance(p: &Perm) -> u32 {
     let nontrivial: usize = p.cycles().iter().map(Vec::len).sum();
-    (nontrivial - p.cycles().len()) as u32
+    len_u32(nontrivial - p.cycles().len())
 }
 
 /// An optimal transposition-network sorting sequence for `p` (length
@@ -38,7 +39,7 @@ pub fn tn_sort_sequence(p: &Perm) -> Vec<Generator> {
 /// The bubble-sort-graph distance of `p`: its inversion count.
 #[must_use]
 pub fn bubble_distance(p: &Perm) -> u32 {
-    p.inversions() as u32
+    len_u32(p.inversions())
 }
 
 /// An optimal bubble-sort sequence for `p` (adjacent exchanges, length
@@ -82,7 +83,7 @@ pub fn rotator_sort_sequence(p: &Perm) -> Vec<Generator> {
         // Bring symbol `target` to the front by cycling the prefix of
         // length `target`, then one more cycle parks it at its home.
         // Each I_target shifts prefix positions left by one.
-        let q = cur.position_of(target as u8);
+        let q = cur.position_of(sym_u8(target));
         debug_assert!(q <= target, "later positions already fixed");
         if q == target {
             continue; // already home
@@ -90,6 +91,7 @@ pub fn rotator_sort_sequence(p: &Perm) -> Vec<Generator> {
         for _ in 0..q {
             cur = cur
                 .prefix_rotated_left(target)
+                // scg-allow(SCG001): target ranges over 2..=degree, so the prefix is in range
                 .expect("prefix within degree");
             out.push(Generator::insertion(target));
         }

@@ -12,6 +12,7 @@
 //! has the closed form implemented by [`star_distance`], and the diameter is
 //! `⌊3(k−1)/2⌋`.
 
+use scg_perm::cast::len_u32;
 use scg_perm::Perm;
 
 use crate::generator::Generator;
@@ -25,7 +26,7 @@ use crate::generator::Generator;
 pub fn star_distance(p: &Perm) -> u32 {
     let mut dist = 0u32;
     for cycle in p.cycles() {
-        let len = cycle.len() as u32;
+        let len = len_u32(cycle.len());
         if cycle.contains(&1) {
             dist += len - 1;
         } else {
@@ -48,7 +49,7 @@ pub fn star_distance_between(from: &Perm, to: &Perm) -> u32 {
 /// The diameter `⌊3(k−1)/2⌋` of the `k`-star.
 #[must_use]
 pub fn star_diameter(k: usize) -> u32 {
-    (3 * (k as u32 - 1)) / 2
+    (3 * (len_u32(k) - 1)) / 2
 }
 
 /// An optimal generator sequence sorting `p` to the identity.
@@ -76,6 +77,7 @@ pub fn star_sort_sequence(p: &Perm) -> Vec<Generator> {
             }
         };
         seq.push(Generator::transposition(i));
+        // scg-allow(SCG001): i comes from enumerating positions 1..=degree of cur itself
         cur = cur.swapped(1, i).expect("position within degree");
     }
 }

@@ -91,6 +91,7 @@ impl Materialized {
         let actions: Vec<BoxedAction> = gens
             .iter()
             .map(|&g| {
+                // scg-allow(SCG001): generator lists are validated against degree k at construction
                 Box::new(move |p: &Perm| g.apply(p).expect("validated generator")) as BoxedAction
             })
             .collect();
@@ -251,6 +252,7 @@ impl TopologyCache {
             return Err(CoreError::TooLarge { num_nodes: n, cap });
         }
         let key = (net.name(), net.degree_k());
+        // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
         if let Some(hit) = self.entries.lock().expect("cache lock").get(&key) {
             #[cfg(feature = "obs")]
             crate::obs_hooks::cache_hit(&key.0);
@@ -263,7 +265,7 @@ impl TopologyCache {
         // build of the same network is discarded in favor of the first
         // insert, preserving Arc identity for all callers.
         let built = Materialized::build(net, cap)?;
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries.lock().expect("cache lock"); // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
         Ok(entries.entry(key).or_insert(built).clone())
     }
 
@@ -284,6 +286,7 @@ impl TopologyCache {
     /// Panics if the plan-cache mutex was poisoned by a panicking builder.
     pub fn route_plan(&self, net: &SuperCayleyGraph) -> Result<Arc<RoutePlan>, CoreError> {
         let key = (net.class(), net.levels(), net.box_size());
+        // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
         if let Some(hit) = self.plans.lock().expect("plan cache lock").get(&key) {
             #[cfg(feature = "obs")]
             crate::obs_hooks::plan_cache_hit(&net.name());
@@ -293,7 +296,7 @@ impl TopologyCache {
         crate::obs_hooks::plan_cache_miss(&net.name());
         // Build outside the lock, first insert wins (as in materialize).
         let built = Arc::new(RoutePlan::build(net)?);
-        let mut plans = self.plans.lock().expect("plan cache lock");
+        let mut plans = self.plans.lock().expect("plan cache lock"); // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
         Ok(Arc::clone(plans.entry(key).or_insert(built)))
     }
 
@@ -304,7 +307,7 @@ impl TopologyCache {
     /// Panics if the cache mutex was poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries.lock().expect("cache lock").len() // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
     }
 
     /// Number of cached route plans.
@@ -314,7 +317,7 @@ impl TopologyCache {
     /// Panics if the plan-cache mutex was poisoned.
     #[must_use]
     pub fn num_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.plans.lock().expect("plan cache lock").len() // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
     }
 
     /// Whether the cache is empty.
@@ -329,12 +332,12 @@ impl TopologyCache {
     ///
     /// Panics if the cache mutex was poisoned.
     pub fn clear(&self) {
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = self.entries.lock().expect("cache lock"); // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
         #[cfg(feature = "obs")]
         crate::obs_hooks::cache_evicted(entries.len() as u64);
         entries.clear();
         drop(entries);
-        self.plans.lock().expect("plan cache lock").clear();
+        self.plans.lock().expect("plan cache lock").clear(); // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
     }
 }
 

@@ -44,7 +44,7 @@ pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
             for i in 0..d {
                 if bits >> i & 1 == 1 {
                     let a = 2 * i as usize + 2;
-                    p = p.swapped(a, a + 1).expect("positions within degree");
+                    p = p.swapped(a, a + 1).expect("positions within degree"); // scg-allow(SCG001): a + 1 = 2i + 3 <= k by the cube-dimension bound
                 }
             }
             p.rank() as NodeId
@@ -90,7 +90,7 @@ pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> 
         for i in 0..d {
             if bits >> i & 1 == 1 {
                 let a = 2 * i as usize + 2;
-                p = p.swapped(a, a + 1).expect("positions within degree");
+                p = p.swapped(a, a + 1).expect("positions within degree"); // scg-allow(SCG001): a + 1 = 2i + 3 <= k by the cube-dimension bound
             }
         }
         p
@@ -113,7 +113,7 @@ pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> 
                 Generator::transposition(a + 1),
                 Generator::transposition(a),
             ] {
-                cur = g.apply(&cur).expect("valid star generator");
+                cur = g.apply(&cur).expect("valid star generator"); // scg-allow(SCG001): star generators act on degree-k perms by construction
                 path.push(cur.rank() as NodeId);
             }
             path

@@ -61,7 +61,7 @@ pub fn factorial_coords_to_perm(digits: &[u64], k: usize) -> Perm {
         let a = digits[i - 2] as usize;
         assert!(a < i, "digit for radix {i} out of range");
         if a > 0 {
-            p = p.swapped(i - a, i).expect("positions within degree");
+            p = p.swapped(i - a, i).expect("positions within degree"); // scg-allow(SCG001): asserted a < i on the line above, so both positions are in 1..=k
         }
     }
     p
@@ -125,7 +125,7 @@ fn mesh_embedding_from_digit_map(
         let mut path = vec![node_map[u as usize]];
         let mut cur = lu;
         for g in factor_into_exchanges(&w) {
-            cur = g.apply(&cur).expect("valid exchange");
+            cur = g.apply(&cur).expect("valid exchange"); // scg-allow(SCG001): factor_into_exchanges yields degree-k exchanges only
             path.push(cur.rank() as NodeId);
         }
         debug_assert_eq!(cur, lv);

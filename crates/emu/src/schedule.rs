@@ -23,8 +23,6 @@
 //! so the flexible single-hop direct dimensions fill the leftovers), then
 //! validates it. [`AllPortSchedule::render`] reproduces Figure 1's grid.
 
-use std::fmt::Write as _;
-
 use scg_core::{
     apply_path, route_plan, CayleyNetwork, Generator, NucleusKind, ScgClass, SuperCayleyGraph,
 };
@@ -87,6 +85,7 @@ impl AllPortSchedule {
             links
                 .iter()
                 .position(|h| h == g)
+                // scg-allow(SCG001): Theorem 1–3 expansions emit host generators only
                 .expect("expansions use only host generators")
         };
         // Expansion paths per dimension, as link indices.
@@ -265,6 +264,7 @@ impl AllPortSchedule {
         let k = host.degree_k();
         let links: Vec<Generator> = host.generators().to_vec();
         let link_index =
+            // scg-allow(SCG001): bring/exchange/return sequences emit host generators only
             |g: Generator| -> usize { links.iter().position(|h| *h == g).expect("host generator") };
         let bring = |i: usize| -> Generator {
             match class {
@@ -427,6 +427,7 @@ impl AllPortSchedule {
             })?;
             let direct = Generator::transposition(dim.dimension)
                 .apply(&u)
+                // scg-allow(SCG001): dimensions range over 2..=k of the validated schedule
                 .expect("dimension within degree");
             if via != direct {
                 return Err(EmuError::InvalidSchedule {
@@ -499,30 +500,28 @@ impl AllPortSchedule {
             .unwrap_or(1)
             .max(3);
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{} emulating the {}-star (all-port), makespan {}:",
+        out.push_str(&format!(
+            "{} emulating the {}-star (all-port), makespan {}:\n",
             self.host_name, self.k, self.makespan
-        );
-        let _ = write!(out, "        j=");
+        ));
+        out.push_str("        j=");
         for j in 2..=self.k {
-            let _ = write!(out, " {j:>width$}");
+            out.push_str(&format!(" {j:>width$}"));
         }
-        let _ = writeln!(out);
+        out.push('\n');
         for (t, row) in grid.iter().enumerate() {
-            let _ = write!(out, "Step {:>2}:  ", t + 1);
+            out.push_str(&format!("Step {:>2}:  ", t + 1));
             for cell in row {
                 let c = if cell.is_empty() { "." } else { cell };
-                let _ = write!(out, " {c:>width$}");
+                out.push_str(&format!(" {c:>width$}"));
             }
-            let _ = writeln!(out);
+            out.push('\n');
         }
-        let _ = writeln!(
-            out,
-            "links fully used through step {}; average utilization {:.1}%",
+        out.push_str(&format!(
+            "links fully used through step {}; average utilization {:.1}%\n",
             self.fully_used_through(),
             100.0 * self.utilization()
-        );
+        ));
         out
     }
 }
@@ -605,6 +604,7 @@ fn constructive(
             times[di][1 + h] = t;
         }
         forwards.push((p[0], tau - 1, di));
+        // scg-allow(SCG001): expansion paths carry at least the direct link
         returns.push((*p.last().expect("non-empty path"), tau + nucleus_len, di));
     }
 

@@ -129,14 +129,17 @@ impl TableRouter {
     ///
     /// # Errors
     ///
-    /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 254.
+    /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 256.
     pub fn new_with_faults(graph: &DenseGraph, faults: &FaultSet) -> Result<Self, EmuError> {
         let n = graph.num_nodes();
         let degree_cap = (0..n)
             .map(|u| graph.out_degree(u as NodeId))
             .max()
             .unwrap_or(0);
-        if degree_cap >= u8::MAX as usize {
+        // `TableSlot::Toward` stores the out-slot as a `u8`. With the old
+        // `u8::MAX`-sentinel encoding retired by `NextHop`, all 256 slot
+        // values are valid, so only degrees beyond 256 are rejected.
+        if degree_cap > usize::from(u8::MAX) + 1 {
             return Err(EmuError::SimOutOfRange {
                 reason: "out-degree too large for u8 slot table",
             });

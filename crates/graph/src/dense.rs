@@ -317,33 +317,37 @@ impl DenseGraph {
     #[must_use]
     pub fn bipartition(&self) -> Option<Vec<bool>> {
         let n = self.num_nodes();
-        let mut color = vec![u8::MAX; n];
+        // "Uncolored" is `None`, not a sentinel value — same convention as
+        // the emulator's `NextHop`, which retired the old `u8::MAX` slots.
+        let mut color: Vec<Option<bool>> = vec![None; n];
         let rev = self.reversed();
         for start in 0..n {
-            if color[start] != u8::MAX {
+            if color[start].is_some() {
                 continue;
             }
-            color[start] = 0;
+            color[start] = Some(false);
             let mut queue = VecDeque::from([start as NodeId]);
             while let Some(u) = queue.pop_front() {
-                let cu = color[u as usize];
+                let Some(cu) = color[u as usize] else {
+                    continue;
+                };
                 for &v in self
                     .out_neighbors(u)
                     .iter()
                     .chain(rev.out_neighbors(u).iter())
                 {
                     match color[v as usize] {
-                        c if c == u8::MAX => {
-                            color[v as usize] = 1 - cu;
+                        None => {
+                            color[v as usize] = Some(!cu);
                             queue.push_back(v);
                         }
-                        c if c == cu => return None,
-                        _ => {}
+                        Some(c) if c == cu => return None,
+                        Some(_) => {}
                     }
                 }
             }
         }
-        Some(color.into_iter().map(|c| c == 1).collect())
+        Some(color.into_iter().map(|c| c == Some(true)).collect())
     }
 
     /// Whether every node is reachable from node 0 (for vertex-transitive

@@ -43,6 +43,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use scg_perm::cast::len_u32;
 use scg_perm::XorShift64;
 
 use crate::{DenseGraph, Dist, NodeId, UNREACHABLE};
@@ -461,7 +462,7 @@ impl<'a> SurvivorView<'a> {
         // Split net: in(u) = 2u, out(u) = 2u + 1; internal caps 1,
         // link caps effectively infinite.
         let n = self.graph.num_nodes();
-        let inf = live.len() as u32;
+        let inf = len_u32(live.len());
         let mut net = FlowNet::new(2 * n);
         for &u in &live {
             net.add_edge(2 * u as usize, 2 * u as usize + 1, 1);
@@ -492,8 +493,8 @@ impl<'a> SurvivorView<'a> {
                 for (a, b) in [(s, t), (t, s)] {
                     let direct = self.graph.edge_index(a, b).is_some() && !self.faults.blocks(a, b);
                     if !direct {
-                        let flow =
-                            net.max_flow(2 * a as usize + 1, 2 * b as usize, best as u32) as usize;
+                        let flow = net.max_flow(2 * a as usize + 1, 2 * b as usize, len_u32(best))
+                            as usize;
                         best = best.min(flow);
                     }
                 }
@@ -529,8 +530,8 @@ impl<'a> SurvivorView<'a> {
             if best == 0 {
                 break;
             }
-            best = best.min(net.max_flow(v0, t as usize, best as u32) as usize);
-            best = best.min(net.max_flow(t as usize, v0, best as u32) as usize);
+            best = best.min(net.max_flow(v0, t as usize, len_u32(best)) as usize);
+            best = best.min(net.max_flow(t as usize, v0, len_u32(best)) as usize);
         }
         best
     }

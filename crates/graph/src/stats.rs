@@ -59,6 +59,7 @@ impl DistanceStats {
             }
             handles
                 .into_iter()
+                // scg-allow(SCG001): a panicking BFS worker must propagate, not be silently dropped
                 .map(|h| h.join().expect("BFS thread"))
                 .collect()
         });

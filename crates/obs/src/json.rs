@@ -120,6 +120,77 @@ impl Json {
             }),
         }
     }
+
+    /// Encodes this value back to JSON text that [`parse`] round-trips
+    /// losslessly: object keys stay sorted (they live in a `BTreeMap`), and
+    /// strings use exactly the escapes the parser accepts.
+    ///
+    /// ```
+    /// use scg_obs::json::{parse, Json};
+    ///
+    /// let v = parse(r#"{"b": [1, -2], "a": "x\ny"}"#).expect("valid");
+    /// assert_eq!(parse(&v.encode()).expect("round-trips"), v);
+    /// ```
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    encode_str(out, k);
+                    out.push_str(": ");
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::String(s) => encode_str(out, s),
+            Json::Int(i) => {
+                use std::fmt::Write as _;
+                // Writing an integer into a `String` cannot fail.
+                let _ = write!(out, "{i}"); // scg-allow(SCG005): fmt::Write to String is infallible
+            }
+        }
+    }
+}
+
+/// Escapes `s` into `out` using only the escapes [`parse`] accepts.
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                // Writing into a `String` cannot fail.
+                let _ = write!(out, "\\u{:04x}", c as u32); // scg-allow(SCG005): fmt::Write to String is infallible
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses one JSON value; trailing non-whitespace is an error.
@@ -173,7 +244,7 @@ impl<'a> JsonParser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ObsError> {
+    fn eat(&mut self, b: u8) -> Result<(), ObsError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -194,7 +265,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ObsError> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -205,7 +276,7 @@ impl<'a> JsonParser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             let val = self.value()?;
             map.insert(key, val);
             self.skip_ws();
@@ -221,7 +292,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ObsError> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -243,7 +314,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ObsError> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek().ok_or_else(|| self.err("unterminated string"))? {
@@ -343,5 +414,21 @@ mod tests {
         assert!(parse("1e3").is_err());
         assert!(parse("{} x").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn encode_round_trips_escapes_and_nesting() {
+        let v = Json::Object(BTreeMap::from([
+            (
+                "s".to_string(),
+                Json::String("a\"b\\c\nd\te\rf\u{1}g".to_string()),
+            ),
+            (
+                "arr".to_string(),
+                Json::Array(vec![Json::Int(-7), Json::Int(i128::from(u64::MAX))]),
+            ),
+            ("empty".to_string(), Json::Object(BTreeMap::new())),
+        ]));
+        assert_eq!(parse(&v.encode()).unwrap(), v);
     }
 }

@@ -36,7 +36,7 @@ impl Counter {
     /// The current count.
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ord: Relaxed — independent counter snapshot; no other memory is published
     }
 }
 
@@ -55,7 +55,7 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Relaxed); // ord: Relaxed — gauge value stands alone; readers need no ordering with other writes
     }
 
     /// Adds `n` (may be negative).
@@ -77,7 +77,7 @@ impl Gauge {
     /// The current value.
     #[must_use]
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ord: Relaxed — independent gauge snapshot; no other memory is published
     }
 }
 
@@ -175,20 +175,20 @@ impl Histogram {
     pub fn bucket_counts(&self) -> Vec<u64> {
         self.buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // ord: Relaxed — per-bucket snapshot; cross-bucket skew is acceptable for metrics
             .collect()
     }
 
     /// Total observations.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ord: Relaxed — independent counter snapshot; no other memory is published
     }
 
     /// Sum of all observed values.
     #[must_use]
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load(Ordering::Relaxed) // ord: Relaxed — independent counter snapshot; no other memory is published
     }
 
     /// Mean observation (0.0 when empty).

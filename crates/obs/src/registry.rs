@@ -146,7 +146,7 @@ impl Registry {
         match self.get_or_insert(name, labels, || Handle::Counter(Arc::new(Counter::new())))? {
             Handle::Counter(c) => Ok(c),
             // get_or_insert compared kinds already.
-            _ => unreachable!("kind checked by get_or_insert"),
+            _ => unreachable!("kind checked by get_or_insert"), // scg-allow(SCG001): get_or_insert returns ObsError on kind mismatch before this arm
         }
     }
 
@@ -167,7 +167,7 @@ impl Registry {
     pub fn try_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Result<Arc<Gauge>, ObsError> {
         match self.get_or_insert(name, labels, || Handle::Gauge(Arc::new(Gauge::new())))? {
             Handle::Gauge(g) => Ok(g),
-            _ => unreachable!("kind checked by get_or_insert"),
+            _ => unreachable!("kind checked by get_or_insert"), // scg-allow(SCG001): get_or_insert returns ObsError on kind mismatch before this arm
         }
     }
 
@@ -204,7 +204,7 @@ impl Registry {
             Handle::Histogram(Arc::new(Histogram::with_bounds(bounds)))
         })? {
             Handle::Histogram(h) => Ok(h),
-            _ => unreachable!("kind checked by get_or_insert"),
+            _ => unreachable!("kind checked by get_or_insert"), // scg-allow(SCG001): get_or_insert returns ObsError on kind mismatch before this arm
         }
     }
 

@@ -1,0 +1,75 @@
+//! Checked narrowing for symbol and rank arithmetic.
+//!
+//! The paper's symbol alphabet is exactly `k = nl + 1` symbols with
+//! `k ≤ MAX_DEGREE = 20` (§2.1), and rank-transition tables store `u32`
+//! ranks, so every narrowing in the workspace is *provably* in range — but
+//! a bare `as` cast would truncate silently the day an invariant slips.
+//! These helpers are the blessed narrowing points the `SCG003` lint steers
+//! call sites toward: each is a real range check, and each carries the one
+//! audited panic site for its domain.
+
+use crate::perm::MAX_DEGREE;
+
+/// Narrows a symbol, 1-based position, or degree to the `u8` symbol type.
+///
+/// # Panics
+///
+/// Panics if `x > MAX_DEGREE` — by construction every symbol/position of a
+/// validated [`Perm`](crate::Perm) is within `1..=MAX_DEGREE`, so a panic
+/// here is a caller bug, never an input error.
+#[inline]
+#[must_use]
+pub fn sym_u8(x: usize) -> u8 {
+    assert!(x <= MAX_DEGREE, "symbol/position {x} exceeds MAX_DEGREE");
+    x as u8 // scg-allow(SCG003): asserted ≤ MAX_DEGREE = 20 on the line above
+}
+
+/// Narrows a permutation rank to the `u32` table/node-id domain.
+///
+/// # Panics
+///
+/// Panics if `r` does not fit `u32`; materialized networks are capped at
+/// `MAX_TABLE_DEGREE`, whose factorial fits `u32`, so a panic is a caller
+/// bug.
+#[inline]
+#[must_use]
+pub fn rank_u32(r: u64) -> u32 {
+    u32::try_from(r).expect("rank exceeds the u32 table domain") // scg-allow(SCG001): the checked helper is the one audited narrowing point
+}
+
+/// Narrows a length/count (path lengths, arena offsets, inversion counts)
+/// to `u32`.
+///
+/// # Panics
+///
+/// Panics if `x` does not fit `u32` — route and arena sizes are bounded far
+/// below `u32::MAX` by the materialization caps.
+#[inline]
+#[must_use]
+pub fn len_u32(x: usize) -> u32 {
+    u32::try_from(x).expect("length exceeds u32") // scg-allow(SCG001): the checked helper is the one audited narrowing point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        assert_eq!(sym_u8(20), 20);
+        assert_eq!(rank_u32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(len_u32(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DEGREE")]
+    fn sym_u8_rejects_out_of_range() {
+        let _ = sym_u8(MAX_DEGREE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 table domain")]
+    fn rank_u32_rejects_out_of_range() {
+        let _ = rank_u32(u64::MAX);
+    }
+}

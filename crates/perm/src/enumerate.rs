@@ -90,6 +90,7 @@ fn next_permutation(p: &Perm) -> Option<Perm> {
     }
     s.swap(pivot, j);
     s[i..].reverse();
+    // scg-allow(SCG001): the pivot/suffix rearrangement of a valid permutation stays a permutation
     Some(Perm::from_symbols(&s).expect("successor of a valid permutation is valid"))
 }
 

@@ -30,7 +30,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod cast;
 mod enumerate;
 mod error;
 mod group;

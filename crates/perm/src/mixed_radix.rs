@@ -36,6 +36,7 @@ impl MixedRadix {
         for &r in &radices {
             cap = cap
                 .checked_mul(r)
+                // scg-allow(SCG001): documented panic — capacity overflow is a caller bug, per the doc comment
                 .expect("mixed-radix capacity overflows u64");
         }
         MixedRadix { radices }

@@ -1,6 +1,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use crate::cast::sym_u8;
 use crate::error::PermError;
 use crate::rank;
 use crate::rng::XorShift64;
@@ -53,11 +54,11 @@ impl Perm {
         );
         let mut symbols = [0u8; MAX_DEGREE];
         for (i, s) in symbols.iter_mut().enumerate().take(k) {
-            *s = (i + 1) as u8;
+            *s = sym_u8(i + 1);
         }
         Perm {
             symbols,
-            degree: k as u8,
+            degree: sym_u8(k),
         }
     }
 
@@ -84,7 +85,7 @@ impl Perm {
         }
         Ok(Perm {
             symbols: buf,
-            degree: k as u8,
+            degree: sym_u8(k),
         })
     }
 
@@ -143,6 +144,7 @@ impl Perm {
         self.symbols()
             .iter()
             .position(|&s| s == symbol)
+            // scg-allow(SCG001): symbol is asserted in 1..=k above, and a valid Perm contains every such symbol
             .expect("valid Perm contains every symbol")
             + 1
     }
@@ -190,7 +192,7 @@ impl Perm {
         let k = self.degree as usize;
         let mut out = *self;
         for i in 0..k {
-            out.symbols[self.symbols[i] as usize - 1] = (i + 1) as u8;
+            out.symbols[self.symbols[i] as usize - 1] = sym_u8(i + 1);
         }
         out
     }
@@ -247,7 +249,7 @@ impl Perm {
             let mut pos = start;
             while !seen[pos] {
                 seen[pos] = true;
-                cycle.push(pos as u8);
+                cycle.push(sym_u8(pos));
                 pos = self.symbols[pos - 1] as usize;
             }
             out.push(cycle);

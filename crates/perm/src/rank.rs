@@ -1,5 +1,6 @@
 //! Lexicographic ranking and unranking of permutations via Lehmer codes.
 
+use crate::cast::sym_u8;
 use crate::error::PermError;
 use crate::perm::{Perm, MAX_DEGREE};
 
@@ -20,7 +21,7 @@ pub(crate) fn lehmer(p: &Perm) -> Vec<u8> {
     let k = s.len();
     let mut code = vec![0u8; k];
     for i in 0..k {
-        code[i] = s[i + 1..].iter().filter(|&&x| x < s[i]).count() as u8;
+        code[i] = sym_u8(s[i + 1..].iter().filter(|&&x| x < s[i]).count());
     }
     code
 }
@@ -31,7 +32,7 @@ pub(crate) fn from_lehmer(code: &[u8]) -> Result<Perm, PermError> {
     if !(1..=MAX_DEGREE).contains(&k) {
         return Err(PermError::DegreeOutOfRange { degree: k });
     }
-    let mut pool: Vec<u8> = (1..=k as u8).collect();
+    let mut pool: Vec<u8> = (1..=sym_u8(k)).collect();
     let mut symbols = Vec::with_capacity(k);
     for (i, &d) in code.iter().enumerate() {
         let d = d as usize;
@@ -66,7 +67,7 @@ pub(crate) fn unrank(k: usize, r: u64) -> Result<Perm, PermError> {
     let mut rem = r;
     for (i, digit) in code.iter_mut().enumerate() {
         let f = factorial(k - 1 - i);
-        *digit = (rem / f) as u8;
+        *digit = sym_u8((rem / f) as usize);
         rem %= f;
     }
     from_lehmer(&code)

@@ -14,6 +14,7 @@
 //! once and then walks lexicographic successors, so the per-node cost is
 //! the generator applications plus one `rank()` per generator.
 
+use crate::cast::rank_u32;
 use crate::enumerate::Permutations;
 use crate::perm::Perm;
 use crate::rank::factorial;
@@ -36,6 +37,7 @@ pub const MAX_TABLE_DEGREE: usize = 12;
 pub fn rank_transition_table(k: usize, f: PermAction<'_>) -> Vec<u32> {
     rank_transition_tables(k, &[f])
         .pop()
+        // scg-allow(SCG001): rank_transition_tables returns exactly one table per action
         .expect("one table per action")
 }
 
@@ -78,14 +80,15 @@ pub fn rank_transition_tables(k: usize, fs: &[PermAction<'_>]) -> Vec<Vec<u32>> 
         for (ci, mut window) in windows.into_iter().enumerate() {
             let start = ci * chunk;
             scope.spawn(move || {
-                let perms =
-                    Permutations::starting_at_rank(k, start as u64).expect("chunk start below k!");
+                let perms = Permutations::starting_at_rank(k, start as u64)
+                    // scg-allow(SCG001): chunk starts are produced from ranks 0..k! by construction
+                    .expect("chunk start below k!");
                 let len = window[0].len();
                 for (off, u) in perms.take(len).enumerate() {
                     for (fi, f) in fs.iter().enumerate() {
                         let v = f(&u);
                         assert_eq!(v.degree(), k, "action changed the degree");
-                        window[fi][off] = v.rank() as u32;
+                        window[fi][off] = rank_u32(v.rank());
                     }
                 }
             });
