@@ -45,6 +45,52 @@ fn check(path: &str) -> Result<(), String> {
             return Err(format!("{path}: acceptance class has k = {k} < 9"));
         }
     }
+    if bench == "tab_embed" {
+        let classes = top
+            .get("classes")
+            .ok_or_else(|| format!("{path}: missing \"classes\""))?
+            .as_array(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if classes.is_empty() {
+            return Err(format!("{path}: empty class sweep"));
+        }
+        for class in classes {
+            let c = class.as_object(0).map_err(|e| format!("{path}: {e}"))?;
+            let tried = c
+                .get("faults_tried")
+                .ok_or_else(|| format!("{path}: class missing \"faults_tried\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let ok = c
+                .get("reembed_ok")
+                .ok_or_else(|| format!("{path}: class missing \"reembed_ok\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            let mapped = c
+                .get("mapped_faults")
+                .ok_or_else(|| format!("{path}: class missing \"mapped_faults\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if ok + mapped != tried {
+                return Err(format!(
+                    "{path}: unclassified single-node faults ({ok} + {mapped} != {tried})"
+                ));
+            }
+        }
+        let acc = top
+            .get("acceptance")
+            .ok_or_else(|| format!("{path}: missing \"acceptance\""))?
+            .as_object(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let handled = acc
+            .get("all_single_faults_handled")
+            .ok_or_else(|| format!("{path}: acceptance missing \"all_single_faults_handled\""))?
+            .as_u64(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if handled != 1 {
+            return Err(format!("{path}: acceptance flag is {handled}, want 1"));
+        }
+    }
     println!("{path}: ok ({bench}, {} bytes)", text.len());
     Ok(())
 }

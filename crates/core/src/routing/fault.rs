@@ -147,6 +147,40 @@ pub fn scg_route_faulty(
     result
 }
 
+/// Routes `src → dst` (materialized node ids) while avoiding `faults`,
+/// returning the traversed node-id sequence inclusive of both endpoints —
+/// the form embedding re-routers consume directly. A self-route yields the
+/// single-node path `[src]`.
+///
+/// This is [`scg_route_faulty`] with the label translation folded in: it
+/// reuses the same compiled plan cache, detour search, and survivor-BFS
+/// fallback, then replays the generator hops through the transition tables.
+///
+/// # Errors
+///
+/// * [`CoreError::Perm`] — an id exceeds the materialized node count;
+/// * [`CoreError::NoRoute`] — an endpoint is failed, or the faults
+///   disconnect `dst` from `src` in the survivor graph.
+pub fn scg_route_faulty_ids(
+    net: &SuperCayleyGraph,
+    mat: &Materialized,
+    src: NodeId,
+    dst: NodeId,
+    faults: &FaultSet,
+) -> Result<Vec<NodeId>, CoreError> {
+    let from = mat.node_label(src)?;
+    let to = mat.node_label(dst)?;
+    let routed = scg_route_faulty(net, mat, &from, &to, faults)?;
+    let mut path = Vec::with_capacity(routed.len() + 1);
+    path.push(src);
+    let mut cur = src;
+    for &g in &routed.hops {
+        cur = mat.neighbor_id(cur, gen_index(net, g)?);
+        path.push(cur);
+    }
+    Ok(path)
+}
+
 /// Replans `from → to` into `buf` and mirrors the metric footprint of a
 /// public [`scg_route`](crate::scg_route) call, so instrumented sweeps see
 /// the same per-plan hop histograms they did when the faulty router
@@ -382,6 +416,39 @@ mod tests {
             }
         }
         assert!(clean_seen > 0, "some pairs must route clean past one fault");
+    }
+
+    #[test]
+    fn id_route_matches_generator_walk() {
+        let net = SuperCayleyGraph::macro_star(2, 2).unwrap();
+        let mat = materialize(&net, SMALL_NET_CAP).unwrap();
+        let mut rng = XorShift64::new(41);
+        let faults = FaultSet::random_nodes(mat.num_nodes(), 2, &[], &mut rng);
+        for _ in 0..10 {
+            let from = Perm::random(5, &mut rng);
+            let to = Perm::random(5, &mut rng);
+            let (src, dst) = (mat.node_id(&from).unwrap(), mat.node_id(&to).unwrap());
+            if faults.node_failed(src) || faults.node_failed(dst) {
+                continue;
+            }
+            let path = scg_route_faulty_ids(&net, &mat, src, dst, &faults).unwrap();
+            assert_eq!(path[0], src);
+            assert_eq!(*path.last().unwrap(), dst);
+            // Every hop is a live materialized link.
+            for w in path.windows(2) {
+                assert!(!faults.blocks(w[0], w[1]));
+                assert!(
+                    (0..mat.node_degree()).any(|g| mat.neighbor_id(w[0], g) == w[1]),
+                    "hop is not a host link"
+                );
+            }
+        }
+        // Self-route: the single-node path.
+        let uid = mat.node_id(&Perm::identity(5)).unwrap();
+        assert_eq!(
+            scg_route_faulty_ids(&net, &mat, uid, uid, &FaultSet::new()).unwrap(),
+            vec![uid]
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ mod sort;
 mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
-pub use fault::{scg_route_faulty, RoutedPath};
+pub use fault::{scg_route_faulty, scg_route_faulty_ids, RoutedPath};
 pub use plan::{RouteBuf, RoutePlan};
 pub use sort::{
     bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,

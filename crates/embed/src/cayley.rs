@@ -13,6 +13,7 @@ use scg_graph::NodeId;
 
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
+use crate::ir::{EmbeddingIr, IrBuilder};
 
 /// An embedding of a Cayley guest into a super Cayley host, retaining which
 /// guest generator (dimension) each guest edge realizes — needed for the
@@ -51,6 +52,8 @@ impl CayleyEmbedding {
                 ),
             });
         }
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::build_timer(&guest.name());
         let plan = route_plan(host)?;
         // Each guest generator's expansion is a precompiled arena slice.
         let guest_generators: Vec<Generator> = guest.generators().to_vec();
@@ -94,30 +97,28 @@ impl CayleyEmbedding {
         // Guest CSR edges are sorted by target rank, not by generator; for
         // each edge recover which generator produced it (distinct generators
         // have distinct actions after dedup, so the target determines it).
-        let mut edge_paths = Vec::with_capacity(guest_graph.num_edges());
+        // Each expansion is walked hop by hop straight into the shared IR
+        // arena — no per-edge path vectors.
+        let mut builder = IrBuilder::new(guest_graph.clone(), host_mat.graph().clone());
         let mut edge_generator = Vec::with_capacity(guest_graph.num_edges());
         for u in 0..guest_graph.num_nodes() as NodeId {
             for &v in guest_graph.out_neighbors(u) {
                 let gi = (0..guest_generators.len())
                     .position(|g| guest_mat.neighbor_id(u, g) == v)
                     .expect("every guest edge comes from a generator"); // scg-allow(SCG001): guest CSR edges are produced by the materialized generator actions
-                                                                        // Walk the expansion from `u` through the host tables.
-                let mut path = vec![u];
+                builder.begin_path(u);
                 let mut cur = u;
                 for &hgi in &expansion_indices[gi] {
                     cur = host_mat.neighbor_id(cur, hgi);
-                    path.push(cur);
+                    builder.push_hop(cur);
                 }
-                edge_paths.push(path);
+                builder.end_path();
                 edge_generator.push(gi);
             }
         }
-        let embedding = Embedding::new(
-            guest_graph.clone(),
-            host_mat.graph().clone(),
-            node_map,
-            edge_paths,
-        )?;
+        let embedding = Embedding::from(builder.node_map(node_map).finish()?);
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::build_done(&guest.name(), embedding.dilation());
         Ok(CayleyEmbedding {
             embedding,
             edge_generator,
@@ -129,6 +130,12 @@ impl CayleyEmbedding {
     #[must_use]
     pub fn embedding(&self) -> &Embedding {
         &self.embedding
+    }
+
+    /// The underlying arena-backed IR.
+    #[must_use]
+    pub fn ir(&self) -> &EmbeddingIr {
+        self.embedding.ir()
     }
 
     /// Consumes `self`, returning the inner [`Embedding`].

@@ -15,6 +15,7 @@ use scg_perm::Perm;
 use crate::cayley::CayleyEmbedding;
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
+use crate::ir::IrBuilder;
 
 /// The hypercube dimension realized by the disjoint-transposition
 /// construction in the `k`-TN: `⌊(k−1)/2⌋`.
@@ -34,6 +35,8 @@ pub fn cube_dimension_for(k: usize) -> u32 {
 /// * [`EmbedError::Core`] — invalid `k` or TN too large to materialize
 ///   within `cap` nodes.
 pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
+    #[cfg(feature = "obs")]
+    let _timer = crate::obs_hooks::build_timer("hypercube");
     let tn = TranspositionNetwork::new(k)?;
     let host = materialize(&tn, cap)?.graph().clone();
     let d = cube_dimension_for(k);
@@ -50,11 +53,14 @@ pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
             p.rank() as NodeId
         })
         .collect();
-    let paths: Vec<Vec<NodeId>> = guest
-        .edges()
-        .map(|(u, v)| vec![node_map[u as usize], node_map[v as usize]])
-        .collect();
-    Embedding::new(guest, host, node_map, paths)
+    let mut builder = IrBuilder::new(guest.clone(), host);
+    for (u, v) in guest.edges() {
+        builder.push_path(&[node_map[u as usize], node_map[v as usize]]);
+    }
+    let e = Embedding::from(builder.node_map(node_map).finish()?);
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::build_done("hypercube", e.dilation());
+    Ok(e)
 }
 
 /// Corollary 5: a constant-dilation hypercube embedding into a super Cayley
@@ -81,6 +87,8 @@ pub fn hypercube_into_scg(host: &SuperCayleyGraph, cap: u64) -> Result<Embedding
 ///
 /// * [`EmbedError::Core`] — invalid `k` or star too large within `cap`.
 pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
+    #[cfg(feature = "obs")]
+    let _timer = crate::obs_hooks::build_timer("hypercube");
     let star = scg_core::StarGraph::new(k)?;
     let host = materialize(&star, cap)?.graph().clone();
     let d = cube_dimension_for(k);
@@ -98,28 +106,28 @@ pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> 
     let node_map: Vec<NodeId> = (0..guest.num_nodes() as u64)
         .map(|bits| label_of(bits).rank() as NodeId)
         .collect();
-    let paths: Vec<Vec<NodeId>> = guest
-        .edges()
-        .map(|(u, v)| {
-            // The flipped bit is the lowest differing bit.
-            let diff = u ^ v;
-            let i = diff.trailing_zeros();
-            let a = 2 * i as usize + 2;
-            let start = label_of(u64::from(u));
-            let mut path = vec![node_map[u as usize]];
-            let mut cur = start;
-            for g in [
-                Generator::transposition(a),
-                Generator::transposition(a + 1),
-                Generator::transposition(a),
-            ] {
-                cur = g.apply(&cur).expect("valid star generator"); // scg-allow(SCG001): star generators act on degree-k perms by construction
-                path.push(cur.rank() as NodeId);
-            }
-            path
-        })
-        .collect();
-    Embedding::new(guest, host, node_map, paths)
+    let mut builder = IrBuilder::new(guest.clone(), host);
+    for (u, v) in guest.edges() {
+        // The flipped bit is the lowest differing bit.
+        let diff = u ^ v;
+        let i = diff.trailing_zeros();
+        let a = 2 * i as usize + 2;
+        builder.begin_path(node_map[u as usize]);
+        let mut cur = label_of(u64::from(u));
+        for g in [
+            Generator::transposition(a),
+            Generator::transposition(a + 1),
+            Generator::transposition(a),
+        ] {
+            cur = g.apply(&cur).expect("valid star generator"); // scg-allow(SCG001): star generators act on degree-k perms by construction
+            builder.push_hop(cur.rank() as NodeId);
+        }
+        builder.end_path();
+    }
+    let e = Embedding::from(builder.node_map(node_map).finish()?);
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::build_done("hypercube", e.dilation());
+    Ok(e)
 }
 
 #[cfg(test)]

@@ -1,10 +1,18 @@
-//! The embedding data structure and its quality metrics.
+//! The legacy embedding view and its quality metrics.
+//!
+//! [`Embedding`] is a thin compatibility wrapper over the arena-backed
+//! [`EmbeddingIr`]: the constructor API still accepts per-edge path
+//! vectors (flattened into the shared arena on entry) and every metric
+//! delegates to the IR's generic auditor, so pre-IR callers and goldens
+//! see identical values while the storage underneath is three flat
+//! vectors.
 
 use std::sync::Arc;
 
 use scg_graph::{DenseGraph, NodeId};
 
 use crate::error::EmbedError;
+use crate::ir::EmbeddingIr;
 
 /// An embedding of a guest graph into a host graph: a node map plus, for
 /// every directed guest edge, a routing path in the host.
@@ -19,7 +27,8 @@ use crate::error::EmbedError;
 /// Construction validates every path (endpoints match the node map,
 /// consecutive nodes are host-adjacent), so a value of this type is a
 /// *certificate*: the metrics it reports are facts about a checked object,
-/// not about intentions.
+/// not about intentions. Storage is the arena-backed [`EmbeddingIr`]
+/// (`into_ir`/`ir` expose it).
 ///
 /// # Examples
 ///
@@ -39,19 +48,24 @@ use crate::error::EmbedError;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Embedding {
-    guest: Arc<DenseGraph>,
-    host: Arc<DenseGraph>,
-    node_map: Vec<NodeId>,
-    edge_paths: Vec<Vec<NodeId>>,
+    ir: EmbeddingIr,
+}
+
+impl From<EmbeddingIr> for Embedding {
+    fn from(ir: EmbeddingIr) -> Self {
+        Embedding { ir }
+    }
 }
 
 impl Embedding {
-    /// Builds and validates an embedding.
+    /// Builds and validates an embedding from per-edge path vectors.
     ///
     /// `edge_paths[e]` must be the full node sequence (both endpoints
     /// included) routing guest edge `e` — edges are indexed in the guest's
     /// CSR order. A guest edge between nodes mapped to the same host node
-    /// may use a single-node path.
+    /// may use a single-node path. The vectors are flattened into the
+    /// shared IR arena; constructors that can should build an
+    /// [`EmbeddingIr`] directly instead.
     ///
     /// # Errors
     ///
@@ -64,64 +78,66 @@ impl Embedding {
         node_map: Vec<NodeId>,
         edge_paths: Vec<Vec<NodeId>>,
     ) -> Result<Self, EmbedError> {
-        let (guest, host) = (guest.into(), host.into());
-        if node_map.len() != guest.num_nodes() {
-            return Err(EmbedError::InvalidMap {
-                reason: "node map length differs from guest order",
-            });
-        }
-        if node_map.iter().any(|&h| h as usize >= host.num_nodes()) {
-            return Err(EmbedError::InvalidMap {
-                reason: "node map target out of host range",
-            });
-        }
+        let guest = guest.into();
         if edge_paths.len() != guest.num_edges() {
             return Err(EmbedError::InvalidMap {
                 reason: "one path per guest edge required",
             });
         }
-        for (e, (u, v)) in guest.edges().enumerate() {
-            let path = &edge_paths[e];
-            let ok = !path.is_empty()
-                && path[0] == node_map[u as usize]
-                && *path.last().expect("non-empty") == node_map[v as usize] // scg-allow(SCG001): short-circuit: !path.is_empty() checked first in this && chain
-                && path
-                    .windows(2)
-                    .all(|w| host.edge_index(w[0], w[1]).is_some());
-            if !ok {
-                return Err(EmbedError::InvalidPath { guest_edge: e });
-            }
+        if edge_paths.iter().any(Vec::is_empty) {
+            // Flattening cannot represent an empty path; reject it with the
+            // edge index the legacy validator would have reported.
+            let e = edge_paths
+                .iter()
+                .position(Vec::is_empty)
+                .expect("just found one"); // scg-allow(SCG001): the any() on the line above guarantees a match
+            return Err(EmbedError::InvalidPath { guest_edge: e });
         }
-        Ok(Embedding {
-            guest,
-            host,
-            node_map,
-            edge_paths,
-        })
+        let total: usize = edge_paths.iter().map(Vec::len).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(edge_paths.len() + 1);
+        offsets.push(0);
+        for path in &edge_paths {
+            arena.extend_from_slice(path);
+            offsets.push(scg_perm::cast::len_u32(arena.len()));
+        }
+        EmbeddingIr::from_parts(guest, host, node_map, arena, offsets).map(Embedding::from)
+    }
+
+    /// The underlying arena-backed IR.
+    #[must_use]
+    pub fn ir(&self) -> &EmbeddingIr {
+        &self.ir
+    }
+
+    /// Consumes `self`, returning the underlying IR.
+    #[must_use]
+    pub fn into_ir(self) -> EmbeddingIr {
+        self.ir
     }
 
     /// The guest graph.
     #[must_use]
     pub fn guest(&self) -> &DenseGraph {
-        &self.guest
+        self.ir.guest()
     }
 
     /// The host graph.
     #[must_use]
     pub fn host(&self) -> &DenseGraph {
-        &self.host
+        self.ir.host()
     }
 
     /// The shared host graph handle (clone to keep it alive cheaply).
     #[must_use]
     pub fn host_arc(&self) -> &Arc<DenseGraph> {
-        &self.host
+        self.ir.host_arc()
     }
 
     /// The guest → host node map.
     #[must_use]
     pub fn node_map(&self) -> &[NodeId] {
-        &self.node_map
+        self.ir.node_map()
     }
 
     /// The routing path of guest edge `e` (guest CSR edge order).
@@ -131,50 +147,38 @@ impl Embedding {
     /// Panics if `e` is out of range.
     #[must_use]
     pub fn edge_path(&self, e: usize) -> &[NodeId] {
-        &self.edge_paths[e]
+        self.ir.hyperpath_at(e)
     }
 
     /// Most guest nodes mapped onto a single host node.
     #[must_use]
     pub fn load(&self) -> usize {
-        let mut count = vec![0usize; self.host.num_nodes()];
-        for &h in &self.node_map {
-            count[h as usize] += 1;
-        }
-        count.into_iter().max().unwrap_or(0)
+        self.ir.load()
     }
 
     /// `|V_host| / |V_guest|`.
     #[must_use]
     pub fn expansion(&self) -> f64 {
-        self.host.num_nodes() as f64 / self.guest.num_nodes() as f64
+        self.ir.expansion()
     }
 
     /// Longest routing path, in host links.
     #[must_use]
     pub fn dilation(&self) -> usize {
-        self.edge_paths
-            .iter()
-            .map(|p| p.len() - 1)
-            .max()
-            .unwrap_or(0)
+        self.ir.dilation()
     }
 
     /// Mean routing path length, in host links.
     #[must_use]
     pub fn mean_path_length(&self) -> f64 {
-        if self.edge_paths.is_empty() {
-            return 0.0;
-        }
-        let total: usize = self.edge_paths.iter().map(|p| p.len() - 1).sum();
-        total as f64 / self.edge_paths.len() as f64
+        self.ir.mean_path_length()
     }
 
     /// Most routing paths crossing a single directed host link, counting
     /// every guest edge.
     #[must_use]
     pub fn congestion(&self) -> usize {
-        self.congestion_filtered(|_| true)
+        self.ir.congestion()
     }
 
     /// Congestion counting only the guest edges accepted by `filter`
@@ -182,20 +186,7 @@ impl Embedding {
     /// per-dimension congestion claims.
     #[must_use]
     pub fn congestion_filtered(&self, filter: impl Fn(usize) -> bool) -> usize {
-        let mut count = vec![0usize; self.host.num_edges()];
-        for (e, path) in self.edge_paths.iter().enumerate() {
-            if !filter(e) {
-                continue;
-            }
-            for w in path.windows(2) {
-                let link = self
-                    .host
-                    .edge_index(w[0], w[1])
-                    .expect("validated at construction"); // scg-allow(SCG001): Embedding::new rejects paths that are not host walks
-                count[link] += 1;
-            }
-        }
-        count.into_iter().max().unwrap_or(0)
+        self.ir.congestion_filtered(filter)
     }
 
     /// Per-host-link traffic counts (validated paths only), for traffic
@@ -203,18 +194,13 @@ impl Embedding {
     /// within a constant factor").
     #[must_use]
     pub fn link_traffic(&self) -> Vec<usize> {
-        let mut count = vec![0usize; self.host.num_edges()];
-        for path in &self.edge_paths {
-            for w in path.windows(2) {
-                // scg-allow(SCG001): Embedding::new rejects paths that are not host walks
-                count[self.host.edge_index(w[0], w[1]).expect("validated")] += 1;
-            }
-        }
-        count
+        self.ir.link_traffic()
     }
 
     /// Composes two embeddings: guest → mid (`self`) and mid → host
     /// (`inner`), producing guest → host. Dilation multiplies at worst.
+    /// Delegates to the IR's zero-copy hyperpath splicing — no per-edge
+    /// path allocations.
     ///
     /// # Errors
     ///
@@ -222,30 +208,7 @@ impl Embedding {
     /// structurally equal to `self`'s host (same graph required), and
     /// propagates validation failures.
     pub fn compose(&self, inner: &Embedding) -> Result<Embedding, EmbedError> {
-        if *inner.guest != *self.host {
-            return Err(EmbedError::Unsupported {
-                reason: "composition requires inner.guest == outer.host".into(),
-            });
-        }
-        let node_map: Vec<NodeId> = self
-            .node_map
-            .iter()
-            .map(|&m| inner.node_map[m as usize])
-            .collect();
-        let mut edge_paths = Vec::with_capacity(self.edge_paths.len());
-        for path in &self.edge_paths {
-            let mut out = vec![inner.node_map[path[0] as usize]];
-            for w in path.windows(2) {
-                let mid_edge = self
-                    .host
-                    .edge_index(w[0], w[1])
-                    .expect("validated at construction"); // scg-allow(SCG001): Embedding::new rejects paths that are not host walks
-                let seg = &inner.edge_paths[mid_edge];
-                out.extend_from_slice(&seg[1..]);
-            }
-            edge_paths.push(out);
-        }
-        Embedding::new(self.guest.clone(), inner.host.clone(), node_map, edge_paths)
+        self.ir.compose(&inner.ir).map(Embedding::from)
     }
 
     /// Builds an embedding from a node map alone, routing every guest edge
@@ -267,15 +230,17 @@ impl Embedding {
                 reason: "node map length differs from guest order",
             });
         }
-        // One BFS per distinct source host node.
-        let mut edge_paths = Vec::with_capacity(guest.num_edges());
+        // One BFS per distinct source host node, recorded straight into
+        // the arena.
+        let mut builder = EmbeddingIr::builder(guest.clone(), host.clone());
         let mut cache: std::collections::HashMap<NodeId, Vec<NodeId>> =
             std::collections::HashMap::new();
+        let mut scratch: Vec<NodeId> = Vec::new();
         for (u, v) in guest.edges() {
             let (hu, hv) = (node_map[u as usize], node_map[v as usize]);
             let parents = cache.entry(hu).or_insert_with(|| host.bfs_parents(hu));
             if hu == hv {
-                edge_paths.push(vec![hu]);
+                builder.push_path(&[hu]);
                 continue;
             }
             if parents[hv as usize] == NodeId::MAX {
@@ -283,16 +248,17 @@ impl Embedding {
                     reason: format!("host nodes {hu} and {hv} are disconnected"),
                 });
             }
-            let mut path = vec![hv];
+            scratch.clear();
+            scratch.push(hv);
             let mut cur = hv;
             while cur != hu {
                 cur = parents[cur as usize];
-                path.push(cur);
+                scratch.push(cur);
             }
-            path.reverse();
-            edge_paths.push(path);
+            scratch.reverse();
+            builder.push_path(&scratch);
         }
-        Embedding::new(guest, host, node_map, edge_paths)
+        builder.node_map(node_map).finish().map(Embedding::from)
     }
 }
 
@@ -346,8 +312,14 @@ mod tests {
         );
         assert!(matches!(bad2, Err(EmbedError::InvalidPath { .. })));
         // Wrong map length.
-        let bad3 = Embedding::new(g, h, vec![0], vec![]);
+        let bad3 = Embedding::new(g.clone(), h.clone(), vec![0], vec![]);
         assert!(matches!(bad3, Err(EmbedError::InvalidMap { .. })));
+        // Empty path.
+        let bad4 = Embedding::new(g, h, vec![0, 1], vec![vec![0, 1], vec![]]);
+        assert!(matches!(
+            bad4,
+            Err(EmbedError::InvalidPath { guest_edge: 1 })
+        ));
     }
 
     #[test]
@@ -393,5 +365,19 @@ mod tests {
             outer.compose(&inner),
             Err(EmbedError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn compat_view_exposes_the_ir() {
+        let g = ring(4);
+        let map: Vec<NodeId> = (0..4).collect();
+        let paths: Vec<Vec<NodeId>> = g.edges().map(|(u, v)| vec![u, v]).collect();
+        let e = Embedding::new(g.clone(), g, map, paths).unwrap();
+        let audit = e.ir().audit();
+        assert_eq!(audit.dilation, e.dilation());
+        assert_eq!(audit.load, e.load());
+        let ir = e.clone().into_ir();
+        assert_eq!(ir.num_program_edges(), 8);
+        assert_eq!(Embedding::from(ir).dilation(), e.dilation());
     }
 }

@@ -23,6 +23,34 @@ pub enum EmbedError {
         /// Explanation.
         reason: String,
     },
+    /// The host network would materialize more nodes than the cap allows —
+    /// raised before any permutation table is built, so oversized requests
+    /// fail fast with the offending numbers attached.
+    HostTooLarge {
+        /// The guest family asking for the host (e.g. `"linear array"`).
+        guest: &'static str,
+        /// The requested symbol count `k`.
+        k: usize,
+        /// The node count `k!` the host would need.
+        num_nodes: u64,
+        /// The materialization cap that was exceeded.
+        cap: u64,
+    },
+    /// A fault hit a host node that carries a program node; re-embedding
+    /// keeps the node map fixed, so it cannot recover from this.
+    MappedNodeFailed {
+        /// The program (guest) node whose image died.
+        program_node: usize,
+        /// The failed host node.
+        host_node: u32,
+    },
+    /// Re-embedding failed: the survivors no longer connect the mapped
+    /// endpoints of this guest edge.
+    ReembedDisconnected {
+        /// Guest edge index (CSR order) whose hyperpath cannot be
+        /// re-routed.
+        guest_edge: usize,
+    },
     /// An underlying network error.
     Core(CoreError),
     /// An underlying graph error.
@@ -39,6 +67,28 @@ impl fmt::Display for EmbedError {
                 write!(f, "invalid routing path for guest edge {guest_edge}")
             }
             EmbedError::Unsupported { reason } => write!(f, "unsupported construction: {reason}"),
+            EmbedError::HostTooLarge {
+                guest,
+                k,
+                num_nodes,
+                cap,
+            } => write!(
+                f,
+                "{guest} embedding needs the {k}-symbol host materialized \
+                 ({num_nodes} nodes) but the cap is {cap} nodes"
+            ),
+            EmbedError::MappedNodeFailed {
+                program_node,
+                host_node,
+            } => write!(
+                f,
+                "cannot re-embed: host node {host_node} carrying guest node \
+                 {program_node} has failed"
+            ),
+            EmbedError::ReembedDisconnected { guest_edge } => write!(
+                f,
+                "cannot re-embed guest edge {guest_edge}: survivors disconnect its endpoints"
+            ),
             EmbedError::Core(e) => write!(f, "network error: {e}"),
             EmbedError::Graph(e) => write!(f, "graph error: {e}"),
             EmbedError::SearchInconclusive => write!(f, "search budget exhausted"),

@@ -20,6 +20,14 @@
 //! Embeddings compose ([`Embedding::compose`]), which is exactly how the
 //! paper derives its corollaries from the theorems.
 //!
+//! All constructors emit one shared arena-backed representation, the
+//! [`EmbeddingIr`] (typed handles, hyperpaths as ranges into a flat path
+//! arena, a generic [`EmbedAudit`] auditor); `Embedding` is its thin
+//! compatibility view. Fault-aware re-embedding lives on the IR:
+//! [`EmbeddingIr::reembed`] re-routes only the hyperpaths a
+//! [`FaultSet`](scg_graph::FaultSet) crosses, and [`reembed_scg`] plugs in
+//! the plan-cache detour router for super Cayley hosts.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,13 +50,17 @@ mod cayley;
 mod cube;
 mod embedding;
 mod error;
+mod ir;
 mod mesh_embed;
+#[cfg(feature = "obs")]
+mod obs_hooks;
 mod tree;
 
 pub use cayley::CayleyEmbedding;
 pub use cube::{cube_dimension_for, hypercube_into_scg, hypercube_into_star, hypercube_into_tn};
 pub use embedding::Embedding;
 pub use error::EmbedError;
+pub use ir::{reembed_scg, EmbedAudit, EmbeddingIr, IrBuilder, PEdge, PNode, TEdge, TNode};
 pub use mesh_embed::{
     factor_into_exchanges, factorial_coords_to_perm, factorial_mesh_into_scg,
     factorial_mesh_into_tn, linear_array_into_star, mesh2d_into_scg, mesh2d_into_tn,

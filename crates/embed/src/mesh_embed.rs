@@ -29,6 +29,7 @@ use scg_perm::{factorial, MixedRadix, Perm};
 use crate::cayley::CayleyEmbedding;
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
+use crate::ir::IrBuilder;
 
 /// Factors a permutation into exchange generators `T_{i,j}` whose product
 /// (applied left to right) equals `w`. A cycle of length `m` contributes
@@ -72,7 +73,9 @@ pub fn factorial_coords_to_perm(digits: &[u64], k: usize) -> Perm {
 ///
 /// # Errors
 ///
-/// * [`EmbedError::Core`] — invalid `k` or star too large within `cap`;
+/// * [`EmbedError::HostTooLarge`] — `k! > cap`, reported structurally
+///   before any materialization is attempted;
+/// * [`EmbedError::Core`] — invalid `k`;
 /// * [`EmbedError::SearchInconclusive`] — the path search exceeded
 ///   `budget`;
 /// * [`EmbedError::Unsupported`] — search proved no path from the identity
@@ -83,6 +86,17 @@ pub fn linear_array_into_star(
     budget: &mut SearchBudget,
 ) -> Result<Embedding, EmbedError> {
     let star = StarGraph::new(k)?;
+    let num_nodes = factorial(k);
+    if num_nodes > cap {
+        return Err(EmbedError::HostTooLarge {
+            guest: "linear-array",
+            k,
+            num_nodes,
+            cap,
+        });
+    }
+    #[cfg(feature = "obs")]
+    let _timer = crate::obs_hooks::build_timer("linear-array");
     let host = materialize(&star, cap)?.graph().clone();
     let path = match hamiltonian_path(&host, 0, budget) {
         Ok(Some(p)) => p,
@@ -96,42 +110,53 @@ pub fn linear_array_into_star(
     };
     let guest = scg_core::linear_array(path.len());
     let node_map: Vec<NodeId> = path;
-    let paths: Vec<Vec<NodeId>> = guest
-        .edges()
-        .map(|(u, v)| vec![node_map[u as usize], node_map[v as usize]])
-        .collect();
-    Embedding::new(guest, host, node_map, paths)
+    let mut builder = IrBuilder::new(guest.clone(), host);
+    for (u, v) in guest.edges() {
+        builder.push_path(&[node_map[u as usize], node_map[v as usize]]);
+    }
+    let e = Embedding::from(builder.node_map(node_map).finish()?);
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::build_done("linear-array", e.dilation());
+    Ok(e)
 }
 
 /// Builds the embedding induced by mapping each guest-mesh node id to
 /// factorial digits and then to a permutation, routing each mesh edge by
 /// exchange factorization.
 fn mesh_embedding_from_digit_map(
+    guest_class: &str,
     guest: scg_graph::DenseGraph,
     k: usize,
     cap: u64,
     digits_of: impl Fn(u64) -> Vec<u64>,
 ) -> Result<Embedding, EmbedError> {
+    #[cfg(feature = "obs")]
+    let _timer = crate::obs_hooks::build_timer(guest_class);
+    #[cfg(not(feature = "obs"))]
+    let _ = guest_class; // scg-allow(SCG005): feature-gated use; discards a metrics label, not a Result
     let tn = TranspositionNetwork::new(k)?;
     let host = materialize(&tn, cap)?.graph().clone();
     let labels: Vec<Perm> = (0..guest.num_nodes() as u64)
         .map(|x| factorial_coords_to_perm(&digits_of(x), k))
         .collect();
     let node_map: Vec<NodeId> = labels.iter().map(|p| p.rank() as NodeId).collect();
-    let mut paths = Vec::with_capacity(guest.num_edges());
+    let mut builder = IrBuilder::new(guest.clone(), host);
     for (u, v) in guest.edges() {
         let (lu, lv) = (labels[u as usize], labels[v as usize]);
         let w = lu.inverse().compose(&lv);
-        let mut path = vec![node_map[u as usize]];
+        builder.begin_path(node_map[u as usize]);
         let mut cur = lu;
         for g in factor_into_exchanges(&w) {
             cur = g.apply(&cur).expect("valid exchange"); // scg-allow(SCG001): factor_into_exchanges yields degree-k exchanges only
-            path.push(cur.rank() as NodeId);
+            builder.push_hop(cur.rank() as NodeId);
         }
         debug_assert_eq!(cur, lv);
-        paths.push(path);
+        builder.end_path();
     }
-    Embedding::new(guest, host, node_map, paths)
+    let e = Embedding::from(builder.node_map(node_map).finish()?);
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::build_done(guest_class, e.dilation());
+    Ok(e)
 }
 
 /// Corollary 7 guest: the `2 × 3 × ⋯ × k` mesh into the `k`-TN, dilation
@@ -149,7 +174,7 @@ pub fn factorial_mesh_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedErro
     let extents: Vec<usize> = (2..=k).collect();
     let guest = scg_core::mesh(&extents);
     let mr = MixedRadix::factorial_system(k);
-    mesh_embedding_from_digit_map(guest, k, cap, move |x| mr.digits(x))
+    mesh_embedding_from_digit_map("factorial-mesh", guest, k, cap, move |x| mr.digits(x))
 }
 
 /// Corollary 6 guest: an `m1 × m2` mesh with `m1 · m2 = k!`, where
@@ -183,7 +208,7 @@ pub fn mesh2d_into_tn(k: usize, row_dims: &[usize], cap: u64) -> Result<Embeddin
     let col_mr = MixedRadix::new(col_radices);
     let row_dims_sorted: Vec<usize> = (2..=k).filter(|&d| is_row[d]).collect();
     let col_dims_sorted: Vec<usize> = (2..=k).filter(|&d| !is_row[d]).collect();
-    mesh_embedding_from_digit_map(guest, k, cap, move |id| {
+    mesh_embedding_from_digit_map("mesh2d", guest, k, cap, move |id| {
         let x = id % m1;
         let y = id / m1;
         let row_digits = row_mr.gray_digits(x);

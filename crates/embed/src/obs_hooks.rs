@@ -1,0 +1,58 @@
+//! `obs`-feature hooks: embedding-engine metrics.
+//!
+//! Compiled only with the `obs` cargo feature. Hooks are record-only —
+//! they never branch on metric state, so every constructed embedding is
+//! bit-identical with and without the feature. Families are labeled by
+//! guest class (`guest="star"`, `guest="hypercube"`, …), matching the
+//! network-labeled convention of the core hooks.
+
+use scg_obs::{EventTrace, Registry, Timer};
+
+/// Wall-time bucket bounds in microseconds: 1 µs .. 10 s, decades.
+const MICROS_BOUNDS: [u64; 8] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Dilation bucket bounds: the paper's constants are single digits
+/// (1–7), with headroom for composed pipelines.
+const DILATION_BOUNDS: [u64; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 12, 16];
+
+/// Times one embedding construction into
+/// `scg_embed_build_micros{guest=…}` and leaves a trace event.
+pub(crate) fn build_timer(guest: &str) -> Timer {
+    EventTrace::global().record("embed.build", &[]);
+    Registry::global()
+        .counter("scg_embed_builds_total", &[("guest", guest)])
+        .inc();
+    Timer::new(Registry::global().histogram(
+        "scg_embed_build_micros",
+        &[("guest", guest)],
+        &MICROS_BOUNDS,
+    ))
+}
+
+/// Records the measured dilation of a finished embedding in the per-guest
+/// class histogram `scg_embed_dilation{guest=…}`.
+pub(crate) fn build_done(guest: &str, dilation: usize) {
+    Registry::global()
+        .histogram("scg_embed_dilation", &[("guest", guest)], &DILATION_BOUNDS)
+        .observe(dilation as u64);
+}
+
+/// Times one [`reembed`](crate::EmbeddingIr::reembed) pass into
+/// `scg_embed_reembed_micros`.
+pub(crate) fn reembed_timer() -> Timer {
+    Timer::new(Registry::global().histogram("scg_embed_reembed_micros", &[], &MICROS_BOUNDS))
+}
+
+/// One completed re-embedding: bumps `scg_embed_reembed_total` and adds
+/// the number of hyperpaths that actually had to be re-routed to
+/// `scg_embed_reembed_rerouted_total`.
+pub(crate) fn reembed_done(rerouted: u64) {
+    let reg = Registry::global();
+    reg.counter("scg_embed_reembed_total", &[]).inc();
+    reg.counter("scg_embed_reembed_rerouted_total", &[])
+        .add(rerouted);
+    EventTrace::global().record(
+        "embed.reembed",
+        &[("rerouted", i64::try_from(rerouted).unwrap_or(i64::MAX))],
+    );
+}

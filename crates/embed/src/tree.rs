@@ -9,18 +9,22 @@
 //! contributes.
 
 use scg_core::{materialize, CayleyNetwork, StarGraph, SuperCayleyGraph, DEFAULT_NET_CAP};
-use scg_graph::{complete_binary_tree, embed_tree_randomized, NodeId, SearchBudget};
+use scg_graph::{complete_binary_tree, embed_tree_randomized, SearchBudget};
+use scg_perm::factorial;
 
 use crate::cayley::CayleyEmbedding;
 use crate::embedding::Embedding;
 use crate::error::EmbedError;
+use crate::ir::IrBuilder;
 
 /// Searches for a dilation-1 embedding of the complete binary tree of the
 /// given height into the `k`-star, rooted at the identity node.
 ///
 /// # Errors
 ///
-/// * [`EmbedError::Core`] — invalid `k` or star too large to materialize;
+/// * [`EmbedError::HostTooLarge`] — `k!` exceeds the materialization cap
+///   ([`DEFAULT_NET_CAP`]), reported structurally before any search;
+/// * [`EmbedError::Core`] — invalid `k`;
 /// * [`EmbedError::Unsupported`] — the exhaustive search proved no embedding
 ///   with this root exists;
 /// * [`EmbedError::SearchInconclusive`] — `budget` ran out first.
@@ -30,6 +34,17 @@ pub fn tree_into_star(
     budget: &mut SearchBudget,
 ) -> Result<Embedding, EmbedError> {
     let star = StarGraph::new(k)?;
+    let num_nodes = factorial(k);
+    if num_nodes > DEFAULT_NET_CAP {
+        return Err(EmbedError::HostTooLarge {
+            guest: "tree",
+            k,
+            num_nodes,
+            cap: DEFAULT_NET_CAP,
+        });
+    }
+    #[cfg(feature = "obs")]
+    let _timer = crate::obs_hooks::build_timer("tree");
     let host = materialize(&star, DEFAULT_NET_CAP)?.graph().clone();
     let guest = complete_binary_tree(height);
     // Randomized candidate ordering with restarts: the deterministic
@@ -54,11 +69,14 @@ pub fn tree_into_star(
         Err(scg_graph::GraphError::BudgetExhausted) => return Err(EmbedError::SearchInconclusive),
         Err(e) => return Err(e.into()),
     };
-    let paths: Vec<Vec<NodeId>> = guest
-        .edges()
-        .map(|(u, v)| vec![map[u as usize], map[v as usize]])
-        .collect();
-    Embedding::new(guest, host, map, paths)
+    let mut builder = IrBuilder::new(guest.clone(), host);
+    for (u, v) in guest.edges() {
+        builder.push_path(&[map[u as usize], map[v as usize]]);
+    }
+    let e = Embedding::from(builder.node_map(map).finish()?);
+    #[cfg(feature = "obs")]
+    crate::obs_hooks::build_done("tree", e.dilation());
+    Ok(e)
 }
 
 /// Embeds the complete binary tree of the given height into a super Cayley

@@ -314,6 +314,20 @@ impl<'a> SurvivorView<'a> {
         dist
     }
 
+    /// Whether an explicit node path survives intact: every node on it is
+    /// alive and every consecutive hop is unblocked. An empty path is not
+    /// live; a single-node path is live iff its node is. Hops are *not*
+    /// checked for host adjacency — pair with a validated path (e.g. an
+    /// embedding hyperpath) when adjacency matters.
+    #[must_use]
+    pub fn path_is_live(&self, path: &[NodeId]) -> bool {
+        match path {
+            [] => false,
+            [u] => self.is_alive(*u),
+            _ => self.is_alive(path[0]) && path.windows(2).all(|w| !self.faults.blocks(w[0], w[1])),
+        }
+    }
+
     /// A shortest surviving path `src → dst` (inclusive), or `None` if no
     /// fault-free path exists.
     ///
@@ -726,6 +740,25 @@ mod tests {
         assert_eq!(path.len(), 7);
         assert!(!path.contains(&1));
         assert_eq!(view.shortest_path(0, 1), None);
+    }
+
+    #[test]
+    fn path_liveness_tracks_faults() {
+        let g = undirected_ring(6);
+        let mut f = FaultSet::new();
+        let view = SurvivorView::new(&g, &f);
+        assert!(!view.path_is_live(&[]));
+        assert!(view.path_is_live(&[3]));
+        assert!(view.path_is_live(&[0, 1, 2]));
+        f.fail_node(1);
+        let view = SurvivorView::new(&g, &f);
+        assert!(!view.path_is_live(&[0, 1, 2]), "interior node died");
+        assert!(!view.path_is_live(&[1]), "failed singleton");
+        assert!(view.path_is_live(&[2, 3, 4]));
+        f.fail_link(3, 4);
+        let view = SurvivorView::new(&g, &f);
+        assert!(!view.path_is_live(&[2, 3, 4]), "directed link cut");
+        assert!(view.path_is_live(&[4, 3, 2]), "reverse direction still up");
     }
 
     #[test]

@@ -66,6 +66,45 @@ fn embed_errors_render_and_chain() {
 }
 
 #[test]
+fn oversized_embed_hosts_are_refused_structurally() {
+    // The materialization cap is checked before any search or host build,
+    // and the refusal carries the numbers, not a stringly-typed message.
+    let e = supercayley::embed::linear_array_into_star(9, 1_000, &mut SearchBudget::new(10))
+        .unwrap_err();
+    assert!(matches!(
+        e,
+        EmbedError::HostTooLarge {
+            guest: "linear-array",
+            k: 9,
+            num_nodes: 362_880,
+            cap: 1_000,
+        }
+    ));
+    assert_eq!(
+        e.to_string(),
+        "linear-array embedding needs the 9-symbol host materialized (362880 nodes) \
+         but the cap is 1000 nodes"
+    );
+
+    // tree_into_star materializes under DEFAULT_NET_CAP (10^6): 10! exceeds it.
+    let e = supercayley::embed::tree_into_star(2, 10, &mut SearchBudget::new(10)).unwrap_err();
+    assert!(matches!(
+        e,
+        EmbedError::HostTooLarge {
+            guest: "tree",
+            k: 10,
+            num_nodes: 3_628_800,
+            ..
+        }
+    ));
+    assert_eq!(
+        e.to_string(),
+        "tree embedding needs the 10-symbol host materialized (3628800 nodes) \
+         but the cap is 1000000 nodes"
+    );
+}
+
+#[test]
 fn emu_errors_render() {
     let e = AllPortSchedule::paper_form(&SuperCayleyGraph::macro_star(6, 3).unwrap()).unwrap_err();
     let EmuError::InvalidSchedule { reason } = &e else {

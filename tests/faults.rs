@@ -164,3 +164,43 @@ fn route_to_failed_destination_reports_no_route() {
         Err(CoreError::NoRoute)
     ));
 }
+
+#[test]
+fn reembed_under_degree_minus_1_faults_preserves_bounds() {
+    // The Corollary 5 cube guest maps 4 of the 120 host nodes; excluding
+    // those, any `degree - 1` random node faults must re-embed on every
+    // class with the node map and load unchanged, every hyperpath live,
+    // and dilation within the detour router's measured envelope (worst
+    // observed 26 across 20 seeds x 10 classes; 32 is the regression
+    // bound, not a theorem).
+    for net in ten_classes() {
+        let ir = supercayley::embed::hypercube_into_scg(&net, SMALL_NET_CAP)
+            .unwrap()
+            .into_ir();
+        let mat = materialize(&net, SMALL_NET_CAP).unwrap();
+        let degree = distinct_degree(&mat);
+        let mapped = ir.node_map().to_vec();
+        for seed in 0..5u64 {
+            let mut rng = XorShift64::new(0xE3BED + seed);
+            let faults = FaultSet::random_nodes(mat.num_nodes(), degree - 1, &mapped, &mut rng);
+            let r = supercayley::embed::reembed_scg(&ir, &net, &mat, &faults)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", net.name()));
+            assert_eq!(r.node_map(), ir.node_map(), "{}", net.name());
+            assert_eq!(r.load(), ir.load(), "{}", net.name());
+            let view = SurvivorView::new(mat.graph(), &faults);
+            for edge in 0..r.num_program_edges() {
+                assert!(
+                    view.path_is_live(r.hyperpath_at(edge)),
+                    "{} seed {seed}: edge {edge} crosses a fault",
+                    net.name()
+                );
+            }
+            assert!(
+                r.dilation() <= 32,
+                "{} seed {seed}: dilation {} outside the measured envelope",
+                net.name(),
+                r.dilation()
+            );
+        }
+    }
+}
