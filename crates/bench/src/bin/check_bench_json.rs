@@ -91,6 +91,100 @@ fn check(path: &str) -> Result<(), String> {
             return Err(format!("{path}: acceptance flag is {handled}, want 1"));
         }
     }
+    if bench == "tab_chaos" {
+        let classes = top
+            .get("classes")
+            .ok_or_else(|| format!("{path}: missing \"classes\""))?
+            .as_array(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if classes.is_empty() {
+            return Err(format!("{path}: empty class sweep"));
+        }
+        for class in classes {
+            let c = class.as_object(0).map_err(|e| format!("{path}: {e}"))?;
+            let schedules = c
+                .get("schedules")
+                .ok_or_else(|| format!("{path}: class missing \"schedules\""))?
+                .as_array(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if schedules.len() != 4 {
+                return Err(format!(
+                    "{path}: class has {} schedules, want 4",
+                    schedules.len()
+                ));
+            }
+            for sched in schedules {
+                let s = sched.as_object(0).map_err(|e| format!("{path}: {e}"))?;
+                let field = |name: &str| -> Result<u64, String> {
+                    s.get(name)
+                        .ok_or_else(|| format!("{path}: schedule missing \"{name}\""))?
+                        .as_u64(0)
+                        .map_err(|e| format!("{path}: {e}"))
+                };
+                let injected = field("injected")?;
+                let delivered = field("delivered")?;
+                let dropped = field("dropped")?;
+                if delivered + dropped != injected {
+                    return Err(format!(
+                        "{path}: packets unaccounted for ({delivered} + {dropped} != {injected})"
+                    ));
+                }
+                if field("drained")? != 1 {
+                    return Err(format!("{path}: schedule did not drain"));
+                }
+            }
+            let reembed = c
+                .get("reembed")
+                .ok_or_else(|| format!("{path}: class missing \"reembed\""))?
+                .as_object(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            for flag in ["two_unmapped_ok", "mapped_refused_plain"] {
+                let v = reembed
+                    .get(flag)
+                    .ok_or_else(|| format!("{path}: reembed missing \"{flag}\""))?
+                    .as_u64(0)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                if v != 1 {
+                    return Err(format!("{path}: reembed flag \"{flag}\" is {v}, want 1"));
+                }
+            }
+            let remapped = reembed
+                .get("remapped")
+                .ok_or_else(|| format!("{path}: reembed missing \"remapped\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if remapped == 0 {
+                return Err(format!(
+                    "{path}: mapped-host fault healed without remapping"
+                ));
+            }
+        }
+        let acc = top
+            .get("acceptance")
+            .ok_or_else(|| format!("{path}: missing \"acceptance\""))?
+            .as_object(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        for flag in ["all_repair_recovered", "all_two_fault_reembeds_ok"] {
+            let v = acc
+                .get(flag)
+                .ok_or_else(|| format!("{path}: acceptance missing \"{flag}\""))?
+                .as_u64(0)
+                .map_err(|e| format!("{path}: {e}"))?;
+            if v != 1 {
+                return Err(format!("{path}: acceptance flag \"{flag}\" is {v}, want 1"));
+            }
+        }
+        let worst = acc
+            .get("worst_repair_delivered_x1000")
+            .ok_or_else(|| format!("{path}: acceptance missing \"worst_repair_delivered_x1000\""))?
+            .as_u64(0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if worst < 990 {
+            return Err(format!(
+                "{path}: worst fault-then-repair delivered ratio {worst}/1000 < 990"
+            ));
+        }
+    }
     println!("{path}: ok ({bench}, {} bytes)", text.len());
     Ok(())
 }

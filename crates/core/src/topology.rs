@@ -141,6 +141,16 @@ impl Materialized {
         &self.graph
     }
 
+    /// A survivor view of the network under `faults` — the one-liner the
+    /// fault-lifecycle drivers use between chaos events.
+    #[must_use]
+    pub fn survivor_view<'a>(
+        &'a self,
+        faults: &'a scg_graph::FaultSet,
+    ) -> scg_graph::SurvivorView<'a> {
+        scg_graph::SurvivorView::new(&self.graph, faults)
+    }
+
     /// All rank-transition tables, generator-major:
     /// `tables()[g][u] = rank(g · unrank(u))`. Returned as the shared
     /// `Arc` so callers can keep the tables alive without copying them.

@@ -44,6 +44,12 @@ pub enum EmbedError {
         /// The failed host node.
         host_node: u32,
     },
+    /// Rebalancing re-embedding failed: a program node's host died and no
+    /// live host remains to remap it onto.
+    NoLiveHost {
+        /// The program (guest) node that lost its host.
+        program_node: usize,
+    },
     /// Re-embedding failed: the survivors no longer connect the mapped
     /// endpoints of this guest edge.
     ReembedDisconnected {
@@ -84,6 +90,10 @@ impl fmt::Display for EmbedError {
                 f,
                 "cannot re-embed: host node {host_node} carrying guest node \
                  {program_node} has failed"
+            ),
+            EmbedError::NoLiveHost { program_node } => write!(
+                f,
+                "cannot rebalance: no live host left for guest node {program_node}"
             ),
             EmbedError::ReembedDisconnected { guest_edge } => write!(
                 f,

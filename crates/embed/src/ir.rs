@@ -553,6 +553,121 @@ impl EmbeddingIr {
             offsets,
         )
     }
+
+    /// Multi-fault re-embedding with load rebalancing: where
+    /// [`EmbeddingIr::reembed`] refuses to continue when a fault hits a
+    /// *mapped* host node, this variant **remaps** each orphaned program
+    /// node onto a live host — the nearest one (host-graph BFS distance
+    /// from the dead host), preferring lightly-loaded hosts, ties broken
+    /// by lowest id — and then re-routes every hyperpath whose endpoints
+    /// moved or whose walk crosses a fault. Surviving hyperpaths are still
+    /// copied verbatim, so an undisturbed region of the embedding is
+    /// byte-identical before and after.
+    ///
+    /// Remap candidates are drawn from the BFS ball around the dead host
+    /// in the *full* host graph (physical proximity survives the fault);
+    /// liveness and routing use the survivor view only.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbedError::Unsupported`] — `view` is not over this target
+    ///   graph;
+    /// * [`EmbedError::NoLiveHost`] — every host node is dead;
+    /// * [`EmbedError::ReembedDisconnected`] /
+    ///   [`EmbedError::InvalidPath`] — as [`EmbeddingIr::reembed_with`].
+    pub fn reembed_rebalanced(
+        &self,
+        view: &SurvivorView<'_>,
+        mut reroute: impl FnMut(NodeId, NodeId) -> Option<Vec<NodeId>>,
+    ) -> Result<ReembedReport, EmbedError> {
+        if *view.graph() != *self.host {
+            return Err(EmbedError::Unsupported {
+                reason: "survivor view is not over this embedding's host".into(),
+            });
+        }
+        #[cfg(feature = "obs")]
+        let _timer = crate::obs_hooks::reembed_timer();
+        // Current per-host load, maintained across remaps so simultaneous
+        // orphans spread out instead of piling onto one survivor.
+        let mut load = vec![0u32; self.host.num_nodes()];
+        for &h in &self.node_map {
+            load[h as usize] += 1;
+        }
+        let mut node_map = self.node_map.clone();
+        let mut remapped = 0usize;
+        for (p, host_slot) in node_map.iter_mut().enumerate() {
+            let dead = *host_slot;
+            if view.is_alive(dead) {
+                continue;
+            }
+            load[dead as usize] -= 1;
+            let dist = self.host.bfs_distances(dead);
+            let new_host = (0..self.host.num_nodes() as NodeId)
+                .filter(|&h| view.is_alive(h))
+                .min_by_key(|&h| (dist[h as usize], load[h as usize], h))
+                .ok_or(EmbedError::NoLiveHost { program_node: p })?;
+            load[new_host as usize] += 1;
+            *host_slot = new_host;
+            remapped += 1;
+        }
+        // Re-route every hyperpath that moved or crosses a fault; copy the
+        // rest verbatim.
+        let mut arena: Vec<NodeId> = Vec::with_capacity(self.path_arena.len());
+        let mut offsets: Vec<u32> = Vec::with_capacity(self.path_offsets.len());
+        offsets.push(0);
+        let mut rerouted = 0usize;
+        for (e, (gu, gv)) in self.guest.edges().enumerate() {
+            let seg = self.hyperpath_at(e);
+            let (src, dst) = (node_map[gu as usize], node_map[gv as usize]);
+            if seg[0] == src && seg[seg.len() - 1] == dst && view.path_is_live(seg) {
+                arena.extend_from_slice(seg);
+            } else if src == dst {
+                // Both endpoints collapsed onto one host: a single-node
+                // hyperpath, no routing needed.
+                rerouted += 1;
+                arena.push(src);
+            } else {
+                let fresh =
+                    reroute(src, dst).ok_or(EmbedError::ReembedDisconnected { guest_edge: e })?;
+                if !view.path_is_live(&fresh)
+                    || fresh.first() != Some(&src)
+                    || fresh.last() != Some(&dst)
+                {
+                    return Err(EmbedError::InvalidPath { guest_edge: e });
+                }
+                rerouted += 1;
+                arena.extend_from_slice(&fresh);
+            }
+            offsets.push(len_u32(arena.len()));
+        }
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::rebalance_done(remapped as u64, rerouted as u64);
+        let ir = EmbeddingIr::from_parts(
+            self.guest.clone(),
+            self.host.clone(),
+            node_map,
+            arena,
+            offsets,
+        )?;
+        Ok(ReembedReport {
+            ir,
+            remapped,
+            rerouted,
+        })
+    }
+}
+
+/// Result of a rebalancing re-embedding
+/// ([`EmbeddingIr::reembed_rebalanced`]): the new certificate plus how
+/// much of the old embedding had to move.
+#[derive(Debug, Clone)]
+pub struct ReembedReport {
+    /// The re-validated embedding.
+    pub ir: EmbeddingIr,
+    /// Program nodes moved to a new live host.
+    pub remapped: usize,
+    /// Hyperpaths re-routed (the rest were copied verbatim).
+    pub rerouted: usize,
 }
 
 /// Fault-aware re-embedding over a super Cayley host using the compiled
@@ -579,6 +694,34 @@ pub fn reembed_scg(
     }
     let view = SurvivorView::new(mat.graph(), faults);
     ir.reembed_with(&view, |src, dst| {
+        scg_route_faulty_ids(net, mat, src, dst, faults).ok()
+    })
+}
+
+/// Rebalancing re-embedding over a super Cayley host: like
+/// [`reembed_scg`], but faults on *mapped* host nodes are healed by
+/// remapping the orphaned program nodes onto nearby live hosts
+/// ([`EmbeddingIr::reembed_rebalanced`]), with crossing hyperpaths
+/// re-routed through the same fault-tolerant plan-cache router.
+///
+/// # Errors
+///
+/// * [`EmbedError::Unsupported`] — `mat` does not materialize this
+///   embedding's host graph;
+/// * otherwise as [`EmbeddingIr::reembed_rebalanced`].
+pub fn reembed_scg_rebalanced(
+    ir: &EmbeddingIr,
+    net: &SuperCayleyGraph,
+    mat: &Materialized,
+    faults: &FaultSet,
+) -> Result<ReembedReport, EmbedError> {
+    if **mat.graph() != *ir.host() {
+        return Err(EmbedError::Unsupported {
+            reason: "materialized network does not match the embedding host".into(),
+        });
+    }
+    let view = SurvivorView::new(mat.graph(), faults);
+    ir.reembed_rebalanced(&view, |src, dst| {
         scg_route_faulty_ids(net, mat, src, dst, faults).ok()
     })
 }
@@ -790,6 +933,100 @@ mod tests {
                 assert_eq!(re.hyperpath_at(e), ir.hyperpath_at(e));
             }
         }
+    }
+
+    #[test]
+    fn rebalanced_reembed_remaps_dead_hosts() {
+        // Identity ring embedding; kill mapped host 2. Plain reembed
+        // refuses; the rebalancing variant moves guest node 2 to a live
+        // neighbor and re-routes its incident hyperpaths.
+        let ir = ring_identity_ir();
+        let mut faults = FaultSet::new();
+        faults.fail_node(2);
+        let host = ir.host_arc().clone();
+        let view = SurvivorView::new(&host, &faults);
+        assert!(matches!(
+            ir.reembed(&view),
+            Err(EmbedError::MappedNodeFailed { .. })
+        ));
+        let r = ir
+            .reembed_rebalanced(&view, |s, d| view.shortest_path(s, d))
+            .unwrap();
+        assert_eq!(r.remapped, 1);
+        assert!(r.rerouted >= 2, "both incident edges move");
+        let new_host = r.ir.node_map()[2];
+        assert_ne!(new_host, 2);
+        assert!(view.is_alive(new_host));
+        // Nearest live host to 2 on the 5-ring is a direct neighbor.
+        assert!(new_host == 1 || new_host == 3);
+        // Every hyperpath is live and untouched ones are verbatim.
+        for e in 0..r.ir.num_program_edges() {
+            assert!(view.path_is_live(r.ir.hyperpath_at(e)));
+        }
+    }
+
+    #[test]
+    fn rebalanced_reembed_spreads_load() {
+        // Ring of 6, identity embedding; kill hosts 2 and 3 at once. The
+        // two orphans must land on different live hosts (load balancing),
+        // not both on the same survivor.
+        let g = ring(6);
+        let ir = {
+            let mut b = IrBuilder::new(g.clone(), g.clone()).node_map((0..6).collect());
+            let pairs: Vec<(NodeId, NodeId)> = g.edges().collect();
+            for (u, v) in pairs {
+                b.push_path(&[u, v]);
+            }
+            b.finish().unwrap()
+        };
+        let mut faults = FaultSet::new();
+        faults.fail_node(2);
+        faults.fail_node(3);
+        let host = ir.host_arc().clone();
+        let view = SurvivorView::new(&host, &faults);
+        let r = ir
+            .reembed_rebalanced(&view, |s, d| view.shortest_path(s, d))
+            .unwrap();
+        assert_eq!(r.remapped, 2);
+        let (h2, h3) = (r.ir.node_map()[2], r.ir.node_map()[3]);
+        assert!(view.is_alive(h2) && view.is_alive(h3));
+        assert_ne!(h2, h3, "orphans spread over distinct survivors");
+        assert!(r.ir.load() <= 2);
+        for e in 0..r.ir.num_program_edges() {
+            assert!(view.path_is_live(r.ir.hyperpath_at(e)));
+        }
+    }
+
+    #[test]
+    fn rebalanced_reembed_with_no_mapped_faults_matches_reembed() {
+        let ir = ring_identity_ir();
+        let mut faults = FaultSet::new();
+        faults.fail_link(0, 1);
+        let host = ir.host_arc().clone();
+        let view = SurvivorView::new(&host, &faults);
+        let plain = ir.reembed(&view).unwrap();
+        let r = ir
+            .reembed_rebalanced(&view, |s, d| view.shortest_path(s, d))
+            .unwrap();
+        assert_eq!(r.remapped, 0);
+        assert_eq!(r.rerouted, 1);
+        assert_eq!(r.ir.node_map(), plain.node_map());
+        for e in 0..plain.num_program_edges() {
+            assert_eq!(r.ir.hyperpath_at(e), plain.hyperpath_at(e));
+        }
+    }
+
+    #[test]
+    fn rebalanced_reembed_reports_no_live_host() {
+        let ir = ring_identity_ir();
+        let mut faults = FaultSet::new();
+        for u in 0..5 {
+            faults.fail_node(u);
+        }
+        let host = ir.host_arc().clone();
+        let view = SurvivorView::new(&host, &faults);
+        let r = ir.reembed_rebalanced(&view, |s, d| view.shortest_path(s, d));
+        assert!(matches!(r, Err(EmbedError::NoLiveHost { program_node: 0 })));
     }
 
     #[test]

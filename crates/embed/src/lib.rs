@@ -60,7 +60,10 @@ pub use cayley::CayleyEmbedding;
 pub use cube::{cube_dimension_for, hypercube_into_scg, hypercube_into_star, hypercube_into_tn};
 pub use embedding::Embedding;
 pub use error::EmbedError;
-pub use ir::{reembed_scg, EmbedAudit, EmbeddingIr, IrBuilder, PEdge, PNode, TEdge, TNode};
+pub use ir::{
+    reembed_scg, reembed_scg_rebalanced, EmbedAudit, EmbeddingIr, IrBuilder, PEdge, PNode,
+    ReembedReport, TEdge, TNode,
+};
 pub use mesh_embed::{
     factor_into_exchanges, factorial_coords_to_perm, factorial_mesh_into_scg,
     factorial_mesh_into_tn, linear_array_into_star, mesh2d_into_scg, mesh2d_into_tn,

@@ -56,3 +56,19 @@ pub(crate) fn reembed_done(rerouted: u64) {
         &[("rerouted", i64::try_from(rerouted).unwrap_or(i64::MAX))],
     );
 }
+
+/// One completed rebalancing re-embedding: adds the number of program
+/// nodes that were moved to a new live host to
+/// `scg_embed_remapped_total`.
+pub(crate) fn rebalance_done(remapped: u64, rerouted: u64) {
+    Registry::global()
+        .counter("scg_embed_remapped_total", &[])
+        .add(remapped);
+    EventTrace::global().record(
+        "embed.rebalance",
+        &[
+            ("remapped", i64::try_from(remapped).unwrap_or(i64::MAX)),
+            ("rerouted", i64::try_from(rerouted).unwrap_or(i64::MAX)),
+        ],
+    );
+}

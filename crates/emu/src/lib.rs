@@ -11,9 +11,15 @@
 //! * [`SyncSim`] — a synchronous store-and-forward link-level simulator
 //!   (all-port / single-port) with a shortest-path [`TableRouter`], used by
 //!   the `scg-comm` crate to measure multinode-broadcast and total-exchange
-//!   completion times. Supports mid-run fail-stop fault injection with
-//!   bounded retries, per-packet TTLs, and live-lock detection, so
-//!   degraded networks report drops instead of hanging.
+//!   completion times. Supports mid-run fail-stop fault injection *and
+//!   repair* with bounded retries, exponential backoff, per-packet TTLs,
+//!   and live-lock detection, so degraded networks report drops instead
+//!   of hanging;
+//! * [`run_chaos`] — the self-healing emulator loop: replays a seeded
+//!   [`FaultSchedule`](scg_graph::FaultSchedule) against live traffic,
+//!   refreshing the [`TableRouter`] in place on every fault-set epoch
+//!   change, and reports per-event MTTR plus windowed delivered-ratio
+//!   degradation curves ([`ChaosReport`]).
 //!
 //! # Examples
 //!
@@ -36,6 +42,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod error;
+mod healing;
 #[cfg(feature = "obs")]
 mod obs_hooks;
 mod schedule;
@@ -44,6 +51,7 @@ mod sim;
 mod traffic;
 
 pub use error::EmuError;
+pub use healing::{run_chaos, ChaosConfig, ChaosReport, CurveSample, EventRecovery};
 pub use schedule::{AllPortSchedule, DimSchedule, ScheduledHop};
 pub use sdc::{pipelined_dimension_cost, PipelinedCost, SdcReport};
 pub use sim::{NextHop, Packet, PortModel, Router, SimStats, SyncSim, TableRouter};

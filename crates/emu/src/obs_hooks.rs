@@ -58,6 +58,30 @@ fn run_steps() -> &'static Arc<Histogram> {
     H.get_or_init(|| Registry::global().histogram("scg_sim_run_steps", &[], &STEPS_BOUNDS))
 }
 
+/// Recovery-time (MTTR) buckets in cycles.
+const RECOVERY_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+
+fn recovery_cycles() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| Registry::global().histogram("scg_sim_recovery_cycles", &[], &RECOVERY_BOUNDS))
+}
+
+/// One chaos-schedule event was applied to a live simulator. Feeds the
+/// same `scg_chaos_events_total` family the graph-level replay uses (the
+/// registry keys metrics by name, so both layers accumulate into one
+/// family).
+pub(crate) fn chaos_event(kind: &'static str) {
+    EventTrace::global().record("sim.chaos.event", &[]);
+    Registry::global()
+        .counter("scg_chaos_events_total", &[("kind", kind)])
+        .inc();
+}
+
+/// The self-healing loop measured one fault-to-healthy recovery.
+pub(crate) fn recovered_after(cycles: u64) {
+    recovery_cycles().observe(cycles);
+}
+
 /// A packet entered the network.
 pub(crate) fn injected() {
     injected_total().inc();

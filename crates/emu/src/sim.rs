@@ -7,16 +7,26 @@
 //! one per step (round-robin over non-empty queues). This is the machinery
 //! the MNB/TE experiments (Corollaries 2–3) run on.
 //!
-//! Faults can be injected mid-run ([`SyncSim::fail_node`],
-//! [`SyncSim::fail_link`]). Packets queued on a dead link are *retried* —
-//! the router is re-consulted with the dead slots masked, up to
-//! [`SyncSim::with_retry_limit`] times per packet — and then counted as
-//! drops, so degradation shows up in [`SimStats`] (`dropped`, `retried`,
-//! [`SimStats::delivered_ratio`]) instead of as a hang.
+//! Faults can be injected *and repaired* mid-run ([`SyncSim::fail_node`],
+//! [`SyncSim::repair_node`], link variants, or a whole seeded
+//! [`FaultSchedule`] via [`SyncSim::apply_chaos`]) without resetting the
+//! statistics. Packets queued on a dead link are *retried* — the router
+//! is re-consulted with the dead slots masked, up to
+//! [`SyncSim::with_retry_limit`] times per packet. With
+//! [`SyncSim::with_backoff`] a packet that finds no live route parks
+//! under bounded exponential backoff instead of dropping immediately, so
+//! it can outlive a transient fault; deliveries that survived at least
+//! one fault-time retry are kept separate in [`SimStats::recovered`].
+//! Exhausted budgets still count as drops, so degradation shows up in
+//! [`SimStats`] (`dropped`, `retried`, [`SimStats::delivered_ratio`])
+//! instead of as a hang. The [`TableRouter`] carries the fault-set epoch
+//! it was built against ([`TableRouter::is_stale`]) and can be rebuilt in
+//! place, reusing its allocations, with
+//! [`TableRouter::refresh_with_faults`].
 
 use std::collections::VecDeque;
 
-use scg_graph::{DenseGraph, FaultSet, NodeId, UNREACHABLE};
+use scg_graph::{ChaosEvent, DenseGraph, FaultSchedule, FaultSet, NodeId, UNREACHABLE};
 
 use crate::error::EmuError;
 
@@ -97,18 +107,38 @@ enum TableSlot {
     Unreachable,
 }
 
+/// Reusable build buffers for [`TableRouter::refresh_with_faults`]: the
+/// surviving reverse CSR, per-destination BFS state, and the tie-break
+/// candidate list. Kept inside the router so repeated refreshes during a
+/// chaos run allocate nothing after the first build.
+#[derive(Debug, Clone, Default)]
+struct RefreshScratch {
+    rev_offsets: Vec<u32>,
+    rev_ids: Vec<NodeId>,
+    cursor: Vec<u32>,
+    dist: Vec<u32>,
+    queue: VecDeque<NodeId>,
+    candidates: Vec<usize>,
+}
+
 /// Shortest-path table router: for every destination, a BFS-built next-hop
 /// slot per node. Ties are broken by a deterministic hash of
 /// `(node, destination)` so traffic spreads over equally short links.
 ///
 /// [`TableRouter::new_with_faults`] builds the table over the survivor
-/// graph, so routes avoid a known fault set entirely.
+/// graph, so routes avoid a known fault set entirely; the router remembers
+/// the [`FaultSet::epoch`] it was built at, so consumers can detect
+/// staleness with [`TableRouter::is_stale`] and rebuild in place — reusing
+/// every allocation — with [`TableRouter::refresh_with_faults`].
 #[derive(Debug, Clone)]
 pub struct TableRouter {
     degree_cap: usize,
     /// `slots[dst * n + u]` = decision at `u` for destination `dst`.
     slots: Vec<TableSlot>,
     n: usize,
+    /// The fault-set epoch the table was last built against.
+    built_epoch: u64,
+    scratch: RefreshScratch,
 }
 
 impl TableRouter {
@@ -131,6 +161,46 @@ impl TableRouter {
     ///
     /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 256.
     pub fn new_with_faults(graph: &DenseGraph, faults: &FaultSet) -> Result<Self, EmuError> {
+        let mut slots = Vec::new();
+        let mut scratch = RefreshScratch::default();
+        let degree_cap = Self::build_into(graph, faults, &mut slots, &mut scratch)?;
+        Ok(TableRouter {
+            degree_cap,
+            slots,
+            n: graph.num_nodes(),
+            built_epoch: faults.epoch(),
+            scratch,
+        })
+    }
+
+    /// Rebuilds the table in place against a new fault set, reusing the
+    /// slot array and all internal build buffers (zero allocations once
+    /// they reached their high-water size). This is the self-healing
+    /// path: call it whenever [`TableRouter::is_stale`] reports the fault
+    /// set moved past the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if some out-degree exceeds 256.
+    pub fn refresh_with_faults(
+        &mut self,
+        graph: &DenseGraph,
+        faults: &FaultSet,
+    ) -> Result<(), EmuError> {
+        self.degree_cap = Self::build_into(graph, faults, &mut self.slots, &mut self.scratch)?;
+        self.n = graph.num_nodes();
+        self.built_epoch = faults.epoch();
+        Ok(())
+    }
+
+    /// The BFS table build shared by construction and refresh: fills
+    /// `slots` (resized to `n²`) and returns the degree cap.
+    fn build_into(
+        graph: &DenseGraph,
+        faults: &FaultSet,
+        slots: &mut Vec<TableSlot>,
+        scratch: &mut RefreshScratch,
+    ) -> Result<usize, EmuError> {
         let n = graph.num_nodes();
         let degree_cap = (0..n)
             .map(|u| graph.out_degree(u as NodeId))
@@ -145,12 +215,21 @@ impl TableRouter {
             });
         }
         // Surviving reverse adjacency for BFS *toward* each destination,
-        // in CSR form (offsets + one flat id array): two allocations
-        // total instead of one list per node, and each node's
-        // predecessors are contiguous for the BFS scans below. The
-        // two-pass count-then-fill keeps predecessors in `edges()` order,
-        // exactly as the per-node-Vec build produced them.
-        let mut rev_offsets = vec![0u32; n + 1];
+        // in CSR form (offsets + one flat id array): two buffers total
+        // instead of one list per node, and each node's predecessors are
+        // contiguous for the BFS scans below. The two-pass count-then-fill
+        // keeps predecessors in `edges()` order, exactly as the
+        // per-node-Vec build produced them.
+        let RefreshScratch {
+            rev_offsets,
+            rev_ids,
+            cursor,
+            dist,
+            queue,
+            candidates,
+        } = scratch;
+        rev_offsets.clear();
+        rev_offsets.resize(n + 1, 0);
         for (u, v) in graph.edges() {
             if !faults.blocks(u, v) {
                 rev_offsets[v as usize + 1] += 1;
@@ -159,8 +238,10 @@ impl TableRouter {
         for i in 0..n {
             rev_offsets[i + 1] += rev_offsets[i];
         }
-        let mut rev_ids = vec![0 as NodeId; rev_offsets[n] as usize];
-        let mut cursor: Vec<u32> = rev_offsets[..n].to_vec();
+        rev_ids.clear();
+        rev_ids.resize(rev_offsets[n] as usize, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&rev_offsets[..n]);
         for (u, v) in graph.edges() {
             if !faults.blocks(u, v) {
                 let c = &mut cursor[v as usize];
@@ -169,9 +250,10 @@ impl TableRouter {
             }
         }
         let rev = |v: usize| &rev_ids[rev_offsets[v] as usize..rev_offsets[v + 1] as usize];
-        let mut slots = vec![TableSlot::Unreachable; n * n];
-        let mut dist = vec![UNREACHABLE; n];
-        let mut queue = VecDeque::new();
+        slots.clear();
+        slots.resize(n * n, TableSlot::Unreachable);
+        dist.clear();
+        dist.resize(n, UNREACHABLE);
         for dst in 0..n {
             if faults.node_failed(dst as NodeId) {
                 continue; // whole column stays Unreachable
@@ -193,16 +275,17 @@ impl TableRouter {
                     continue;
                 }
                 let outs = graph.out_neighbors(u as NodeId);
-                let candidates: Vec<usize> = outs
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &v)| {
-                        !faults.blocks(u as NodeId, v)
-                            && dist[v as usize] != UNREACHABLE
-                            && dist[v as usize] + 1 == dist[u]
-                    })
-                    .map(|(slot, _)| slot)
-                    .collect();
+                candidates.clear();
+                candidates.extend(
+                    outs.iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| {
+                            !faults.blocks(u as NodeId, v)
+                                && dist[v as usize] != UNREACHABLE
+                                && dist[v as usize] + 1 == dist[u]
+                        })
+                        .map(|(slot, _)| slot),
+                );
                 debug_assert!(!candidates.is_empty());
                 let pick = (u
                     .wrapping_mul(0x9E37_79B9)
@@ -211,17 +294,26 @@ impl TableRouter {
                 slots[dst * n + u] = TableSlot::Toward(candidates[pick] as u8);
             }
         }
-        Ok(TableRouter {
-            degree_cap,
-            slots,
-            n,
-        })
+        Ok(degree_cap)
     }
 
     /// The largest out-degree seen when building the table.
     #[must_use]
     pub fn degree_cap(&self) -> usize {
         self.degree_cap
+    }
+
+    /// The [`FaultSet::epoch`] the table was last built against.
+    #[must_use]
+    pub fn built_epoch(&self) -> u64 {
+        self.built_epoch
+    }
+
+    /// Whether `faults` has moved past the epoch this table was built at —
+    /// the staleness signal driving the self-healing refresh.
+    #[must_use]
+    pub fn is_stale(&self, faults: &FaultSet) -> bool {
+        faults.epoch() != self.built_epoch
     }
 }
 
@@ -253,6 +345,11 @@ pub struct SimStats {
     /// Fault-time router re-consultations (a packet may be retried several
     /// times).
     pub retried: u64,
+    /// Delivered packets that survived at least one fault-time retry —
+    /// traffic that hit a fault and was healed, kept separate so
+    /// [`SimStats::delivered_ratio`] under churn can be decomposed into
+    /// clean and repaired deliveries.
+    pub recovered: u64,
     /// Packets still queued when the run bailed out on a live-lock.
     pub undelivered: u64,
     /// Whether the run ended because no packet made progress for a full
@@ -283,6 +380,9 @@ struct Flight {
     ttl: u32,
     /// Fault retries consumed so far.
     retries: u32,
+    /// Earliest cycle the next fault-time retry may fire (exponential
+    /// backoff); 0 means no backoff pending.
+    not_before: u64,
 }
 
 /// The synchronous store-and-forward simulator.
@@ -298,10 +398,20 @@ pub struct SyncSim<'a> {
     faults: FaultSet,
     ttl_limit: u32,
     retry_limit: u32,
+    /// Backoff base delay in cycles; 0 disables backoff (a packet with no
+    /// live alternative drops immediately, the pre-chaos behavior).
+    backoff_base: u32,
+    /// Backoff delay ceiling in cycles.
+    backoff_cap: u32,
+    /// Current cycle (cumulative across `step`/`run` calls).
+    now: u64,
     delivered: u64,
     transmissions: u64,
     dropped: u64,
     retried: u64,
+    recovered: u64,
+    /// Flights currently parked in backoff (recomputed every step).
+    waiting: u64,
     in_flight: u64,
 }
 
@@ -323,10 +433,15 @@ impl<'a> SyncSim<'a> {
             faults: FaultSet::new(),
             ttl_limit: u32::MAX,
             retry_limit,
+            backoff_base: 0,
+            backoff_cap: 0,
+            now: 0,
             delivered: 0,
             transmissions: 0,
             dropped: 0,
             retried: 0,
+            recovered: 0,
+            waiting: 0,
             in_flight: 0,
         }
     }
@@ -348,10 +463,62 @@ impl<'a> SyncSim<'a> {
         self
     }
 
+    /// Enables bounded exponential backoff for packets with no live route:
+    /// instead of dropping immediately, a retried packet with every
+    /// candidate slot dead waits `min(base << (retries − 1), cap)` cycles
+    /// before the next router re-consultation — riding out transient
+    /// faults until a repair (or a refreshed table) restores a route. The
+    /// retry limit still bounds the total number of re-consultations, so
+    /// permanent unreachability still terminates as a drop. `base = 0`
+    /// restores the immediate-drop policy.
+    #[must_use]
+    pub fn with_backoff(mut self, base: u32, cap: u32) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// The current cycle (cumulative across `step` and `run` calls).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
     /// The faults injected so far.
     #[must_use]
     pub fn faults(&self) -> &FaultSet {
         &self.faults
+    }
+
+    /// A snapshot of the statistics so far, usable mid-run (`steps` is the
+    /// cumulative cycle count, `undelivered` the packets still queued).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            steps: self.now,
+            delivered: self.delivered,
+            transmissions: self.transmissions,
+            max_link_traffic: self.link_traffic.iter().copied().max().unwrap_or(0),
+            dropped: self.dropped,
+            retried: self.retried,
+            recovered: self.recovered,
+            undelivered: self.in_flight,
+            livelocked: false,
+        }
+    }
+
+    /// Whether any packet is queued on a currently-dead slot — the
+    /// "traffic still stranded" half of the self-healing health check.
+    #[must_use]
+    pub fn any_dead_queued(&self) -> bool {
+        if self.faults.is_empty() {
+            return false;
+        }
+        (0..self.graph.num_nodes() as NodeId).any(|u| {
+            let base = self.edge_base(u);
+            (0..self.graph.out_degree(u))
+                .any(|slot| !self.queues[base + slot].is_empty() && self.slot_dead(u, slot))
+        })
     }
 
     /// Fails node `u` (fail-stop): the node stops forwarding, every link
@@ -394,6 +561,123 @@ impl<'a> SyncSim<'a> {
             });
         }
         self.faults.fail_link(u, v);
+        Ok(())
+    }
+
+    /// Repairs node `u`: it resumes forwarding and its links come back up
+    /// (unless individually failed). Packets lost while it was down stay
+    /// counted as drops — statistics are never rewritten. Returns whether
+    /// the node was actually down. Usable mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if `u` is out of range.
+    pub fn repair_node(&mut self, u: NodeId) -> Result<bool, EmuError> {
+        if u as usize >= self.graph.num_nodes() {
+            return Err(EmuError::SimOutOfRange {
+                reason: "repaired node out of range",
+            });
+        }
+        Ok(self.faults.repair_node(u))
+    }
+
+    /// Repairs the directed link `u → v`; queued packets on it resume
+    /// transmitting on the next step. Usable mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if `u → v` is not a link of the
+    /// graph.
+    pub fn repair_link(&mut self, u: NodeId, v: NodeId) -> Result<bool, EmuError> {
+        if (u as usize) >= self.graph.num_nodes() || self.graph.edge_index(u, v).is_none() {
+            return Err(EmuError::SimOutOfRange {
+                reason: "repaired link does not exist",
+            });
+        }
+        Ok(self.faults.repair_link(u, v))
+    }
+
+    /// Fails the cable `u ↔ v` (both directions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if neither direction is a link
+    /// of the graph.
+    pub fn fail_link_undirected(&mut self, u: NodeId, v: NodeId) -> Result<(), EmuError> {
+        self.check_cable(u, v)?;
+        self.faults.fail_link_undirected(u, v);
+        Ok(())
+    }
+
+    /// Repairs the cable `u ↔ v` (both directions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if neither direction is a link
+    /// of the graph.
+    pub fn repair_link_undirected(&mut self, u: NodeId, v: NodeId) -> Result<(), EmuError> {
+        self.check_cable(u, v)?;
+        self.faults.repair_link_undirected(u, v);
+        Ok(())
+    }
+
+    fn check_cable(&self, u: NodeId, v: NodeId) -> Result<(), EmuError> {
+        let n = self.graph.num_nodes();
+        let exists = (u as usize) < n
+            && (v as usize) < n
+            && (self.graph.edge_index(u, v).is_some() || self.graph.edge_index(v, u).is_some());
+        if exists {
+            Ok(())
+        } else {
+            Err(EmuError::SimOutOfRange {
+                reason: "cable does not exist",
+            })
+        }
+    }
+
+    /// Applies every [`FaultSchedule`] event due at the current cycle to
+    /// the live simulator (node deaths drop their queued packets, repairs
+    /// restore liveness) and returns how many events fired. Each applied
+    /// event bumps `scg_chaos_events_total{kind=…}` under the `obs`
+    /// feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if an event names a node or
+    /// link outside the graph.
+    pub fn apply_chaos(&mut self, schedule: &mut FaultSchedule) -> Result<usize, EmuError> {
+        let mut fired = 0;
+        for te in schedule.drain_due(self.now).to_vec() {
+            self.apply_event(te.event)?;
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Applies one chaos event to the live simulator, bumping
+    /// `scg_chaos_events_total{kind=…}` under the `obs` feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::SimOutOfRange`] if the event names a node or
+    /// link outside the graph.
+    pub fn apply_event(&mut self, event: ChaosEvent) -> Result<(), EmuError> {
+        #[cfg(feature = "obs")]
+        crate::obs_hooks::chaos_event(event.kind());
+        match event {
+            ChaosEvent::FailNode(u) => {
+                self.fail_node(u)?;
+            }
+            ChaosEvent::RepairNode(u) => {
+                self.repair_node(u)?;
+            }
+            ChaosEvent::FailLink(u, v) => self.fail_link(u, v)?,
+            ChaosEvent::RepairLink(u, v) => {
+                self.repair_link(u, v)?;
+            }
+            ChaosEvent::FailLinkUndirected(u, v) => self.fail_link_undirected(u, v)?,
+            ChaosEvent::RepairLinkUndirected(u, v) => self.repair_link_undirected(u, v)?,
+        }
         Ok(())
     }
 
@@ -440,6 +724,7 @@ impl<'a> SyncSim<'a> {
                     packet,
                     ttl: self.ttl_limit,
                     retries: 0,
+                    not_before: 0,
                 });
                 self.in_flight += 1;
                 #[cfg(feature = "obs")]
@@ -474,9 +759,10 @@ impl<'a> SyncSim<'a> {
     }
 
     /// Retry phase: drain every queue sitting on a dead link, re-consult
-    /// the router with the dead slots masked, and relocate or drop each
-    /// packet.
+    /// the router with the dead slots masked, and relocate, park (backoff),
+    /// or drop each packet.
     fn retry_dead_queues(&mut self, router: &impl Router) -> Result<(), EmuError> {
+        self.waiting = 0;
         if self.faults.is_empty() {
             return Ok(());
         }
@@ -490,7 +776,15 @@ impl<'a> SyncSim<'a> {
                 if !self.slot_dead(u, slot) {
                     continue;
                 }
-                while let Some(mut flight) = self.queues[base + slot].pop_front() {
+                // Take the backlog so parked flights can be pushed back
+                // onto the same (dead) queue without being re-examined.
+                let mut backlog = std::mem::take(&mut self.queues[base + slot]);
+                while let Some(mut flight) = backlog.pop_front() {
+                    if flight.not_before > self.now {
+                        self.waiting += 1;
+                        self.queues[base + slot].push_back(flight);
+                        continue;
+                    }
                     self.in_flight -= 1;
                     if flight.retries >= self.retry_limit {
                         self.dropped += 1;
@@ -511,6 +805,7 @@ impl<'a> SyncSim<'a> {
                     match hop {
                         NextHop::Deliver => {
                             self.delivered += 1;
+                            self.recovered += 1;
                             #[cfg(feature = "obs")]
                             crate::obs_hooks::delivered(u64::from(self.ttl_limit - flight.ttl));
                         }
@@ -524,11 +819,24 @@ impl<'a> SyncSim<'a> {
                             });
                         }
                         // Rerouted onto another dead slot or unreachable:
-                        // the packet has nowhere live to go.
+                        // the packet has nowhere live to go. With backoff
+                        // enabled it parks and waits for a repair (the
+                        // retry limit still bounds total attempts);
+                        // without, it drops immediately.
                         NextHop::Forward(_) | NextHop::Unreachable => {
-                            self.dropped += 1;
-                            #[cfg(feature = "obs")]
-                            crate::obs_hooks::dropped(1);
+                            if self.backoff_base > 0 {
+                                let exp = flight.retries.saturating_sub(1).min(20);
+                                let delay = (u64::from(self.backoff_base) << exp)
+                                    .clamp(1, u64::from(self.backoff_cap).max(1));
+                                flight.not_before = self.now + delay;
+                                self.waiting += 1;
+                                self.queues[base + slot].push_back(flight);
+                                self.in_flight += 1;
+                            } else {
+                                self.dropped += 1;
+                                #[cfg(feature = "obs")]
+                                crate::obs_hooks::dropped(1);
+                            }
                         }
                     }
                 }
@@ -561,6 +869,7 @@ impl<'a> SyncSim<'a> {
     pub fn step(&mut self, router: &impl Router) -> Result<u64, EmuError> {
         #[cfg(feature = "obs")]
         let delivered_before = self.delivered;
+        self.now += 1;
         self.retry_dead_queues(router)?;
         let mut arrivals: Vec<(NodeId, Flight)> = Vec::new();
         for u in 0..self.graph.num_nodes() as NodeId {
@@ -611,6 +920,7 @@ impl<'a> SyncSim<'a> {
             match router.next_hop(v, &flight.packet) {
                 NextHop::Deliver => {
                     self.delivered += 1;
+                    self.recovered += u64::from(flight.retries > 0);
                     #[cfg(feature = "obs")]
                     crate::obs_hooks::delivered(u64::from(self.ttl_limit - flight.ttl));
                 }
@@ -686,8 +996,17 @@ impl<'a> SyncSim<'a> {
             let moved = self.step(router)?;
             steps += 1;
             let terminated = (self.delivered, self.dropped) != (before.0, before.1);
-            drought = if terminated { 0 } else { drought + 1 };
-            let fixed_point = moved == 0 && (self.delivered, self.dropped, self.retried) == before;
+            // A flight parked in backoff counts as progress: it is waiting
+            // out a known-bounded delay (each expiry consumes a retry, so
+            // total parked time is finite), not circulating.
+            drought = if terminated || self.waiting > 0 {
+                0
+            } else {
+                drought + 1
+            };
+            let fixed_point = moved == 0
+                && self.waiting == 0
+                && (self.delivered, self.dropped, self.retried) == before;
             let drought_limit = self.graph.num_nodes() as u64 + self.in_flight + 1;
             if self.in_flight > 0 && (fixed_point || drought > drought_limit) {
                 livelocked = true;
@@ -703,6 +1022,7 @@ impl<'a> SyncSim<'a> {
             max_link_traffic: self.link_traffic.iter().copied().max().unwrap_or(0),
             dropped: self.dropped,
             retried: self.retried,
+            recovered: self.recovered,
             undelivered: self.in_flight,
             livelocked,
         })

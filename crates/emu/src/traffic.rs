@@ -33,6 +33,7 @@ impl TrafficSummary {
     /// Summarizes an iterator of per-link counts.
     ///
     /// Returns an all-zero summary for an empty iterator.
+    #[must_use]
     pub fn from_counts<I>(counts: I) -> Self
     where
         I: IntoIterator<Item = u64>,

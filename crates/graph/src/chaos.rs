@@ -1,0 +1,513 @@
+//! Seeded, deterministic fault schedules: the dynamic half of the fault
+//! model.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of [`ChaosEvent`]s — node and
+//! link failures, repairs, undirected cable cuts — that a driver replays
+//! against a [`FaultSet`] (and, in `scg-emu`, against a live simulator)
+//! with [`FaultSchedule::apply_due`]. Canned shapes cover the lifecycle
+//! zoo the paper's static theorems never see:
+//!
+//! * [`FaultSchedule::single_fault`] — one permanent node fault;
+//! * [`FaultSchedule::burst`] — several simultaneous node faults (the
+//!   `degree − 1` worst case of the connectivity theorems);
+//! * [`FaultSchedule::flapping_link`] — an undirected link that fails and
+//!   recovers on a fixed period;
+//! * [`FaultSchedule::fault_then_repair`] — a transient node fault;
+//! * [`FaultSchedule::random`] — a mixed schedule (permanent faults,
+//!   transient faults, link flaps, correlated region faults drawn from a
+//!   BFS ball) generated deterministically from one [`XorShift64`] seed.
+//!
+//! Everything here is a pure function of its inputs: the same seed and
+//! spec produce the same event list, so whole chaos runs replay
+//! byte-identically (pinned by `tests/faults.rs`).
+
+use scg_perm::XorShift64;
+
+use crate::{DenseGraph, FaultSet, NodeId, UNREACHABLE};
+
+/// One fault-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosEvent {
+    /// Fail-stop a node.
+    FailNode(NodeId),
+    /// Repair a failed node.
+    RepairNode(NodeId),
+    /// Fail the directed link `u → v`.
+    FailLink(NodeId, NodeId),
+    /// Repair the directed link `u → v`.
+    RepairLink(NodeId, NodeId),
+    /// Cut the cable `u ↔ v` (both directions).
+    FailLinkUndirected(NodeId, NodeId),
+    /// Splice the cable `u ↔ v` back (both directions).
+    RepairLinkUndirected(NodeId, NodeId),
+}
+
+impl ChaosEvent {
+    /// Whether this event degrades the network (as opposed to repairing
+    /// it).
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            ChaosEvent::FailNode(_)
+                | ChaosEvent::FailLink(_, _)
+                | ChaosEvent::FailLinkUndirected(_, _)
+        )
+    }
+
+    /// A stable label for metrics and tables.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ChaosEvent::FailNode(_) => "fail_node",
+            ChaosEvent::RepairNode(_) => "repair_node",
+            ChaosEvent::FailLink(_, _) => "fail_link",
+            ChaosEvent::RepairLink(_, _) => "repair_link",
+            ChaosEvent::FailLinkUndirected(_, _) => "fail_link_undirected",
+            ChaosEvent::RepairLinkUndirected(_, _) => "repair_link_undirected",
+        }
+    }
+
+    /// Applies the event to a fault set. Returns whether the set changed
+    /// (repairing a live node, for instance, does not).
+    pub fn apply(&self, faults: &mut FaultSet) -> bool {
+        let before = faults.epoch();
+        match *self {
+            ChaosEvent::FailNode(u) => {
+                faults.fail_node(u);
+            }
+            ChaosEvent::RepairNode(u) => {
+                faults.repair_node(u);
+            }
+            ChaosEvent::FailLink(u, v) => {
+                faults.fail_link(u, v);
+            }
+            ChaosEvent::RepairLink(u, v) => {
+                faults.repair_link(u, v);
+            }
+            ChaosEvent::FailLinkUndirected(u, v) => faults.fail_link_undirected(u, v),
+            ChaosEvent::RepairLinkUndirected(u, v) => faults.repair_link_undirected(u, v),
+        }
+        faults.epoch() != before
+    }
+}
+
+/// A [`ChaosEvent`] pinned to a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// The cycle at which the event fires (inclusive).
+    pub at: u64,
+    /// The event.
+    pub event: ChaosEvent,
+}
+
+/// Specification for [`FaultSchedule::random`]: how much of each fault
+/// flavor to draw, over what horizon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Events are drawn with firing cycles in `0..horizon`.
+    pub horizon: u64,
+    /// Node faults that never get repaired.
+    pub permanent_node_faults: usize,
+    /// Node faults repaired after a random delay in `repair_after`.
+    pub transient_node_faults: usize,
+    /// Undirected links that fail and recover once each.
+    pub link_flaps: usize,
+    /// Correlated region faults: all nodes of a BFS ball fail together
+    /// and are repaired together.
+    pub region_faults: usize,
+    /// BFS-ball radius for region faults.
+    pub region_radius: u32,
+    /// Repair delay range `(min, max)` in cycles, inclusive of `min`.
+    pub repair_after: (u64, u64),
+    /// Nodes that are never failed (e.g. nodes carrying an embedding).
+    pub exclude: Vec<NodeId>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            horizon: 256,
+            permanent_node_faults: 1,
+            transient_node_faults: 1,
+            link_flaps: 1,
+            region_faults: 0,
+            region_radius: 1,
+            repair_after: (16, 64),
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// A replayable, time-ordered fault schedule with an application cursor.
+///
+/// Events are stored sorted by firing cycle (stable, so same-cycle events
+/// keep their construction order); [`FaultSchedule::apply_due`] advances
+/// the cursor, and [`FaultSchedule::reset`] rewinds it for an identical
+/// replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<TimedEvent>,
+    cursor: usize,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from an event list (stably sorted by cycle).
+    #[must_use]
+    pub fn from_events(mut events: Vec<TimedEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultSchedule { events, cursor: 0 }
+    }
+
+    /// One permanent node fault at `at`.
+    #[must_use]
+    pub fn single_fault(at: u64, node: NodeId) -> Self {
+        FaultSchedule::from_events(vec![TimedEvent {
+            at,
+            event: ChaosEvent::FailNode(node),
+        }])
+    }
+
+    /// Several simultaneous permanent node faults at `at`.
+    #[must_use]
+    pub fn burst(at: u64, nodes: &[NodeId]) -> Self {
+        FaultSchedule::from_events(
+            nodes
+                .iter()
+                .map(|&u| TimedEvent {
+                    at,
+                    event: ChaosEvent::FailNode(u),
+                })
+                .collect(),
+        )
+    }
+
+    /// An undirected link that flaps: fails at `start`, `start + 2 *
+    /// period`, … and recovers one `period` after each failure, `flaps`
+    /// times in total.
+    #[must_use]
+    pub fn flapping_link(u: NodeId, v: NodeId, start: u64, period: u64, flaps: usize) -> Self {
+        let mut events = Vec::with_capacity(2 * flaps);
+        for i in 0..flaps as u64 {
+            let t = start + 2 * i * period;
+            events.push(TimedEvent {
+                at: t,
+                event: ChaosEvent::FailLinkUndirected(u, v),
+            });
+            events.push(TimedEvent {
+                at: t + period,
+                event: ChaosEvent::RepairLinkUndirected(u, v),
+            });
+        }
+        FaultSchedule::from_events(events)
+    }
+
+    /// A transient node fault: fails at `at`, repaired at `repair_at`.
+    #[must_use]
+    pub fn fault_then_repair(node: NodeId, at: u64, repair_at: u64) -> Self {
+        FaultSchedule::from_events(vec![
+            TimedEvent {
+                at,
+                event: ChaosEvent::FailNode(node),
+            },
+            TimedEvent {
+                at: repair_at,
+                event: ChaosEvent::RepairNode(node),
+            },
+        ])
+    }
+
+    /// A mixed random schedule over `graph`, deterministic in `seed`:
+    /// permanent and transient node faults, undirected link flaps, and
+    /// correlated region faults (every non-excluded node within
+    /// `spec.region_radius` BFS hops of a random center fails at once and
+    /// is repaired at once). Nodes in `spec.exclude` are never failed; the
+    /// same seed and spec always produce the same event list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has no selectable node or link for a requested
+    /// fault flavor, or if `spec.repair_after` is an empty range.
+    #[must_use]
+    pub fn random(graph: &DenseGraph, spec: &ChaosSpec, seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let selectable = (0..n as NodeId)
+            .filter(|u| !spec.exclude.contains(u))
+            .count();
+        assert!(
+            selectable > 0 || spec.permanent_node_faults + spec.transient_node_faults == 0,
+            "no selectable node for the requested node faults"
+        );
+        assert!(
+            spec.repair_after.1 >= spec.repair_after.0,
+            "empty repair delay range"
+        );
+        let mut rng = XorShift64::new(seed);
+        let pick_node = |rng: &mut XorShift64| loop {
+            let u = rng.gen_range(n) as NodeId;
+            if !spec.exclude.contains(&u) {
+                return u;
+            }
+        };
+        let repair_delay = |rng: &mut XorShift64| {
+            spec.repair_after.0 + rng.gen_range_u64(spec.repair_after.1 - spec.repair_after.0 + 1)
+        };
+        let mut events = Vec::new();
+        for _ in 0..spec.permanent_node_faults {
+            events.push(TimedEvent {
+                at: rng.gen_range_u64(spec.horizon),
+                event: ChaosEvent::FailNode(pick_node(&mut rng)),
+            });
+        }
+        for _ in 0..spec.transient_node_faults {
+            let u = pick_node(&mut rng);
+            let at = rng.gen_range_u64(spec.horizon);
+            events.push(TimedEvent {
+                at,
+                event: ChaosEvent::FailNode(u),
+            });
+            events.push(TimedEvent {
+                at: at + repair_delay(&mut rng),
+                event: ChaosEvent::RepairNode(u),
+            });
+        }
+        for _ in 0..spec.link_flaps {
+            assert!(graph.num_edges() > 0, "no link to flap");
+            let e = rng.gen_range(graph.num_edges());
+            let (u, v) = graph.edge_endpoints(e);
+            let at = rng.gen_range_u64(spec.horizon);
+            events.push(TimedEvent {
+                at,
+                event: ChaosEvent::FailLinkUndirected(u, v),
+            });
+            events.push(TimedEvent {
+                at: at + repair_delay(&mut rng),
+                event: ChaosEvent::RepairLinkUndirected(u, v),
+            });
+        }
+        for _ in 0..spec.region_faults {
+            let center = pick_node(&mut rng);
+            let at = rng.gen_range_u64(spec.horizon);
+            let until = at + repair_delay(&mut rng);
+            let dist = graph.bfs_distances(center);
+            for u in 0..n as NodeId {
+                let d = dist[u as usize];
+                if d != UNREACHABLE && d <= spec.region_radius && !spec.exclude.contains(&u) {
+                    events.push(TimedEvent {
+                        at,
+                        event: ChaosEvent::FailNode(u),
+                    });
+                    events.push(TimedEvent {
+                        at: until,
+                        event: ChaosEvent::RepairNode(u),
+                    });
+                }
+            }
+        }
+        FaultSchedule::from_events(events)
+    }
+
+    /// The full event list, sorted by cycle.
+    #[must_use]
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The cycle of the last event (0 for an empty schedule).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at)
+    }
+
+    /// The cycle of the next unapplied event, if any.
+    #[must_use]
+    pub fn next_at(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Whether every event has been applied (or drained).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Rewinds the cursor for an identical replay.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Applies every event with `at <= now` that the cursor has not passed
+    /// yet to `faults`, in order, and returns how many fired. Each applied
+    /// event bumps the `scg_chaos_events_total{kind=…}` counter under the
+    /// `obs` feature.
+    pub fn apply_due(&mut self, now: u64, faults: &mut FaultSet) -> usize {
+        let mut fired = 0;
+        while let Some(te) = self.events.get(self.cursor) {
+            if te.at > now {
+                break;
+            }
+            te.event.apply(faults);
+            #[cfg(feature = "obs")]
+            crate::obs_hooks::chaos_event(te.event.kind());
+            self.cursor += 1;
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Advances the cursor past every event with `at <= now` and returns
+    /// that slice, *without* applying anything — for drivers (like the
+    /// `scg-emu` self-healing loop) that must apply events to richer state
+    /// than a bare [`FaultSet`].
+    pub fn drain_due(&mut self, now: u64) -> &[TimedEvent] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+
+    /// The net fault set after replaying the whole schedule.
+    #[must_use]
+    pub fn final_faults(&self) -> FaultSet {
+        let mut faults = FaultSet::new();
+        for te in &self.events {
+            te.event.apply(&mut faults);
+        }
+        faults
+    }
+
+    /// The peak number of concurrent faults anywhere in the replay,
+    /// counting failed nodes plus failed links (an undirected cut counts
+    /// once). This is what the `κ = degree` theorems bound: schedules that
+    /// keep this below the degree never disconnect the survivors.
+    #[must_use]
+    pub fn peak_concurrent_faults(&self) -> usize {
+        let mut faults = FaultSet::new();
+        let mut peak = 0usize;
+        let mut i = 0;
+        while i < self.events.len() {
+            let now = self.events[i].at;
+            while i < self.events.len() && self.events[i].at == now {
+                self.events[i].event.apply(&mut faults);
+                i += 1;
+            }
+            peak = peak.max(faults.num_failed_nodes() + faults.failed_links().len());
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> DenseGraph {
+        DenseGraph::from_neighbor_fn(n, |u| {
+            vec![(u + 1) % n as NodeId, (u + n as NodeId - 1) % n as NodeId]
+        })
+    }
+
+    #[test]
+    fn canned_shapes_have_expected_events() {
+        let s = FaultSchedule::single_fault(5, 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.horizon(), 5);
+
+        let b = FaultSchedule::burst(7, &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(b.events().iter().all(|e| e.at == 7 && e.event.is_fault()));
+
+        let f = FaultSchedule::flapping_link(0, 1, 10, 4, 3);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.final_faults(), FaultSet::new(), "flaps end repaired");
+
+        let r = FaultSchedule::fault_then_repair(9, 2, 20);
+        assert_eq!(r.final_faults(), FaultSet::new());
+        assert_eq!(r.peak_concurrent_faults(), 1);
+    }
+
+    #[test]
+    fn apply_due_fires_in_order_and_once() {
+        let mut s = FaultSchedule::fault_then_repair(4, 3, 8);
+        let mut faults = FaultSet::new();
+        assert_eq!(s.apply_due(2, &mut faults), 0);
+        assert_eq!(s.apply_due(3, &mut faults), 1);
+        assert!(faults.node_failed(4));
+        assert_eq!(s.apply_due(3, &mut faults), 0, "cursor does not re-fire");
+        assert_eq!(s.next_at(), Some(8));
+        assert_eq!(s.apply_due(100, &mut faults), 1);
+        assert!(faults.is_empty());
+        assert!(s.is_exhausted());
+        s.reset();
+        assert_eq!(s.apply_due(100, &mut faults), 2, "reset replays");
+    }
+
+    #[test]
+    fn drain_due_returns_slice_without_applying() {
+        let mut s = FaultSchedule::burst(5, &[1, 2]);
+        assert!(s.drain_due(4).is_empty());
+        let due = s.drain_due(5);
+        assert_eq!(due.len(), 2);
+        assert!(s.is_exhausted());
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic() {
+        let g = ring(12);
+        let spec = ChaosSpec {
+            horizon: 100,
+            permanent_node_faults: 2,
+            transient_node_faults: 2,
+            link_flaps: 2,
+            region_faults: 1,
+            region_radius: 1,
+            repair_after: (5, 10),
+            exclude: vec![0, 1],
+        };
+        let a = FaultSchedule::random(&g, &spec, 42);
+        let b = FaultSchedule::random(&g, &spec, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = FaultSchedule::random(&g, &spec, 43);
+        assert_ne!(a, c, "different seed diverges");
+        // Exclusions are honored by every fault flavor that picks nodes.
+        for te in a.events() {
+            if let ChaosEvent::FailNode(u) | ChaosEvent::RepairNode(u) = te.event {
+                assert!(u > 1, "excluded node {u} scheduled");
+            }
+        }
+    }
+
+    #[test]
+    fn region_fault_fails_the_whole_ball_and_repairs_it() {
+        let g = ring(10);
+        let spec = ChaosSpec {
+            horizon: 50,
+            permanent_node_faults: 0,
+            transient_node_faults: 0,
+            link_flaps: 0,
+            region_faults: 1,
+            region_radius: 1,
+            repair_after: (5, 5),
+            exclude: Vec::new(),
+        };
+        let s = FaultSchedule::random(&g, &spec, 7);
+        // Radius-1 ball on a ring: center + 2 neighbors, failed and
+        // repaired together.
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.peak_concurrent_faults(), 3);
+        assert_eq!(s.final_faults(), FaultSet::new());
+    }
+}

@@ -17,9 +17,13 @@
 //! * [`SurvivorView::component_census`] — how the survivor graph shatters
 //!   once the fault budget is exceeded.
 //!
-//! The model is fail-stop only: a failed node forwards nothing and a failed
-//! link delivers nothing. There are no Byzantine faults, no flaky links,
-//! and no repair events.
+//! The model is fail-stop, but no longer static: faults can be *repaired*
+//! ([`FaultSet::repair_node`], [`FaultSet::repair_link`]) and merged
+//! ([`FaultSet::merge`]), and every mutation bumps a monotonically
+//! increasing [`FaultSet::epoch`] so routing-table consumers can detect
+//! staleness without diffing sets. Timed fault/repair sequences (flapping
+//! links, correlated region faults) live in the [`chaos`](crate::chaos)
+//! module.
 //!
 //! # Examples
 //!
@@ -51,36 +55,96 @@ use crate::{DenseGraph, Dist, NodeId, UNREACHABLE};
 /// A set of fail-stop faults: failed nodes and failed directed links.
 ///
 /// A failed node blocks every link into and out of it; a failed link `(u,
-/// v)` blocks only that direction (fail the antiparallel link too to model
-/// an undirected cable cut).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// v)` blocks only that direction (fail the antiparallel link too, or use
+/// [`FaultSet::fail_link_undirected`], to model an undirected cable cut).
+///
+/// Every mutation that changes the set bumps [`FaultSet::epoch`], a
+/// monotone counter that lets derived state (next-hop tables, plan-cache
+/// entries) detect that it was built against an older version of *this*
+/// fault set. Equality compares the faults only, never the epoch.
+#[derive(Debug, Clone, Default)]
 pub struct FaultSet {
     nodes: HashSet<NodeId>,
     links: HashSet<(NodeId, NodeId)>,
+    epoch: u64,
 }
 
+impl PartialEq for FaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The epoch is a staleness cursor, not part of the value: two sets
+        // holding the same faults are equal however they got there.
+        self.nodes == other.nodes && self.links == other.links
+    }
+}
+
+impl Eq for FaultSet {}
+
 impl FaultSet {
-    /// An empty fault set.
+    /// An empty fault set at epoch 0.
     #[must_use]
     pub fn new() -> Self {
         FaultSet::default()
     }
 
+    /// The mutation epoch: starts at 0 and increments on every call that
+    /// actually changes the set (fail, repair, merge, clear). Consumers
+    /// that bake this set into derived state (e.g. a survivor next-hop
+    /// table) can remember the epoch they built against and compare.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Marks node `u` failed. Returns whether it was previously alive.
     pub fn fail_node(&mut self, u: NodeId) -> bool {
-        self.nodes.insert(u)
+        let changed = self.nodes.insert(u);
+        self.epoch += u64::from(changed);
+        changed
+    }
+
+    /// Repairs node `u`. Returns whether it was failed.
+    pub fn repair_node(&mut self, u: NodeId) -> bool {
+        let changed = self.nodes.remove(&u);
+        self.epoch += u64::from(changed);
+        changed
     }
 
     /// Marks the directed link `u → v` failed. Returns whether it was
     /// previously alive.
     pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.links.insert((u, v))
+        let changed = self.links.insert((u, v));
+        self.epoch += u64::from(changed);
+        changed
+    }
+
+    /// Repairs the directed link `u → v`. Returns whether it was failed.
+    pub fn repair_link(&mut self, u: NodeId, v: NodeId) -> bool {
+        let changed = self.links.remove(&(u, v));
+        self.epoch += u64::from(changed);
+        changed
     }
 
     /// Marks both `u → v` and `v → u` failed (an undirected cable cut).
     pub fn fail_link_undirected(&mut self, u: NodeId, v: NodeId) {
-        self.links.insert((u, v));
-        self.links.insert((v, u));
+        let changed = self.links.insert((u, v)) | self.links.insert((v, u));
+        self.epoch += u64::from(changed);
+    }
+
+    /// Repairs both `u → v` and `v → u` (undoes an undirected cable cut).
+    pub fn repair_link_undirected(&mut self, u: NodeId, v: NodeId) {
+        let changed = self.links.remove(&(u, v)) | self.links.remove(&(v, u));
+        self.epoch += u64::from(changed);
+    }
+
+    /// Unions `other`'s faults into this set. Returns whether anything new
+    /// was added (the epoch bumps once if so).
+    pub fn merge(&mut self, other: &FaultSet) -> bool {
+        let (n0, l0) = (self.nodes.len(), self.links.len());
+        self.nodes.extend(other.nodes.iter().copied());
+        self.links.extend(other.links.iter().copied());
+        let changed = self.nodes.len() != n0 || self.links.len() != l0;
+        self.epoch += u64::from(changed);
+        changed
     }
 
     /// Whether node `u` is failed.
@@ -130,18 +194,38 @@ impl FaultSet {
         out
     }
 
-    /// The explicitly failed directed links, sorted ascending.
+    /// The failed links, sorted ascending, with antiparallel pairs
+    /// collapsed: a cut recorded by [`FaultSet::fail_link_undirected`]
+    /// (both directions failed) is reported once as `(min, max)`, matching
+    /// how it was failed, while a one-way cut keeps its direction. Use
+    /// [`FaultSet::failed_links_directed`] for the raw directed set.
     #[must_use]
     pub fn failed_links(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<(NodeId, NodeId)> = self
+            .links
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u <= v || !self.links.contains(&(v, u)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Every explicitly failed directed link, sorted ascending — an
+    /// undirected cut appears as both of its directions.
+    #[must_use]
+    pub fn failed_links_directed(&self) -> Vec<(NodeId, NodeId)> {
         let mut out: Vec<(NodeId, NodeId)> = self.links.iter().copied().collect();
         out.sort_unstable();
         out
     }
 
-    /// Forgets all faults.
+    /// Forgets all faults (bumps the epoch if anything was recorded).
     pub fn clear(&mut self) {
+        let changed = !self.is_empty();
         self.nodes.clear();
         self.links.clear();
+        self.epoch += u64::from(changed);
     }
 
     /// Samples `count` distinct failed nodes uniformly from
@@ -683,6 +767,84 @@ mod tests {
         assert_eq!(f.failed_links(), vec![(0, 1)]);
         f.clear();
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_change() {
+        let mut f = FaultSet::new();
+        assert_eq!(f.epoch(), 0);
+        assert!(f.fail_node(3));
+        assert_eq!(f.epoch(), 1);
+        assert!(!f.fail_node(3), "re-failing is a no-op");
+        assert_eq!(f.epoch(), 1);
+        assert!(f.fail_link(0, 1));
+        assert_eq!(f.epoch(), 2);
+        assert!(f.repair_link(0, 1));
+        assert_eq!(f.epoch(), 3);
+        assert!(!f.repair_link(0, 1), "re-repairing is a no-op");
+        assert_eq!(f.epoch(), 3);
+        assert!(f.repair_node(3));
+        assert_eq!(f.epoch(), 4);
+        f.clear();
+        assert_eq!(f.epoch(), 4, "clearing an empty set is a no-op");
+        f.fail_link_undirected(2, 5);
+        assert_eq!(f.epoch(), 5, "an undirected cut is one mutation");
+        f.repair_link_undirected(2, 5);
+        assert_eq!(f.epoch(), 6);
+    }
+
+    #[test]
+    fn equality_ignores_epoch() {
+        let mut a = FaultSet::new();
+        a.fail_node(1);
+        a.repair_node(1);
+        a.fail_node(1);
+        let mut b = FaultSet::new();
+        b.fail_node(1);
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repair_restores_liveness() {
+        let mut f = FaultSet::new();
+        f.fail_node(2);
+        f.fail_link(0, 1);
+        assert!(f.blocks(0, 1));
+        assert!(f.repair_node(2));
+        assert!(!f.node_failed(2));
+        assert!(f.repair_link(0, 1));
+        assert!(!f.blocks(0, 1));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_and_bumps_once() {
+        let mut a = FaultSet::new();
+        a.fail_node(1);
+        a.fail_link(0, 1);
+        let mut b = FaultSet::new();
+        b.fail_node(1); // overlap
+        b.fail_node(2);
+        b.fail_link_undirected(3, 4);
+        let e = a.epoch();
+        assert!(a.merge(&b));
+        assert_eq!(a.epoch(), e + 1);
+        assert_eq!(a.failed_nodes(), vec![1, 2]);
+        assert!(a.link_failed(0, 1) && a.link_failed(3, 4) && a.link_failed(4, 3));
+        // Merging a subset changes nothing.
+        assert!(!a.merge(&b));
+        assert_eq!(a.epoch(), e + 1);
+    }
+
+    #[test]
+    fn failed_links_collapses_undirected_cuts() {
+        let mut f = FaultSet::new();
+        f.fail_link_undirected(5, 2); // recorded as (5,2) + (2,5)
+        f.fail_link(7, 3); // one-way, direction preserved
+        assert_eq!(f.failed_links(), vec![(2, 5), (7, 3)]);
+        assert_eq!(f.failed_links_directed(), vec![(2, 5), (5, 2), (7, 3)]);
+        assert_eq!(f.num_failed_links(), 3, "directed count is unchanged");
     }
 
     #[test]

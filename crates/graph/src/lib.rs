@@ -34,6 +34,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bounds;
+mod chaos;
 mod dense;
 mod error;
 mod fault;
@@ -45,6 +46,7 @@ mod subgraph;
 mod transitivity;
 
 pub use bounds::{moore_diameter_lower_bound, moore_diameter_lower_bound_undirected};
+pub use chaos::{ChaosEvent, ChaosSpec, FaultSchedule, TimedEvent};
 pub use dense::DenseGraph;
 pub use error::GraphError;
 pub use fault::{edge_connectivity, vertex_connectivity, ComponentCensus, FaultSet, SurvivorView};

@@ -11,6 +11,15 @@ use scg_obs::{EventTrace, Registry, Timer};
 pub(crate) const MICROS_BOUNDS: [u64; 8] =
     [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 
+/// Records one applied chaos event on `scg_chaos_events_total{kind=…}` and
+/// the event trace.
+pub(crate) fn chaos_event(kind: &'static str) {
+    EventTrace::global().record("chaos.event", &[]);
+    Registry::global()
+        .counter("scg_chaos_events_total", &[("kind", kind)])
+        .inc();
+}
+
 /// A drop-timer feeding `scg_fault_audit_micros{audit=…}` and emitting a
 /// trace event when the audit finishes.
 pub(crate) fn audit_timer(audit: &'static str) -> Timer {

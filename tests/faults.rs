@@ -204,3 +204,184 @@ fn reembed_under_degree_minus_1_faults_preserves_bounds() {
         }
     }
 }
+
+/// Builds an interleaved fail/repair schedule (nodes and undirected
+/// links) that never holds more than `cap` concurrent faults, verified
+/// afterwards by [`FaultSchedule::peak_concurrent_faults`].
+fn bounded_lifecycle_schedule(
+    mat: &Materialized,
+    cap: usize,
+    rng: &mut XorShift64,
+) -> supercayley::graph::FaultSchedule {
+    use supercayley::graph::{ChaosEvent, TimedEvent};
+    let graph = mat.graph();
+    let mut events = Vec::new();
+    // (repair_at, repair_event) for faults currently held open.
+    let mut active: Vec<(u64, ChaosEvent)> = Vec::new();
+    let mut at = 2u64;
+    for _ in 0..(4 * cap) {
+        active.retain(|(repair_at, ev)| {
+            if *repair_at <= at {
+                events.push(TimedEvent {
+                    at: *repair_at,
+                    event: *ev,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        if active.len() < cap {
+            let repair_at = at + 4 + rng.gen_range(8) as u64;
+            if rng.gen_range(2) == 0 {
+                let u = rng.gen_range(mat.num_nodes()) as u32;
+                events.push(TimedEvent {
+                    at,
+                    event: ChaosEvent::FailNode(u),
+                });
+                active.push((repair_at, ChaosEvent::RepairNode(u)));
+            } else {
+                let (u, v) = graph.edge_endpoints(rng.gen_range(graph.num_edges()));
+                events.push(TimedEvent {
+                    at,
+                    event: ChaosEvent::FailLinkUndirected(u, v),
+                });
+                active.push((repair_at, ChaosEvent::RepairLinkUndirected(u, v)));
+            }
+        }
+        at += 2;
+    }
+    for (repair_at, ev) in active {
+        events.push(TimedEvent {
+            at: repair_at,
+            event: ev,
+        });
+    }
+    supercayley::graph::FaultSchedule::from_events(events)
+}
+
+/// Tentpole property: under ANY interleaved schedule of at most
+/// `degree − 1` concurrent node + undirected-link faults, a table router
+/// refreshed in place at every fault epoch delivers 100% of sampled live
+/// pairs — connectivity-equals-degree carried through the full fault
+/// lifecycle, repairs included.
+#[test]
+fn bounded_fault_lifecycle_keeps_refreshed_routing_total() {
+    use supercayley::emu::{NextHop, Packet, Router, TableRouter};
+    for net in ten_classes() {
+        let mat = materialize(&net, SMALL_NET_CAP).unwrap();
+        let graph = mat.graph();
+        let degree = distinct_degree(&mat);
+        for seed in 0..3u64 {
+            let mut rng = XorShift64::new(0x11FE_C7C1E ^ seed);
+            let mut schedule = bounded_lifecycle_schedule(&mat, degree - 1, &mut rng);
+            assert!(
+                schedule.peak_concurrent_faults() < degree,
+                "{} seed {seed}: schedule exceeds the concurrency bound",
+                net.name()
+            );
+            let mut faults = FaultSet::new();
+            let mut router = TableRouter::new(graph).unwrap();
+            while let Some(t) = schedule.next_at() {
+                schedule.apply_due(t, &mut faults);
+                if router.is_stale(&faults) {
+                    router.refresh_with_faults(graph, &faults).unwrap();
+                }
+                assert!(!router.is_stale(&faults));
+                let view = SurvivorView::new(graph, &faults);
+                assert!(
+                    view.is_strongly_connected(),
+                    "{} seed {seed} t={t}: survivors disconnected under {} faults",
+                    net.name(),
+                    degree - 1
+                );
+                for _ in 0..20 {
+                    let src = rng.gen_range(mat.num_nodes()) as u32;
+                    let dst = rng.gen_range(mat.num_nodes()) as u32;
+                    if src == dst || !view.is_alive(src) || !view.is_alive(dst) {
+                        continue;
+                    }
+                    let pkt = Packet {
+                        src,
+                        dst,
+                        payload: 0,
+                    };
+                    let mut path = vec![src];
+                    let mut here = src;
+                    loop {
+                        match router.next_hop(here, &pkt) {
+                            NextHop::Deliver => break,
+                            NextHop::Forward(slot) => {
+                                here = graph.out_neighbors(here)[slot];
+                                path.push(here);
+                            }
+                            NextHop::Unreachable => panic!(
+                                "{} seed {seed} t={t}: {src}->{dst} unreachable on a \
+                                 refreshed table",
+                                net.name()
+                            ),
+                        }
+                        assert!(
+                            path.len() <= mat.num_nodes(),
+                            "{} seed {seed} t={t}: {src}->{dst} routing loop",
+                            net.name()
+                        );
+                    }
+                    assert_eq!(here, dst);
+                    assert!(
+                        view.path_is_live(&path),
+                        "{} seed {seed} t={t}: {src}->{dst} routed through a fault",
+                        net.name()
+                    );
+                }
+            }
+            assert!(schedule.is_exhausted());
+        }
+    }
+}
+
+/// Determinism property: replaying the same seeded chaos schedule through
+/// the same self-healing loop configuration yields byte-identical
+/// reports — statistics, recovery records, and degradation curves.
+#[test]
+fn same_seed_chaos_replay_is_byte_identical() {
+    use supercayley::emu::{run_chaos, ChaosConfig};
+    use supercayley::graph::{ChaosSpec, FaultSchedule};
+    for (i, net) in ten_classes().into_iter().enumerate() {
+        let mat = materialize(&net, SMALL_NET_CAP).unwrap();
+        let graph = mat.graph();
+        let spec = ChaosSpec {
+            horizon: 48,
+            link_flaps: 1,
+            ..ChaosSpec::default()
+        };
+        let config = ChaosConfig {
+            inject_until: 64,
+            max_cycles: 512,
+            ..ChaosConfig::default()
+        };
+        let seed = 0xD1CE ^ i as u64;
+        let mut a = FaultSchedule::random(graph, &spec, seed);
+        let mut b = FaultSchedule::random(graph, &spec, seed);
+        assert_eq!(
+            a.events(),
+            b.events(),
+            "{}: schedule generation drifted",
+            net.name()
+        );
+        let ra = run_chaos(graph, &mut a, &config).unwrap();
+        let rb = run_chaos(graph, &mut b, &config).unwrap();
+        assert_eq!(
+            ra.stats,
+            rb.stats,
+            "{}: SimStats drifted across replays",
+            net.name()
+        );
+        assert_eq!(
+            ra,
+            rb,
+            "{}: chaos report drifted across replays",
+            net.name()
+        );
+    }
+}

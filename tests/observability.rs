@@ -69,6 +69,7 @@ fn sim_stats_match_golden_with_and_without_obs() {
         max_link_traffic: 3,
         dropped: 0,
         retried: 0,
+        recovered: 0,
         undelivered: 0,
         livelocked: false,
     };
@@ -98,6 +99,7 @@ fn delivered_ratio_of_empty_run_is_one() {
         max_link_traffic: 0,
         dropped: 0,
         retried: 0,
+        recovered: 0,
         undelivered: 0,
         livelocked: false,
     };
