@@ -10,10 +10,20 @@
 //!   + a per-hop `Vec` cascade;
 //! * `scg_route` — the public entry point, now a plan-cache lookup plus
 //!   slice copies;
-//! * `route_into` — the steady-state path: a held [`RoutePlan`] writing
-//!   into a reused [`RouteBuf`], zero heap allocation;
-//! * batch throughput — [`route_batch`] at 1 thread and at the machine's
-//!   parallelism.
+//! * `planner` — the pre-packed planner baseline, reconstructed from the
+//!   public API: the byte-array greedy star-sort over a held
+//!   [`RoutePlan`]'s `star_link` slices;
+//! * `packed` — the steady-state path: a held [`RoutePlan`] running the
+//!   bit-packed `u64` star-sort via `route_into` into a reused
+//!   [`RouteBuf`], zero heap allocation;
+//! * batch throughput — [`route_batch`] (packed structure-of-arrays
+//!   lanes) at 1 thread and at the machine's parallelism.
+//!
+//! Every pair is cross-checked: packed ≡ planner ≡ legacy byte for byte.
+//! The acceptance record carries `packed_le_planner`; `check_bench_json`
+//! fails the build when the packed kernel regresses past the planner
+//! baseline (×1.25 slack in smoke mode, ×1.05 in full, absorbing timer
+//! noise only — a real regression trips both).
 //!
 //! Writes the human table to `results/bench_routing.txt` and the
 //! machine-readable record to `results/BENCH_routing.json` (integers
@@ -27,13 +37,18 @@ use std::time::{Duration, Instant};
 use scg_bench::Table;
 use scg_core::{
     apply_path, route_batch, route_plan, scg_route, star_route, CayleyNetwork, Generator,
-    StarEmulation, SuperCayleyGraph,
+    RoutePlan, StarEmulation, SuperCayleyGraph,
 };
-use scg_perm::{Perm, XorShift64};
+use scg_perm::{Perm, XorShift64, MAX_DEGREE};
 
 /// Fixed-seed routed pairs per class (cycled by the timed closures).
 const FULL_PAIRS: usize = 512;
 const SMOKE_PAIRS: usize = 48;
+
+/// Smoke runs tolerate `packed ≤ planner × 1.25` (8 ms budgets are
+/// noisy); full runs insist on `× 1.05`.
+const SMOKE_SLACK_PCT: u64 = 125;
+const FULL_SLACK_PCT: u64 = 105;
 
 /// One measured per-class row.
 struct Row {
@@ -41,7 +56,8 @@ struct Row {
     k: usize,
     legacy_ns: u64,
     scg_route_ns: u64,
-    route_into_ns: u64,
+    planner_ns: u64,
+    packed_ns: u64,
     batch_seq_pps: u64,
     batch_par_pps: u64,
 }
@@ -87,6 +103,42 @@ fn legacy_scg_route(net: &SuperCayleyGraph, from: &Perm, to: &Perm) -> Vec<Gener
     out
 }
 
+/// The pre-packed planner baseline, reconstructed from the public API:
+/// the byte-array relative permutation plus the greedy star-sort with a
+/// monotone cycle-opening cursor, emitting the plan's precompiled
+/// `star_link` slices into a reused vector. This was `route_into` before
+/// the bit-packed kernel; racing it against `route_into` isolates the
+/// win of word-parallel state from the win of precompiled expansions.
+fn planner_scan_route(plan: &RoutePlan, from: &Perm, to: &Perm, out: &mut Vec<Generator>) {
+    out.clear();
+    let k = plan.degree_k();
+    let mut inv_to = [0u8; MAX_DEGREE];
+    for (pos, &sym) in to.symbols().iter().enumerate() {
+        inv_to[sym as usize - 1] = (pos + 1) as u8;
+    }
+    let mut a = [0u8; MAX_DEGREE];
+    for (i, &sym) in from.symbols().iter().enumerate() {
+        a[i] = inv_to[sym as usize - 1];
+    }
+    let mut scan = 1usize;
+    loop {
+        let s = a[0];
+        let i = if s != 1 {
+            s as usize
+        } else {
+            while scan < k && a[scan] == (scan + 1) as u8 {
+                scan += 1;
+            }
+            if scan == k {
+                return;
+            }
+            scan + 1
+        };
+        out.extend_from_slice(plan.star_link(i).expect("link in 2..=k"));
+        a.swap(0, i - 1);
+    }
+}
+
 fn sample_pairs(k: usize, count: usize, seed: u64) -> Vec<(Perm, Perm)> {
     let mut rng = XorShift64::new(seed);
     (0..count)
@@ -100,11 +152,15 @@ fn measure_class(net: &SuperCayleyGraph, budget: Duration, pairs: usize, threads
     let plan = route_plan(net).expect("plan compiles");
     let mut buf = plan.new_buf();
 
-    // Correctness cross-checks on the full sample: the planner reproduces
-    // the legacy path byte for byte, and batch equals sequential.
+    // Correctness cross-checks on the full sample: packed (`scg_route`
+    // rides `route_into`), the planner-scan baseline, and the legacy
+    // cascade all emit byte-identical paths, and batch equals sequential.
+    let mut scan_out = Vec::new();
     for (from, to) in &sample {
         let new = scg_route(net, from, to).expect("route");
         assert_eq!(new, legacy_scg_route(net, from, to), "{}", net.name());
+        planner_scan_route(&plan, from, to, &mut scan_out);
+        assert_eq!(new, scan_out, "packed != planner scan on {}", net.name());
         assert_eq!(apply_path(from, &new).expect("walk"), *to);
     }
     let batch = route_batch(net, &sample, threads).expect("batch");
@@ -125,7 +181,14 @@ fn measure_class(net: &SuperCayleyGraph, budget: Duration, pairs: usize, threads
         black_box(scg_route(net, &p.0, &p.1).expect("route"));
     });
     let mut c = 0usize;
-    let route_into_ns = mean_ns(budget, || {
+    let planner_ns = mean_ns(budget, || {
+        let p = &sample[c];
+        c = (c + 1) % sample.len();
+        planner_scan_route(&plan, &p.0, &p.1, &mut scan_out);
+        black_box(scan_out.len());
+    });
+    let mut c = 0usize;
+    let packed_ns = mean_ns(budget, || {
         let p = &sample[c];
         c = (c + 1) % sample.len();
         plan.route_into(&p.0, &p.1, &mut buf).expect("route");
@@ -148,7 +211,8 @@ fn measure_class(net: &SuperCayleyGraph, budget: Duration, pairs: usize, threads
         k,
         legacy_ns,
         scg_route_ns,
-        route_into_ns,
+        planner_ns,
+        packed_ns,
         batch_seq_pps,
         batch_par_pps,
     }
@@ -187,7 +251,8 @@ fn main() {
         "k",
         "legacy ns",
         "scg_route ns",
-        "route_into ns",
+        "planner ns",
+        "packed ns",
         "speedup",
         "batch seq p/s",
         "batch par p/s",
@@ -196,20 +261,22 @@ fn main() {
     for net in &hosts {
         let row = measure_class(net, budget, pairs, threads);
         println!(
-            "{}: legacy {} ns -> scg_route {} ns (x{}.{:03}), route_into {} ns",
+            "{}: legacy {} ns -> scg_route {} ns (x{}.{:03}), planner {} ns -> packed {} ns",
             row.network,
             row.legacy_ns,
             row.scg_route_ns,
             row.speedup_x1000() / 1000,
             row.speedup_x1000() % 1000,
-            row.route_into_ns
+            row.planner_ns,
+            row.packed_ns
         );
         t.row(&[
             row.network.clone(),
             row.k.to_string(),
             row.legacy_ns.to_string(),
             row.scg_route_ns.to_string(),
-            row.route_into_ns.to_string(),
+            row.planner_ns.to_string(),
+            row.packed_ns.to_string(),
             format!(
                 "{}.{:03}x",
                 row.speedup_x1000() / 1000,
@@ -221,11 +288,18 @@ fn main() {
         rows.push(row);
     }
 
-    // The acceptance row: the first k >= 9 class in the sweep.
+    // The acceptance row: the first k >= 9 class in the sweep. The
+    // packed-vs-planner regression gate tolerates timer noise only.
     let accept = rows
         .iter()
         .find(|r| r.k >= 9)
         .expect("sweep includes k >= 9 classes");
+    let slack_pct = if smoke {
+        SMOKE_SLACK_PCT
+    } else {
+        FULL_SLACK_PCT
+    };
+    let packed_le_planner = accept.packed_ns * 100 <= accept.planner_ns * slack_pct;
 
     let mut json = String::from("{\"bench\":\"bench_routing\",");
     json.push_str(&format!(
@@ -238,13 +312,14 @@ fn main() {
         }
         json.push_str(&format!(
             "{{\"network\":\"{}\",\"k\":{},\"legacy_single_ns\":{},\"scg_route_single_ns\":{},\
-             \"route_into_single_ns\":{},\"speedup_x1000\":{},\"batch_seq_pairs_per_s\":{},\
-             \"batch_par_pairs_per_s\":{}}}",
+             \"planner_scan_single_ns\":{},\"packed_single_ns\":{},\"speedup_x1000\":{},\
+             \"batch_seq_pairs_per_s\":{},\"batch_par_pairs_per_s\":{}}}",
             json_escape(&r.network),
             r.k,
             r.legacy_ns,
             r.scg_route_ns,
-            r.route_into_ns,
+            r.planner_ns,
+            r.packed_ns,
             r.speedup_x1000(),
             r.batch_seq_pps,
             r.batch_par_pps
@@ -252,13 +327,17 @@ fn main() {
     }
     json.push_str(&format!(
         "],\"acceptance\":{{\"network\":\"{}\",\"k\":{},\"legacy_single_ns\":{},\
-         \"scg_route_single_ns\":{},\"speedup_x1000\":{},\"meets_3x\":{}}}}}",
+         \"scg_route_single_ns\":{},\"planner_single_ns\":{},\"packed_single_ns\":{},\
+         \"speedup_x1000\":{},\"meets_3x\":{},\"packed_le_planner\":{}}}}}",
         json_escape(&accept.network),
         accept.k,
         accept.legacy_ns,
         accept.scg_route_ns,
+        accept.planner_ns,
+        accept.packed_ns,
         accept.speedup_x1000(),
-        u8::from(accept.speedup_x1000() >= 3000)
+        u8::from(accept.speedup_x1000() >= 3000),
+        u8::from(packed_le_planner)
     ));
 
     // The artifact must parse back through the shared hand-rolled parser
@@ -283,18 +362,25 @@ fn main() {
     ));
     report.push_str(
         "legacy = pre-planner scg_route (fresh StarEmulation + per-hop Vec cascade);\n\
-         scg_route = plan-cache lookup + slice copies; route_into = held plan +\n\
-         reused RouteBuf (allocation-free steady state). Batch columns are\n\
-         route_batch pairs/second at 1 thread and at full parallelism.\n\n",
+         scg_route = plan-cache lookup + slice copies; planner = pre-packed\n\
+         byte-array star-sort over held-plan star_link slices; packed = held\n\
+         plan + bit-packed u64 star-sort via route_into into a reused RouteBuf\n\
+         (allocation-free steady state). Batch columns are route_batch\n\
+         pairs/second at 1 thread and at full parallelism, on packed\n\
+         structure-of-arrays lanes.\n\n",
     );
     report.push_str(&table);
     report.push_str(&format!(
-        "\nAcceptance (k >= 9): {} legacy {} ns vs scg_route {} ns -> {}.{:03}x\n",
+        "\nAcceptance (k >= 9): {} legacy {} ns vs scg_route {} ns -> {}.{:03}x;\n\
+         planner {} ns vs packed {} ns (packed_le_planner = {})\n",
         accept.network,
         accept.legacy_ns,
         accept.scg_route_ns,
         accept.speedup_x1000() / 1000,
-        accept.speedup_x1000() % 1000
+        accept.speedup_x1000() % 1000,
+        accept.planner_ns,
+        accept.packed_ns,
+        u8::from(packed_le_planner)
     ));
     std::fs::write(results.join("bench_routing.txt"), &report).expect("results/ writable");
     std::fs::write(results.join("BENCH_routing.json"), &json).expect("results/ writable");
@@ -310,4 +396,10 @@ fn main() {
             accept.speedup_x1000() % 1000
         );
     }
+    assert!(
+        packed_le_planner,
+        "acceptance: packed kernel regressed past the planner baseline on {} \
+         (k = {}): packed {} ns vs planner {} ns (slack {slack_pct}%)",
+        accept.network, accept.k, accept.packed_ns, accept.planner_ns
+    );
 }

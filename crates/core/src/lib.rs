@@ -73,7 +73,7 @@ pub use routing::{
     bfs_route, bubble_distance, bubble_sort_sequence, rotator_sort_sequence, route_batch,
     scg_route, scg_route_faulty, scg_route_faulty_ids, star_diameter, star_dimension_parts,
     star_distance, star_distance_between, star_route, star_sort_sequence, tn_distance,
-    tn_sort_sequence, RouteBuf, RoutePlan, RoutedPath, StarEmulation,
+    tn_sort_sequence, BatchState, RouteBuf, RoutePlan, RoutedPath, StarEmulation,
 };
 pub use topology::{
     materialize, route_plan, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP,

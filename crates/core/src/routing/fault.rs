@@ -7,7 +7,9 @@
 //! layered by cost:
 //!
 //! 1. walk the fault-free emulation plan of [`scg_route`] — `O(path)` table
-//!    lookups, no search;
+//!    lookups, no search (planning rides [`RoutePlan::route_into`] and so
+//!    inherits the bit-packed `u64` star-sort kernel whenever `k ≤ 16`,
+//!    the byte-array walk above);
 //! 2. at the first faulted hop, *detour*: re-expand from the failure point
 //!    with the faulted generator masked, preferring an alternative whose
 //!    replanned suffix is verified fault-free (bounded by `2 × degree`

@@ -9,7 +9,7 @@ mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
 pub use fault::{scg_route_faulty, scg_route_faulty_ids, RoutedPath};
-pub use plan::{RouteBuf, RoutePlan};
+pub use plan::{BatchState, RouteBuf, RoutePlan};
 pub use sort::{
     bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,
 };
@@ -63,11 +63,14 @@ pub fn scg_route(
 /// Routes every `(from, to)` pair in parallel over `threads` scoped OS
 /// threads, returning the paths in input order.
 ///
-/// Each thread shares the network's compiled [`RoutePlan`] and reuses one
-/// [`RouteBuf`], so the per-pair cost is the greedy star-sort loop plus
-/// slice copies — no per-pair planning or allocation beyond the returned
+/// Each thread shares the network's compiled [`RoutePlan`] and drives its
+/// chunk through [`RoutePlan::route_chunk`]: per-pair routing state is a
+/// packed `u64` lane in a reused [`BatchState`] (structure-of-arrays, so
+/// the pack pass vectorizes), and hop emission reuses one
+/// [`RouteBuf`] — no per-pair planning or allocation beyond the returned
 /// vectors. `threads` is clamped to `1..=pairs.len()`; results are
-/// identical to routing each pair with [`scg_route`].
+/// identical to routing each pair with [`scg_route`], for every chunking
+/// and thread count.
 ///
 /// # Errors
 ///
@@ -94,15 +97,9 @@ pub fn route_batch(
         {
             let plan = &plan;
             scope.spawn(move || {
-                let mut buf = plan.new_buf();
-                for ((from, to), slot) in pair_chunk.iter().zip(out_chunk.iter_mut()) {
-                    match plan.route_into(from, to, &mut buf) {
-                        Ok(()) => slot.extend_from_slice(buf.hops()),
-                        Err(e) => {
-                            *err_slot = Some(e);
-                            return;
-                        }
-                    }
+                let mut state = plan.new_batch_state();
+                if let Err(e) = plan.route_chunk(pair_chunk, out_chunk, &mut state) {
+                    *err_slot = Some(e);
                 }
             });
         }

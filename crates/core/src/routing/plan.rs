@@ -11,6 +11,13 @@
 //! `extend_from_slice` into a caller-supplied reusable [`RouteBuf`] — zero
 //! heap allocation on the steady-state path.
 //!
+//! Since the packed-kernel rewrite the star-sort itself runs on
+//! [`PackedPerm`] words whenever `k ≤ 16` (every class the paper names):
+//! the relative permutation is one `u64`, moves are nibble swaps, and
+//! cycle openings are mask/ctz selection. Batches go through
+//! [`RoutePlan::route_chunk`], which keeps per-pair state in parallel
+//! `u64` lanes ([`BatchState`]) so the pack pass autovectorizes.
+//!
 //! Plans are cached per network inside the shared
 //! [`TopologyCache`](crate::TopologyCache) (see [`route_plan`](crate::route_plan)),
 //! so routing, communication, embedding, and emulation all compile each
@@ -37,7 +44,7 @@
 //! ```
 
 use scg_perm::cast::{len_u32, sym_u8};
-use scg_perm::{Perm, MAX_DEGREE};
+use scg_perm::{PackedPerm, Perm, MAX_DEGREE, MAX_PACKED_DEGREE, PACKED_IDENTITY};
 
 use crate::classes::SuperCayleyGraph;
 use crate::error::CoreError;
@@ -189,6 +196,13 @@ impl RoutePlan {
     /// link's precompiled expansion to `buf`. The buffer is cleared
     /// first; on success it holds the full generator path.
     ///
+    /// For `k ≤ 16` the loop runs on the bit-packed kernel — the relative
+    /// permutation `to⁻¹ ∘ from` lives in one `u64`
+    /// ([`PackedPerm`]), each move is a nibble swap, and cycle openings
+    /// are mask/count-trailing-zeros selection instead of a positional
+    /// scan. Larger degrees fall back to the byte-array walk; both paths
+    /// emit byte-identical hop sequences.
+    ///
     /// Allocation-free whenever `buf`'s capacity suffices — buffers from
     /// [`new_buf`](RoutePlan::new_buf) always do.
     ///
@@ -206,6 +220,96 @@ impl RoutePlan {
             }
         }
         buf.hops.clear();
+        if self.k <= MAX_PACKED_DEGREE {
+            self.route_packed(self.pack_pair(from, to), buf);
+        } else {
+            self.route_scan(from, to, buf);
+        }
+        Ok(())
+    }
+
+    /// The relative permutation `to⁻¹ ∘ from` as a packed word — the
+    /// whole per-pair routing state of the packed path. Degrees must
+    /// already be validated equal and `≤ MAX_PACKED_DEGREE`.
+    ///
+    /// This fuses `pack(to).inverse().compose(pack(from))` into two
+    /// `k`-iteration nibble passes (scatter `to⁻¹`, then gather through
+    /// it) — the packed analogue of the byte-array `inv_to` build in
+    /// [`route_scan`](RoutePlan::route_scan), and the reason the packed
+    /// single-pair path beats the byte-array baseline even at `k = 5`.
+    /// A debug assertion pins it to the composed kernel ops.
+    #[inline]
+    fn pack_pair(&self, from: &Perm, to: &Perm) -> u64 {
+        let mut inv_to = 0u64;
+        for (pos, &sym) in to.symbols().iter().enumerate() {
+            inv_to |= (pos as u64) << (4 * (u64::from(sym) - 1));
+        }
+        // Identity padding on the lanes `k..16` keeps every packed op
+        // degree-agnostic (`k = 16` fills the whole word).
+        let mut w = if self.k == MAX_PACKED_DEGREE {
+            0
+        } else {
+            PACKED_IDENTITY & !((1u64 << (4 * self.k)) - 1)
+        };
+        for (i, &sym) in from.symbols().iter().enumerate() {
+            w |= ((inv_to >> (4 * (u64::from(sym) - 1))) & 0xF) << (4 * i);
+        }
+        debug_assert_eq!(
+            Some(w),
+            Self::pack_pair_reference(from, to),
+            "fused relative word diverges from the PackedPerm kernel ops"
+        );
+        w
+    }
+
+    /// The unfused `pack_pair` — the kernel-op composition the fused
+    /// version must match; referenced only by its debug assertion.
+    fn pack_pair_reference(from: &Perm, to: &Perm) -> Option<u64> {
+        let f = PackedPerm::pack(from).ok()?;
+        let t = PackedPerm::pack(to).ok()?;
+        Some(t.inverse().compose(f).word())
+    }
+
+    /// The greedy star-sort over one packed relative permutation `w`
+    /// (`to⁻¹ ∘ from`, 0-based nibbles): emits the same expansion
+    /// sequence as the byte-array walk, but each move is a branch-free
+    /// nibble swap and the cycle-opening choice is
+    /// `trailing_zeros` over a dirty-lane mask.
+    ///
+    /// `mask` carries one bit per dirty lane, at the lane's low bit
+    /// (`4p` for position `p+1`), built by word-parallel nonzero-nibble
+    /// detection — no per-position loop. A move swaps lane 0 with lane
+    /// `i`; when the front symbol `s` was foreign (`s != 0`) the move
+    /// homes it at lane `i = s`, so exactly that bit clears — sorted
+    /// lanes never go dirty again, mirroring the monotone-cursor
+    /// argument of the legacy scan.
+    fn route_packed(&self, mut w: u64, buf: &mut RouteBuf) {
+        /// The low bit of every 4-bit lane.
+        const LANE_LSB: u64 = 0x1111_1111_1111_1111;
+        let diff = w ^ PACKED_IDENTITY;
+        // Fold each nibble's four bits onto its low bit, then drop lane 0
+        // (the front is tracked by `s`, not the mask).
+        let mut mask = (diff | (diff >> 1) | (diff >> 2) | (diff >> 3)) & LANE_LSB & !0xF;
+        loop {
+            let s = w & 0xF;
+            let i = if s != 0 {
+                s as usize
+            } else if mask != 0 {
+                (mask.trailing_zeros() / 4) as usize
+            } else {
+                return; // identity reached
+            };
+            buf.hops.extend_from_slice(self.star_link_unchecked(i + 1));
+            let sh = 4 * i;
+            let x = ((w >> sh) ^ w) & 0xF;
+            w ^= (x << sh) | x;
+            mask &= !(u64::from(s != 0) << sh);
+        }
+    }
+
+    /// The pre-packed byte-array star-sort, kept as the `k > 16`
+    /// fallback (no super Cayley class needs it below `k = 17`).
+    fn route_scan(&self, from: &Perm, to: &Perm, buf: &mut RouteBuf) {
         let k = self.k;
         // The relative permutation `to⁻¹ ∘ from` fused into one pair of
         // passes over raw symbol bytes: a[i] = position of from's symbol
@@ -233,13 +337,79 @@ impl RoutePlan {
                     scan += 1;
                 }
                 if scan == k {
-                    return Ok(()); // identity reached
+                    return; // identity reached
                 }
                 scan + 1
             };
             buf.hops.extend_from_slice(self.star_link_unchecked(i));
             a.swap(0, i - 1);
         }
+    }
+
+    /// A reusable [`BatchState`] for [`route_chunk`](RoutePlan::route_chunk)
+    /// with a pre-sized hop buffer (see [`new_buf`](RoutePlan::new_buf)).
+    #[must_use]
+    pub fn new_batch_state(&self) -> BatchState {
+        BatchState {
+            rel: Vec::new(),
+            buf: self.new_buf(),
+        }
+    }
+
+    /// Routes a chunk of pairs structure-of-arrays style: a first pass
+    /// packs every pair's relative permutation `to⁻¹ ∘ from` into
+    /// parallel `u64` lanes (`state.rel`), a second pass runs the packed
+    /// star-sort on each lane and appends the hops to the matching `out`
+    /// slot. Splitting pack from emit keeps the pack loop pure
+    /// word arithmetic over adjacent lanes — the form that
+    /// autovectorizes — and confines the hop copies to the emit pass.
+    ///
+    /// Above [`MAX_PACKED_DEGREE`] every pair takes the scan fallback of
+    /// [`route_into`](RoutePlan::route_into). Results are identical to
+    /// routing each pair individually, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `out` differ in length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DegreeMismatch`] on the first pair (in input
+    /// order) whose labels do not match the network degree; `out` slots
+    /// already written keep their routes.
+    pub fn route_chunk(
+        &self,
+        pairs: &[(Perm, Perm)],
+        out: &mut [Vec<Generator>],
+        state: &mut BatchState,
+    ) -> Result<(), CoreError> {
+        assert_eq!(pairs.len(), out.len(), "pairs/out length mismatch");
+        if self.k > MAX_PACKED_DEGREE {
+            for ((from, to), slot) in pairs.iter().zip(out.iter_mut()) {
+                self.route_into(from, to, &mut state.buf)?;
+                slot.extend_from_slice(state.buf.hops());
+            }
+            return Ok(());
+        }
+        state.rel.clear();
+        state.rel.reserve(pairs.len());
+        for (from, to) in pairs {
+            for p in [from, to] {
+                if p.degree() != self.k {
+                    return Err(CoreError::DegreeMismatch {
+                        expected: self.k,
+                        found: p.degree(),
+                    });
+                }
+            }
+            state.rel.push(self.pack_pair(from, to));
+        }
+        for (&w, slot) in state.rel.iter().zip(out.iter_mut()) {
+            state.buf.clear();
+            self.route_packed(w, &mut state.buf);
+            slot.extend_from_slice(state.buf.hops());
+        }
+        Ok(())
     }
 
     /// Convenience wrapper over [`route_into`](RoutePlan::route_into)
@@ -315,6 +485,20 @@ impl RouteBuf {
     pub fn into_hops(self) -> Vec<Generator> {
         self.hops
     }
+}
+
+/// Reusable structure-of-arrays state for
+/// [`RoutePlan::route_chunk`]: the packed relative permutations of a
+/// chunk live in parallel `u64` lanes, with one shared [`RouteBuf`] for
+/// hop emission. Like a warmed `RouteBuf`, capacities survive reuse, so a
+/// thread can process any number of chunks with at most one allocation
+/// per high-water chunk size.
+#[derive(Debug, Clone, Default)]
+pub struct BatchState {
+    /// One packed `to⁻¹ ∘ from` word per pair in the chunk.
+    rel: Vec<u64>,
+    /// Shared emission buffer.
+    buf: RouteBuf,
 }
 
 #[cfg(test)]

@@ -125,6 +125,12 @@ struct RefreshScratch {
 /// slot per node. Ties are broken by a deterministic hash of
 /// `(node, destination)` so traffic spreads over equally short links.
 ///
+/// The table operates purely on materialized node ids — the
+/// label-level routing upstream of it (`scg_route`, `route_batch`) is
+/// where the bit-packed permutation kernel lives; by the time packets
+/// reach the simulator, labels have already been ranked to ids, so a
+/// refresh is BFS over the survivor graph, not permutation arithmetic.
+///
 /// [`TableRouter::new_with_faults`] builds the table over the survivor
 /// graph, so routes avoid a known fault set entirely; the router remembers
 /// the [`FaultSet::epoch`] it was built at, so consumers can detect

@@ -50,6 +50,23 @@ pub fn len_u32(x: usize) -> u32 {
     u32::try_from(x).expect("length exceeds u32") // scg-allow(SCG001): the checked helper is the one audited narrowing point
 }
 
+/// Narrows a 4-bit nibble (one packed-permutation symbol lane) to `u8`.
+///
+/// This is the blessed narrowing point for
+/// [`PackedPerm`](crate::PackedPerm) nibble extraction: callers mask with
+/// `& 0xF` before narrowing, so the value is provably below 16.
+///
+/// # Panics
+///
+/// Panics if `x > 0xF` — a masked nibble can never trip this, so a panic
+/// is a caller bug, never an input error.
+#[inline]
+#[must_use]
+pub fn nib_u8(x: u64) -> u8 {
+    assert!(x <= 0xF, "nibble {x} exceeds 4 bits");
+    x as u8 // scg-allow(SCG003): asserted ≤ 0xF on the line above
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,12 +76,19 @@ mod tests {
         assert_eq!(sym_u8(20), 20);
         assert_eq!(rank_u32(u64::from(u32::MAX)), u32::MAX);
         assert_eq!(len_u32(7), 7);
+        assert_eq!(nib_u8(0xF), 15);
     }
 
     #[test]
     #[should_panic(expected = "exceeds MAX_DEGREE")]
     fn sym_u8_rejects_out_of_range() {
         let _ = sym_u8(MAX_DEGREE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 4 bits")]
+    fn nib_u8_rejects_out_of_range() {
+        let _ = nib_u8(0x10);
     }
 
     #[test]

@@ -29,6 +29,13 @@ pub enum PermError {
         /// The permutation degree.
         degree: usize,
     },
+    /// A degree exceeds the packed-kernel capacity
+    /// [`MAX_PACKED_DEGREE`](crate::MAX_PACKED_DEGREE) (16 symbols at
+    /// 4 bits each fill the `u64` word exactly).
+    PackedDegreeOutOfRange {
+        /// The offending degree.
+        degree: usize,
+    },
 }
 
 impl fmt::Display for PermError {
@@ -48,6 +55,13 @@ impl fmt::Display for PermError {
             }
             PermError::PositionOutOfRange { position, degree } => {
                 write!(f, "position {position} is outside 1..={degree}")
+            }
+            PermError::PackedDegreeOutOfRange { degree } => {
+                write!(
+                    f,
+                    "degree {degree} exceeds the packed-kernel limit {}",
+                    crate::MAX_PACKED_DEGREE
+                )
             }
         }
     }

@@ -8,6 +8,9 @@
 //! * [`Perm`] — a fixed-capacity permutation of the symbols `1..=k`
 //!   (positions are 1-based throughout, matching the paper's notation
 //!   `U = u_1 u_2 … u_k`);
+//! * [`PackedPerm`] — the same permutation packed 4 bits/symbol into one
+//!   `u64` for `k ≤ 16`, with branch-free word-level compose, inverse,
+//!   generator application, and Lehmer rank/unrank (the routing kernel);
 //! * composition, inversion, parity, cycle structure;
 //! * lexicographic ranking/unranking via Lehmer codes ([`Perm::rank`],
 //!   [`Perm::from_rank`]) so permutations double as dense node indices;
@@ -37,6 +40,7 @@ mod enumerate;
 mod error;
 mod group;
 mod mixed_radix;
+mod packed;
 mod perm;
 mod rank;
 mod rng;
@@ -46,6 +50,7 @@ pub use enumerate::Permutations;
 pub use error::PermError;
 pub use group::{group_order, StabilizerChain};
 pub use mixed_radix::MixedRadix;
+pub use packed::{PackedPerm, MAX_PACKED_DEGREE, PACKED_IDENTITY};
 pub use perm::{Perm, MAX_DEGREE};
 pub use rank::factorial;
 pub use rng::XorShift64;

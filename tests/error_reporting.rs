@@ -25,6 +25,22 @@ fn perm_errors_render() {
 }
 
 #[test]
+fn packed_degree_rejection_is_typed_and_pinned() {
+    // The packed kernel refuses k > 16 with a typed error, never a panic
+    // or a silent truncation; the routing layer falls back to the byte
+    // array walk instead of ever seeing this error.
+    let e = supercayley::perm::PackedPerm::pack(&Perm::identity(17)).unwrap_err();
+    assert!(matches!(
+        e,
+        PermError::PackedDegreeOutOfRange { degree: 17 }
+    ));
+    assert_eq!(
+        e.to_string(),
+        "degree 17 exceeds the packed-kernel limit 16"
+    );
+}
+
+#[test]
 fn core_errors_render_and_chain() {
     let e = SuperCayleyGraph::macro_star(1, 2).unwrap_err();
     assert!(e.to_string().contains("l=1"));

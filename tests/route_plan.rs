@@ -79,6 +79,39 @@ fn route_batch_equals_sequential_routing() {
     }
 }
 
+/// Packed batch routing is a pure function of the pairs: the same seeded
+/// 64-pair set routes to byte-identical paths whatever the thread count —
+/// and hence whatever the chunk size (64 threads → 1 pair per chunk, 10 →
+/// 7, 1 → all 64), since `route_batch` derives its chunking from the
+/// thread count. Sequential `route_into` on a held plan is the reference.
+#[test]
+fn route_batch_output_is_independent_of_chunking_and_threads() {
+    let mut rng = XorShift64::new(0xC4053);
+    for net in all_classes_small() {
+        let plan = route_plan(&net).unwrap();
+        let k = net.degree_k();
+        let pairs: Vec<(Perm, Perm)> = (0..64)
+            .map(|_| (Perm::random(k, &mut rng), Perm::random(k, &mut rng)))
+            .collect();
+        let mut buf = plan.new_buf();
+        let reference: Vec<Vec<Generator>> = pairs
+            .iter()
+            .map(|(from, to)| {
+                plan.route_into(from, to, &mut buf).unwrap();
+                buf.hops().to_vec()
+            })
+            .collect();
+        for threads in [64, 10, 1] {
+            assert_eq!(
+                route_batch(&net, &pairs, threads).unwrap(),
+                reference,
+                "{} threads={threads}",
+                net.name()
+            );
+        }
+    }
+}
+
 /// Every planned route walks `from` to `to` and obeys the paper's bound:
 /// at most `star_dilation × star_distance(from, to)` hops (hence at most
 /// `star_dilation × star_diameter` anywhere).
