@@ -50,6 +50,14 @@ const SMOKE_PAIRS: usize = 48;
 const SMOKE_SLACK_PCT: u64 = 125;
 const FULL_SLACK_PCT: u64 = 105;
 
+/// The parallel batch gate: `par ≥ seq × slack/100`. Adaptive
+/// thread-count clamping ([`scg_core::MIN_PAIRS_PER_THREAD`]) makes the
+/// parallel path identical to sequential on small batches or single-core
+/// machines, so the remaining gap is timer noise — 90% in full mode,
+/// 70% under smoke's 8 ms budgets.
+const FULL_BATCH_PAR_SLACK_PCT: u64 = 90;
+const SMOKE_BATCH_PAR_SLACK_PCT: u64 = 70;
+
 /// One measured per-class row.
 struct Row {
     network: String,
@@ -195,16 +203,28 @@ fn measure_class(net: &SuperCayleyGraph, budget: Duration, pairs: usize, threads
         black_box(buf.len());
     });
 
-    let batch_pps = |n_threads: usize| {
-        let ns = mean_ns(budget, || {
-            black_box(route_batch(net, &sample, n_threads).expect("batch"));
-        });
+    // Interleaved min-of-3: seq and par alternate within one pass so
+    // clock drift and cache temperature hit both columns equally, and
+    // each column keeps its best (minimum-ns) rep — the standard defense
+    // against the one-sided noise that made par sporadically read slower
+    // than seq on identical code paths.
+    let mut batch_seq_ns = u64::MAX;
+    let mut batch_par_ns = u64::MAX;
+    for _ in 0..3 {
+        batch_seq_ns = batch_seq_ns.min(mean_ns(budget, || {
+            black_box(route_batch(net, &sample, 1).expect("batch"));
+        }));
+        batch_par_ns = batch_par_ns.min(mean_ns(budget, || {
+            black_box(route_batch(net, &sample, threads).expect("batch"));
+        }));
+    }
+    let to_pps = |ns: u64| {
         (sample.len() as u64 * 1_000_000_000)
             .checked_div(ns)
             .unwrap_or(0)
     };
-    let batch_seq_pps = batch_pps(1);
-    let batch_par_pps = batch_pps(threads);
+    let batch_seq_pps = to_pps(batch_seq_ns);
+    let batch_par_pps = to_pps(batch_par_ns);
 
     Row {
         network: net.name(),
@@ -300,6 +320,12 @@ fn main() {
         FULL_SLACK_PCT
     };
     let packed_le_planner = accept.packed_ns * 100 <= accept.planner_ns * slack_pct;
+    let batch_slack_pct = if smoke {
+        SMOKE_BATCH_PAR_SLACK_PCT
+    } else {
+        FULL_BATCH_PAR_SLACK_PCT
+    };
+    let batch_par_ge_seq = accept.batch_par_pps * 100 >= accept.batch_seq_pps * batch_slack_pct;
 
     let mut json = String::from("{\"bench\":\"bench_routing\",");
     json.push_str(&format!(
@@ -328,7 +354,8 @@ fn main() {
     json.push_str(&format!(
         "],\"acceptance\":{{\"network\":\"{}\",\"k\":{},\"legacy_single_ns\":{},\
          \"scg_route_single_ns\":{},\"planner_single_ns\":{},\"packed_single_ns\":{},\
-         \"speedup_x1000\":{},\"meets_3x\":{},\"packed_le_planner\":{}}}}}",
+         \"speedup_x1000\":{},\"meets_3x\":{},\"packed_le_planner\":{},\
+         \"batch_seq_pairs_per_s\":{},\"batch_par_pairs_per_s\":{},\"batch_par_ge_seq\":{}}}}}",
         json_escape(&accept.network),
         accept.k,
         accept.legacy_ns,
@@ -337,7 +364,10 @@ fn main() {
         accept.packed_ns,
         accept.speedup_x1000(),
         u8::from(accept.speedup_x1000() >= 3000),
-        u8::from(packed_le_planner)
+        u8::from(packed_le_planner),
+        accept.batch_seq_pps,
+        accept.batch_par_pps,
+        u8::from(batch_par_ge_seq)
     ));
 
     // The artifact must parse back through the shared hand-rolled parser
@@ -372,7 +402,9 @@ fn main() {
     report.push_str(&table);
     report.push_str(&format!(
         "\nAcceptance (k >= 9): {} legacy {} ns vs scg_route {} ns -> {}.{:03}x;\n\
-         planner {} ns vs packed {} ns (packed_le_planner = {})\n",
+         planner {} ns vs packed {} ns (packed_le_planner = {});\n\
+         batch seq {} p/s vs par {} p/s, interleaved min-of-3 \
+         (batch_par_ge_seq = {})\n",
         accept.network,
         accept.legacy_ns,
         accept.scg_route_ns,
@@ -380,7 +412,10 @@ fn main() {
         accept.speedup_x1000() % 1000,
         accept.planner_ns,
         accept.packed_ns,
-        u8::from(packed_le_planner)
+        u8::from(packed_le_planner),
+        accept.batch_seq_pps,
+        accept.batch_par_pps,
+        u8::from(batch_par_ge_seq)
     ));
     std::fs::write(results.join("bench_routing.txt"), &report).expect("results/ writable");
     std::fs::write(results.join("BENCH_routing.json"), &json).expect("results/ writable");
@@ -401,5 +436,11 @@ fn main() {
         "acceptance: packed kernel regressed past the planner baseline on {} \
          (k = {}): packed {} ns vs planner {} ns (slack {slack_pct}%)",
         accept.network, accept.k, accept.packed_ns, accept.planner_ns
+    );
+    assert!(
+        batch_par_ge_seq,
+        "acceptance: parallel batch fell behind sequential on {} (k = {}): \
+         par {} pairs/s vs seq {} pairs/s (slack {batch_slack_pct}%)",
+        accept.network, accept.k, accept.batch_par_pps, accept.batch_seq_pps
     );
 }

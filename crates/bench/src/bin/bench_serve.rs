@@ -1,0 +1,428 @@
+//! Experiment `bench_serve`: QPS and latency of the `scg-serve` routing
+//! daemon over a loopback Unix-domain socket.
+//!
+//! Spawns a real daemon in-process ([`scg_serve::spawn`]), then drives it
+//! open-loop from a seeded client with a fixed window of in-flight
+//! frames:
+//!
+//! * **clean batch sweep** — `ROUTE_BATCH` frames of packed pairs on
+//!   `MS(2,2)`; the headline `qps` is delivered route requests (pairs)
+//!   per wall-clock second, gated against a floor of 500k/s in full mode
+//!   (25k/s under smoke's tiny budgets);
+//! * **single-route sweep** — pipelined `ROUTE` frames populating the
+//!   `scg_serve_route_micros` histogram;
+//! * **degraded sweep** — a canned [`FaultSchedule`] replayed live as
+//!   `FAULT_REPORT` frames between batch groups; every pair must come
+//!   back delivered (possibly detoured or via the survivor-BFS fallback)
+//!   or refused with a typed status — never stalled — and the delivered
+//!   ratio must stay ≥ 85%.
+//!
+//! Latency is taken from the daemon's own histograms: the final `METRICS`
+//! scrape (JSON exposition) is parsed back through
+//! [`scg_obs::Snapshot::from_json`] and the p50/p99 service times are
+//! read with [`scg_obs::Snapshot::quantile`], then compared against the
+//! SLO targets the server exports.
+//!
+//! Writes `results/bench_serve.txt` and `results/BENCH_serve.json`
+//! (integers only; self-validated by parsing back through
+//! [`scg_obs::json`]). `--smoke` shrinks volumes for CI.
+
+use std::time::Instant;
+
+use scg_core::{apply_path, CayleyNetwork, ScgClass};
+use scg_graph::{ChaosEvent, FaultSchedule, TimedEvent};
+use scg_obs::Snapshot;
+use scg_perm::{Perm, XorShift64};
+use scg_serve::metrics::{SLO_BATCH_P99_MICROS, SLO_ROUTE_P99_MICROS};
+use scg_serve::wire::{encode_request, FrameType};
+use scg_serve::{spawn, Client, Config, NetId, Reply, Request};
+
+/// Everything runs on one network: batching dominates, so one class is
+/// representative and keeps the artifact small.
+const NET: NetId = NetId {
+    class: ScgClass::MacroStar,
+    levels: 2,
+    box_size: 2,
+};
+
+/// Clean-sweep volumes: frames × pairs-per-frame route requests.
+const FULL_FRAMES: usize = 1500;
+const SMOKE_FRAMES: usize = 40;
+const FULL_PAIRS_PER_FRAME: usize = 512;
+const SMOKE_PAIRS_PER_FRAME: usize = 256;
+
+/// Pipelined single-`ROUTE` requests.
+const FULL_SINGLES: usize = 4000;
+const SMOKE_SINGLES: usize = 300;
+
+/// Degraded sweep: batch frames per fault cycle.
+const FULL_DEGRADED_FRAMES: usize = 60;
+const SMOKE_DEGRADED_FRAMES: usize = 6;
+
+/// In-flight frames in the open loop. Replies for a full window stay
+/// far below the server's 256 KiB high-water mark, so the window never
+/// deadlocks against backpressure.
+const WINDOW: usize = 8;
+
+/// The headline gate: delivered route requests per second over loopback.
+const FULL_QPS_FLOOR: u64 = 500_000;
+const SMOKE_QPS_FLOOR: u64 = 25_000;
+
+/// Tallies scanned out of reply frames.
+#[derive(Debug, Default, Clone, Copy)]
+struct Outcomes {
+    delivered: u64,
+    refused: u64,
+    detoured: u64,
+    fallback: u64,
+}
+
+impl Outcomes {
+    fn absorb(&mut self, other: Outcomes) {
+        self.delivered += other.delivered;
+        self.refused += other.refused;
+        self.detoured += other.detoured;
+        self.fallback += other.fallback;
+    }
+}
+
+/// Scans a `ROUTE_BATCH_OK` payload in place (no per-pair allocation):
+/// `count u32`, then per item `status u8`, and for delivered items
+/// `flags u8 · hoplen u16 · 3·hoplen hop bytes`.
+fn scan_batch_reply(ftype: u8, payload: &[u8]) -> Outcomes {
+    assert_eq!(
+        ftype,
+        FrameType::RouteBatchOk as u8,
+        "expected ROUTE_BATCH_OK, got frame type {ftype:#x}"
+    );
+    let mut out = Outcomes::default();
+    let count = u32::from_le_bytes(payload[..4].try_into().expect("count prefix")) as usize;
+    let mut at = 4;
+    for _ in 0..count {
+        let status = payload[at];
+        at += 1;
+        if status == 0 {
+            out.delivered += 1;
+            let flags = payload[at];
+            let hoplen =
+                u16::from_le_bytes(payload[at + 1..at + 3].try_into().expect("hoplen")) as usize;
+            at += 3 + 3 * hoplen;
+            if flags & scg_serve::wire::FLAG_DETOURED != 0 {
+                out.detoured += 1;
+            }
+            if flags & scg_serve::wire::FLAG_FALLBACK != 0 {
+                out.fallback += 1;
+            }
+        } else {
+            out.refused += 1;
+        }
+    }
+    assert_eq!(at, payload.len(), "trailing bytes in batch reply");
+    out
+}
+
+/// Seeded uniform-degree pairs (identity sources keep refusals tied to
+/// destination faults, which the canned schedule controls).
+fn sample_pairs(k: usize, count: usize, rng: &mut XorShift64) -> Vec<(Perm, Perm)> {
+    (0..count)
+        .map(|_| (Perm::random(k, rng), Perm::random(k, rng)))
+        .collect()
+}
+
+/// Drives `frames` copies of the pre-encoded frames in `pool` (cycled)
+/// through `client` with [`WINDOW`] in flight, scanning every reply.
+fn open_loop(client: &mut Client, pool: &[Vec<u8>], frames: usize) -> Outcomes {
+    let mut out = Outcomes::default();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while sent < frames.min(WINDOW) {
+        client.send_raw(&pool[sent % pool.len()]).expect("send");
+        sent += 1;
+    }
+    while received < frames {
+        let scanned = client.recv_with(scan_batch_reply).expect("batch reply");
+        out.absorb(scanned);
+        received += 1;
+        if sent < frames {
+            client.send_raw(&pool[sent % pool.len()]).expect("send");
+            sent += 1;
+        }
+    }
+    out
+}
+
+/// The canned degraded-mode schedule: two permanent node faults and a
+/// link fault up front, then a third node fault, then one repair plus a
+/// fresh fault — three cycles exercising fault, accumulation, and
+/// repair while traffic keeps flowing.
+fn canned_schedule() -> FaultSchedule {
+    let ev = |at, event| TimedEvent { at, event };
+    FaultSchedule::from_events(vec![
+        ev(0, ChaosEvent::FailNode(1)),
+        ev(0, ChaosEvent::FailNode(2)),
+        ev(0, ChaosEvent::FailLinkUndirected(0, 3)),
+        ev(1, ChaosEvent::FailNode(4)),
+        ev(2, ChaosEvent::RepairNode(1)),
+        ev(2, ChaosEvent::FailNode(5)),
+    ])
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (frames, pairs_per_frame, singles, degraded_frames, qps_floor) = if smoke {
+        (
+            SMOKE_FRAMES,
+            SMOKE_PAIRS_PER_FRAME,
+            SMOKE_SINGLES,
+            SMOKE_DEGRADED_FRAMES,
+            SMOKE_QPS_FLOOR,
+        )
+    } else {
+        (
+            FULL_FRAMES,
+            FULL_PAIRS_PER_FRAME,
+            FULL_SINGLES,
+            FULL_DEGRADED_FRAMES,
+            FULL_QPS_FLOOR,
+        )
+    };
+
+    let sock = std::env::temp_dir().join(format!("scg-bench-serve-{}.sock", std::process::id()));
+    let server = spawn(Config::new(&sock)).expect("daemon spawns");
+    let net = NET.to_net().expect("MS(2,2) constructs");
+    let k = net.degree_k();
+    println!(
+        "== scg-serve loopback benchmark ({} mode, {} shards) ==",
+        if smoke { "smoke" } else { "full" },
+        server.shards()
+    );
+
+    let mut rng = XorShift64::new(0xBE7C_5EED);
+    let mut client = Client::connect_uds(&sock).expect("connect");
+
+    // Correctness spot-check before timing anything: a handful of fully
+    // decoded round trips, hops applied and compared.
+    for (from, to) in sample_pairs(k, 8, &mut rng) {
+        match client
+            .request(&Request::Route { net: NET, from, to })
+            .expect("route")
+        {
+            Reply::RouteOk { hops, .. } => {
+                assert_eq!(apply_path(&from, &hops).expect("apply"), to, "wrong route");
+            }
+            other => panic!("expected ROUTE_OK, got {other:?}"),
+        }
+    }
+
+    // Clean batch sweep: a small pool of distinct pre-encoded frames,
+    // cycled, so client-side encoding stays off the timed path.
+    let pool: Vec<Vec<u8>> = (0..WINDOW)
+        .map(|_| {
+            encode_request(&Request::RouteBatch {
+                net: NET,
+                pairs: sample_pairs(k, pairs_per_frame, &mut rng),
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    let clean = open_loop(&mut client, &pool, frames);
+    let clean_micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let clean_requests = (frames * pairs_per_frame) as u64;
+    assert_eq!(
+        clean.delivered, clean_requests,
+        "clean sweep refused {} of {clean_requests} pairs",
+        clean.refused
+    );
+    let qps = clean_requests
+        .saturating_mul(1_000_000)
+        .checked_div(clean_micros)
+        .unwrap_or(0);
+    println!("clean: {clean_requests} route requests in {clean_micros} us -> {qps} requests/s");
+
+    // Single-route sweep (latency histogram food).
+    let single_frame = {
+        let (from, to) = &sample_pairs(k, 1, &mut rng)[0];
+        encode_request(&Request::Route {
+            net: NET,
+            from: *from,
+            to: *to,
+        })
+    };
+    let mut singles_done = 0usize;
+    let mut sent = 0usize;
+    while sent < singles.min(32) {
+        client.send_raw(&single_frame).expect("send");
+        sent += 1;
+    }
+    while singles_done < singles {
+        client
+            .recv_with(|ftype, _| {
+                assert_eq!(ftype, FrameType::RouteOk as u8, "single route failed");
+            })
+            .expect("route reply");
+        singles_done += 1;
+        if sent < singles {
+            client.send_raw(&single_frame).expect("send");
+            sent += 1;
+        }
+    }
+
+    // Degraded sweep: replay the canned schedule cycle by cycle, keeping
+    // batch traffic flowing between FAULT_REPORT frames.
+    let schedule = canned_schedule();
+    let mut degraded = Outcomes::default();
+    let mut fault_frames = 0u64;
+    let mut events_applied = 0u64;
+    let mut cycle_start = 0usize;
+    let events = schedule.events();
+    while cycle_start < events.len() {
+        let at = events[cycle_start].at;
+        let cycle: Vec<ChaosEvent> = events
+            .iter()
+            .filter(|e| e.at == at)
+            .map(|e| e.event)
+            .collect();
+        cycle_start += cycle.len();
+        match client
+            .request(&Request::FaultReport {
+                net: NET,
+                events: cycle,
+            })
+            .expect("fault report")
+        {
+            Reply::FaultOk { applied, .. } => events_applied += u64::from(applied),
+            other => panic!("expected FAULT_OK, got {other:?}"),
+        }
+        fault_frames += 1;
+        let dpool: Vec<Vec<u8>> = (0..4)
+            .map(|_| {
+                encode_request(&Request::RouteBatch {
+                    net: NET,
+                    pairs: sample_pairs(k, pairs_per_frame.min(256), &mut rng),
+                })
+            })
+            .collect();
+        degraded.absorb(open_loop(&mut client, &dpool, degraded_frames));
+    }
+    let degraded_requests = degraded.delivered + degraded.refused;
+    let delivered_x1000 = degraded
+        .delivered
+        .saturating_mul(1000)
+        .checked_div(degraded_requests)
+        .unwrap_or(0);
+    println!(
+        "degraded: {degraded_requests} pairs under {events_applied} live fault events -> \
+         {} delivered ({} detoured, {} fallback), {} refused ({delivered_x1000}/1000)",
+        degraded.delivered, degraded.detoured, degraded.fallback, degraded.refused
+    );
+
+    // Latency from the daemon's own histograms, via the JSON exposition.
+    let snap = Snapshot::from_json(&client.metrics(true).expect("metrics scrape"))
+        .expect("metrics JSON parses");
+    let q = |name: &str, q_x1000: u64| snap.quantile(name, q_x1000).unwrap_or(0);
+    let route_p50 = q("scg_serve_route_micros", 500);
+    let route_p99 = q("scg_serve_route_micros", 990);
+    let batch_p50 = q("scg_serve_batch_micros", 500);
+    let batch_p99 = q("scg_serve_batch_micros", 990);
+    println!(
+        "latency (daemon-side, us): route p50 {route_p50} p99 {route_p99} \
+         (SLO {SLO_ROUTE_P99_MICROS}); batch p50 {batch_p50} p99 {batch_p99} \
+         (SLO {SLO_BATCH_P99_MICROS})"
+    );
+    let shards = server.shards();
+    server.shutdown();
+
+    let qps_ge_floor = qps >= qps_floor;
+    let batch_p99_le_slo = batch_p99 <= SLO_BATCH_P99_MICROS;
+    let route_p99_le_slo = route_p99 <= SLO_ROUTE_P99_MICROS;
+    let degraded_ok = delivered_x1000 >= 850;
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let json = format!(
+        "{{\"bench\":\"bench_serve\",\"mode\":\"{mode}\",\"shards\":{shards},\
+         \"transport\":\"uds\",\
+         \"clean\":{{\"network\":\"{}\",\"k\":{k},\"frames\":{frames},\
+         \"pairs_per_frame\":{pairs_per_frame},\"requests\":{clean_requests},\
+         \"delivered\":{},\"elapsed_micros\":{clean_micros},\"qps\":{qps},\
+         \"singles\":{singles},\"route_p50_micros\":{route_p50},\
+         \"route_p99_micros\":{route_p99},\"batch_p50_micros\":{batch_p50},\
+         \"batch_p99_micros\":{batch_p99}}},\
+         \"degraded\":{{\"network\":\"{}\",\"fault_frames\":{fault_frames},\
+         \"events_applied\":{events_applied},\"requests\":{degraded_requests},\
+         \"delivered\":{},\"refused\":{},\"detoured\":{},\"fallback\":{},\
+         \"delivered_x1000\":{delivered_x1000}}},\
+         \"acceptance\":{{\"qps\":{qps},\"qps_floor\":{qps_floor},\
+         \"qps_ge_floor\":{},\"route_p99_micros\":{route_p99},\
+         \"route_p99_le_slo\":{},\"batch_p99_micros\":{batch_p99},\
+         \"batch_p99_le_slo\":{},\"degraded_delivered_x1000\":{delivered_x1000},\
+         \"degraded_ge_850\":{},\"degraded_accounted\":{}}}}}",
+        json_escape(&net.name()),
+        clean.delivered,
+        json_escape(&net.name()),
+        degraded.delivered,
+        degraded.refused,
+        degraded.detoured,
+        degraded.fallback,
+        u8::from(qps_ge_floor),
+        u8::from(route_p99_le_slo),
+        u8::from(batch_p99_le_slo),
+        u8::from(degraded_ok),
+        u8::from(degraded.delivered + degraded.refused == degraded_requests),
+    );
+
+    // Self-validate through the shared hand-rolled parser before the
+    // artifact is trustworthy.
+    let parsed = scg_obs::json::parse(&json).expect("BENCH_serve.json parses");
+    let top = parsed.as_object(0).expect("top-level object");
+    let acc = top["acceptance"].as_object(0).expect("acceptance object");
+    assert_eq!(acc["qps"].as_u64(0).expect("qps int"), qps);
+
+    let results = std::path::Path::new("results");
+    std::fs::create_dir_all(results).expect("results/ creatable");
+    let report = format!(
+        "== scg-serve loopback benchmark ==\n\n\
+         mode: {mode}; {shards} shard(s); transport: unix-domain socket.\n\
+         Open loop, {WINDOW} frames in flight, pre-encoded seeded pairs.\n\n\
+         clean:    {clean_requests} route requests ({frames} x {pairs_per_frame} \
+         ROUTE_BATCH) in {clean_micros} us -> {qps} requests/s \
+         (floor {qps_floor}, pass = {})\n\
+         latency:  route p50/p99 {route_p50}/{route_p99} us (SLO p99 \
+         {SLO_ROUTE_P99_MICROS}); batch p50/p99 {batch_p50}/{batch_p99} us \
+         (SLO p99 {SLO_BATCH_P99_MICROS})\n\
+         degraded: {degraded_requests} pairs under a live canned FaultSchedule \
+         ({events_applied} events over {fault_frames} FAULT_REPORT frames) -> \
+         {} delivered ({} detoured, {} fallback), {} refused; ratio \
+         {delivered_x1000}/1000 (floor 850, pass = {})\n",
+        u8::from(qps_ge_floor),
+        degraded.delivered,
+        degraded.detoured,
+        degraded.fallback,
+        degraded.refused,
+        u8::from(degraded_ok),
+    );
+    std::fs::write(results.join("bench_serve.txt"), &report).expect("results/ writable");
+    std::fs::write(results.join("BENCH_serve.json"), &json).expect("results/ writable");
+    println!("wrote results/bench_serve.txt, results/BENCH_serve.json");
+
+    assert!(
+        qps_ge_floor,
+        "daemon served {qps} route requests/s, below the {qps_floor} floor"
+    );
+    assert!(
+        batch_p99_le_slo,
+        "batch p99 {batch_p99} us blew the {SLO_BATCH_P99_MICROS} us SLO"
+    );
+    assert!(
+        route_p99_le_slo,
+        "route p99 {route_p99} us blew the {SLO_ROUTE_P99_MICROS} us SLO"
+    );
+    assert!(
+        degraded_ok,
+        "degraded delivered ratio {delivered_x1000}/1000 below 850"
+    );
+}

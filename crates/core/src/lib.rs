@@ -71,10 +71,12 @@ pub use network::CayleyNetwork;
 pub use report::NetworkReport;
 pub use routing::{
     bfs_route, bubble_distance, bubble_sort_sequence, rotator_sort_sequence, route_batch,
-    scg_route, scg_route_faulty, scg_route_faulty_ids, star_diameter, star_dimension_parts,
-    star_distance, star_distance_between, star_route, star_sort_sequence, tn_distance,
-    tn_sort_sequence, BatchState, RouteBuf, RoutePlan, RoutedPath, StarEmulation,
+    scg_route, scg_route_faulty, scg_route_faulty_ids, scg_route_faulty_with, star_diameter,
+    star_dimension_parts, star_distance, star_distance_between, star_route, star_sort_sequence,
+    tn_distance, tn_sort_sequence, BatchState, RouteBuf, RoutePlan, RoutedPath, StarEmulation,
+    MIN_PAIRS_PER_THREAD,
 };
 pub use topology::{
-    materialize, route_plan, Materialized, TopologyCache, DEFAULT_NET_CAP, SMALL_NET_CAP,
+    materialize, route_plan, Materialized, ShardedTopology, TopologyCache, DEFAULT_NET_CAP,
+    SMALL_NET_CAP,
 };

@@ -134,7 +134,31 @@ pub fn scg_route_faulty(
     to: &Perm,
     faults: &FaultSet,
 ) -> Result<RoutedPath, CoreError> {
-    let result = route_faulty_inner(net, mat, from, to, faults);
+    let compiled = route_plan(net)?;
+    scg_route_faulty_with(&compiled, net, mat, from, to, faults)
+}
+
+/// [`scg_route_faulty`] against an explicitly supplied compiled plan,
+/// bypassing the process-wide plan cache.
+///
+/// This is the shard-aware entry point: a caller that owns a per-shard
+/// [`TopologyCache`](crate::TopologyCache) (one per core, no global lock on
+/// the hot path) resolves the plan through *its* cache and routes here, so
+/// concurrent shards never contend on the global cache mutex. Results are
+/// identical to [`scg_route_faulty`] for the same network.
+///
+/// # Errors
+///
+/// As [`scg_route_faulty`].
+pub fn scg_route_faulty_with(
+    plan: &RoutePlan,
+    net: &SuperCayleyGraph,
+    mat: &Materialized,
+    from: &Perm,
+    to: &Perm,
+    faults: &FaultSet,
+) -> Result<RoutedPath, CoreError> {
+    let result = route_faulty_inner(plan, net, mat, from, to, faults);
     #[cfg(feature = "obs")]
     match &result {
         Ok(path) => crate::obs_hooks::route_faulty_done(
@@ -204,6 +228,7 @@ fn replan_into(
 
 /// The uninstrumented routing core behind [`scg_route_faulty`].
 fn route_faulty_inner(
+    compiled: &RoutePlan,
     net: &SuperCayleyGraph,
     mat: &Materialized,
     from: &Perm,
@@ -215,7 +240,6 @@ fn route_faulty_inner(
     if faults.node_failed(src) || faults.node_failed(dst) {
         return Err(CoreError::NoRoute);
     }
-    let compiled = route_plan(net)?;
     let degree = mat.node_degree();
     let detour_budget = 2 * degree;
 
@@ -228,7 +252,7 @@ fn route_faulty_inner(
     // nothing beyond the result vector.
     let mut pending = compiled.new_buf();
     let mut scratch = compiled.new_buf();
-    replan_into(net, &compiled, from, to, &mut pending)?;
+    replan_into(net, compiled, from, to, &mut pending)?;
     let mut pos = 0usize;
 
     while cur != dst {
@@ -283,7 +307,7 @@ fn route_faulty_inner(
                 live = Some(ai);
             }
             let w_label = net.generators()[ai].apply(&cur_label)?;
-            replan_into(net, &compiled, &w_label, to, &mut scratch)?;
+            replan_into(net, compiled, &w_label, to, &mut scratch)?;
             if plan_is_clean(net, mat, faults, w, scratch.hops())? {
                 clean = Some(ai);
                 break;
@@ -298,7 +322,7 @@ fn route_faulty_inner(
             }
             (None, Some(ai)) => {
                 let alt = net.generators()[ai];
-                replan_into(net, &compiled, &alt.apply(&cur_label)?, to, &mut pending)?;
+                replan_into(net, compiled, &alt.apply(&cur_label)?, to, &mut pending)?;
                 pos = 0;
                 Some(ai)
             }

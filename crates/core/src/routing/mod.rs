@@ -8,7 +8,7 @@ mod sort;
 mod star_route;
 
 pub use expand::{star_dimension_parts, StarEmulation};
-pub use fault::{scg_route_faulty, scg_route_faulty_ids, RoutedPath};
+pub use fault::{scg_route_faulty, scg_route_faulty_ids, scg_route_faulty_with, RoutedPath};
 pub use plan::{BatchState, RouteBuf, RoutePlan};
 pub use sort::{
     bubble_distance, bubble_sort_sequence, rotator_sort_sequence, tn_distance, tn_sort_sequence,
@@ -60,6 +60,17 @@ pub fn scg_route(
     Ok(buf.into_hops())
 }
 
+/// Minimum number of pairs a [`route_batch`] worker thread must have
+/// before fanning out to it pays off.
+///
+/// A scoped-thread spawn plus join costs on the order of 50 µs; a routed
+/// pair costs ~100–200 ns through the packed lanes, so a thread needs a
+/// few thousand pairs before the spawn amortizes. Below this floor
+/// `route_batch` shrinks the thread count (down to running entirely on
+/// the caller's thread), which fixed the small-batch regression where
+/// `batch_par` measured *slower* than `batch_seq` on 512-pair batches.
+pub const MIN_PAIRS_PER_THREAD: usize = 2048;
+
 /// Routes every `(from, to)` pair in parallel over `threads` scoped OS
 /// threads, returning the paths in input order.
 ///
@@ -68,9 +79,13 @@ pub fn scg_route(
 /// packed `u64` lane in a reused [`BatchState`] (structure-of-arrays, so
 /// the pack pass vectorizes), and hop emission reuses one
 /// [`RouteBuf`] — no per-pair planning or allocation beyond the returned
-/// vectors. `threads` is clamped to `1..=pairs.len()`; results are
-/// identical to routing each pair with [`scg_route`], for every chunking
-/// and thread count.
+/// vectors. `threads` is clamped to `1..=pairs.len()`, and small batches
+/// skip the fan-out entirely: spawning a scoped thread costs tens of
+/// microseconds while a routed pair costs ~100–200 ns, so below
+/// [`MIN_PAIRS_PER_THREAD`] pairs per thread the spawn overhead swamps
+/// the win and the batch runs on fewer threads (down to the caller's
+/// thread alone). Results are identical to routing each pair with
+/// [`scg_route`], for every chunking and thread count.
 ///
 /// # Errors
 ///
@@ -86,7 +101,11 @@ pub fn route_batch(
     if pairs.is_empty() {
         return Ok(out);
     }
-    let threads = threads.clamp(1, pairs.len());
+    // Adaptive small-batch threshold: never fan out to more threads than
+    // the batch can amortize (see MIN_PAIRS_PER_THREAD).
+    let threads = threads
+        .clamp(1, pairs.len())
+        .min((pairs.len() / MIN_PAIRS_PER_THREAD).max(1));
     let chunk = pairs.len().div_ceil(threads);
     let mut errors: Vec<Option<CoreError>> = vec![None; pairs.len().div_ceil(chunk)];
     std::thread::scope(|scope| {

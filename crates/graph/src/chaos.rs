@@ -68,6 +68,52 @@ impl ChaosEvent {
         }
     }
 
+    /// The stable wire code of this event kind, used by `FAULT_REPORT`
+    /// frames in `scg-serve` (and any other serialization): `0` =
+    /// fail-node, `1` = repair-node, `2` = fail-link, `3` = repair-link,
+    /// `4` = cut cable, `5` = splice cable. [`from_wire`](Self::from_wire)
+    /// inverts it.
+    #[must_use]
+    pub fn kind_code(&self) -> u8 {
+        match self {
+            ChaosEvent::FailNode(_) => 0,
+            ChaosEvent::RepairNode(_) => 1,
+            ChaosEvent::FailLink(_, _) => 2,
+            ChaosEvent::RepairLink(_, _) => 3,
+            ChaosEvent::FailLinkUndirected(_, _) => 4,
+            ChaosEvent::RepairLinkUndirected(_, _) => 5,
+        }
+    }
+
+    /// The event's node operands in wire order: `(node, 0)` for node
+    /// events, `(u, v)` for link events.
+    #[must_use]
+    pub fn wire_args(&self) -> (NodeId, NodeId) {
+        match *self {
+            ChaosEvent::FailNode(u) | ChaosEvent::RepairNode(u) => (u, 0),
+            ChaosEvent::FailLink(u, v)
+            | ChaosEvent::RepairLink(u, v)
+            | ChaosEvent::FailLinkUndirected(u, v)
+            | ChaosEvent::RepairLinkUndirected(u, v) => (u, v),
+        }
+    }
+
+    /// Decodes a `(kind_code, u, v)` triple back into an event; `None`
+    /// for an unknown kind code (the typed-error path of a wire decoder,
+    /// never a panic).
+    #[must_use]
+    pub fn from_wire(kind_code: u8, u: NodeId, v: NodeId) -> Option<ChaosEvent> {
+        match kind_code {
+            0 => Some(ChaosEvent::FailNode(u)),
+            1 => Some(ChaosEvent::RepairNode(u)),
+            2 => Some(ChaosEvent::FailLink(u, v)),
+            3 => Some(ChaosEvent::RepairLink(u, v)),
+            4 => Some(ChaosEvent::FailLinkUndirected(u, v)),
+            5 => Some(ChaosEvent::RepairLinkUndirected(u, v)),
+            _ => None,
+        }
+    }
+
     /// Applies the event to a fault set. Returns whether the set changed
     /// (repairing a live node, for instance, does not).
     pub fn apply(&self, faults: &mut FaultSet) -> bool {
@@ -418,6 +464,33 @@ mod tests {
         DenseGraph::from_neighbor_fn(n, |u| {
             vec![(u + 1) % n as NodeId, (u + n as NodeId - 1) % n as NodeId]
         })
+    }
+
+    #[test]
+    fn wire_codec_round_trips_every_kind() {
+        let events = [
+            ChaosEvent::FailNode(7),
+            ChaosEvent::RepairNode(7),
+            ChaosEvent::FailLink(3, 9),
+            ChaosEvent::RepairLink(3, 9),
+            ChaosEvent::FailLinkUndirected(0, 4),
+            ChaosEvent::RepairLinkUndirected(0, 4),
+        ];
+        for (code, ev) in events.iter().enumerate() {
+            assert_eq!(usize::from(ev.kind_code()), code);
+            let (u, v) = ev.wire_args();
+            assert_eq!(ChaosEvent::from_wire(ev.kind_code(), u, v), Some(*ev));
+        }
+        // Node events carry a zero second operand and ignore it on decode.
+        assert_eq!(ChaosEvent::FailNode(7).wire_args(), (7, 0));
+        assert_eq!(
+            ChaosEvent::from_wire(0, 7, 99),
+            Some(ChaosEvent::FailNode(7))
+        );
+        // Unknown kind codes are a typed decode failure, not a panic.
+        for bad in 6..=u8::MAX {
+            assert_eq!(ChaosEvent::from_wire(bad, 0, 0), None);
+        }
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use error::ObsError;
 pub use export::write_snapshot;
 pub use metrics::{Counter, Gauge, Histogram, Timer};
 pub use registry::Registry;
-pub use snapshot::{MetricSnapshot, MetricValue, Snapshot};
+pub use snapshot::{quantile_upper_bound, MetricSnapshot, MetricValue, Snapshot};
 pub use trace::{EventTrace, SpanGuard, TraceEvent};

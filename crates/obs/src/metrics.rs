@@ -191,6 +191,25 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed) // ord: Relaxed — independent counter snapshot; no other memory is published
     }
 
+    /// The live [`quantile_upper_bound`](crate::quantile_upper_bound) of
+    /// this histogram: the upper bound of the first bucket whose
+    /// cumulative count reaches `q_x1000` per mille of the total
+    /// (`500` → p50, `990` → p99). `None` when empty or `q_x1000 > 1000`.
+    ///
+    /// This is the estimator behind latency-SLO gauges: cheap enough to
+    /// evaluate at scrape time, conservative in the usual bucketed sense
+    /// (true quantile ≤ the returned bound, saturating at the largest
+    /// finite bound for overflow observations).
+    #[must_use]
+    pub fn quantile_x1000(&self, q_x1000: u64) -> Option<u64> {
+        crate::snapshot::quantile_upper_bound(
+            &self.bounds,
+            &self.bucket_counts(),
+            self.count(),
+            q_x1000,
+        )
+    }
+
     /// Mean observation (0.0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {
@@ -234,6 +253,20 @@ impl Drop for Timer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_live_quantiles() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        assert_eq!(h.quantile_x1000(500), None);
+        for v in [1u64, 2, 3, 4, 5, 50, 50, 50, 50, 500] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_x1000(500), Some(10));
+        assert_eq!(h.quantile_x1000(900), Some(100));
+        assert_eq!(h.quantile_x1000(990), Some(1000));
+        h.observe(1_000_000); // overflow saturates at the last bound
+        assert_eq!(h.quantile_x1000(1000), Some(1000));
+    }
 
     #[test]
     fn counter_counts() {

@@ -48,6 +48,40 @@ impl MetricValue {
     }
 }
 
+/// The histogram quantile estimate used for latency SLOs: the upper bound
+/// of the first bucket at which the cumulative count reaches
+/// `q_x1000 / 1000` of the total (`q_x1000 = 500` → p50, `990` → p99;
+/// integer per-mille so callers never touch floats).
+///
+/// Bucketed data cannot resolve finer than a bucket, so this is the
+/// standard conservative (over-)estimate: the true quantile is ≤ the
+/// returned bound unless it falls in the overflow bucket, in which case
+/// the largest finite bound is returned (the histogram only knows
+/// "beyond the last bound"). Returns `None` for an empty histogram or
+/// `q_x1000 > 1000`.
+#[must_use]
+pub fn quantile_upper_bound(
+    bounds: &[u64],
+    counts: &[u64],
+    count: u64,
+    q_x1000: u64,
+) -> Option<u64> {
+    if count == 0 || q_x1000 > 1000 || bounds.is_empty() {
+        return None;
+    }
+    // Rank of the target observation, 1-based, rounded up: the smallest
+    // rank whose cumulative share is ≥ q.
+    let rank = (count * q_x1000).div_ceil(1000).max(1);
+    let mut seen = 0u64;
+    for (bound, bucket) in bounds.iter().zip(counts) {
+        seen += bucket;
+        if seen >= rank {
+            return Some(*bound);
+        }
+    }
+    bounds.last().copied() // target lives in the overflow bucket
+}
+
 /// One metric (family name + label set + value) in a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSnapshot {
@@ -122,6 +156,47 @@ impl Snapshot {
         Snapshot {
             metrics: self.metrics.iter().filter(|m| keep(m)).cloned().collect(),
         }
+    }
+
+    /// The [`quantile_upper_bound`] of histogram family `name`, aggregated
+    /// over every label child whose bucket layout matches the first child's
+    /// (children with a different layout are skipped — bucket counts are
+    /// only additive over a shared layout).
+    ///
+    /// This is how latency SLOs are read back out of an exported snapshot:
+    /// `snap.quantile("scg_serve_batch_micros", 990)` is the p99 batch
+    /// latency in microseconds. Returns `None` if the family is missing,
+    /// empty, or not a histogram.
+    #[must_use]
+    pub fn quantile(&self, name: &str, q_x1000: u64) -> Option<u64> {
+        let mut agg_bounds: Option<&[u64]> = None;
+        let mut agg_counts: Vec<u64> = Vec::new();
+        let mut agg_count = 0u64;
+        for m in self.metrics.iter().filter(|m| m.name == name) {
+            if let MetricValue::Histogram {
+                bounds,
+                counts,
+                count,
+                ..
+            } = &m.value
+            {
+                match agg_bounds {
+                    None => {
+                        agg_bounds = Some(bounds);
+                        agg_counts = counts.clone();
+                        agg_count = *count;
+                    }
+                    Some(b) if b == bounds.as_slice() => {
+                        for (a, c) in agg_counts.iter_mut().zip(counts) {
+                            *a += c;
+                        }
+                        agg_count += count;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        quantile_upper_bound(agg_bounds?, &agg_counts, agg_count, q_x1000)
     }
 
     /// Prometheus-flavored plain-text exposition.
@@ -329,6 +404,65 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_upper_bound_basics() {
+        let bounds = [10u64, 100, 1000];
+        // 10 observations: 5 in ≤10, 4 in ≤100, 1 in ≤1000, 0 overflow.
+        let counts = [5u64, 4, 1, 0];
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 0), Some(10));
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 500), Some(10));
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 501), Some(100));
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 900), Some(100));
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 990), Some(1000));
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 1000), Some(1000));
+        // Overflow observations saturate at the largest finite bound.
+        let overflow = [0u64, 0, 0, 3];
+        assert_eq!(quantile_upper_bound(&bounds, &overflow, 3, 500), Some(1000));
+        // Empty histogram / out-of-range quantile.
+        assert_eq!(quantile_upper_bound(&bounds, &[0, 0, 0, 0], 0, 500), None);
+        assert_eq!(quantile_upper_bound(&bounds, &counts, 10, 1001), None);
+        assert_eq!(quantile_upper_bound(&[], &[], 1, 500), None);
+    }
+
+    #[test]
+    fn snapshot_quantile_aggregates_label_children() {
+        let hist = |counts: Vec<u64>, count: u64| MetricValue::Histogram {
+            bounds: vec![10, 100],
+            counts,
+            count,
+            sum: 0,
+        };
+        let snap = Snapshot {
+            metrics: vec![
+                MetricSnapshot {
+                    name: "lat".into(),
+                    labels: vec![("op".into(), "a".into())],
+                    value: hist(vec![9, 0, 0], 9),
+                },
+                MetricSnapshot {
+                    name: "lat".into(),
+                    labels: vec![("op".into(), "b".into())],
+                    value: hist(vec![0, 1, 0], 1),
+                },
+                // A different layout is skipped, not mis-added.
+                MetricSnapshot {
+                    name: "lat".into(),
+                    labels: vec![("op".into(), "c".into())],
+                    value: MetricValue::Histogram {
+                        bounds: vec![1],
+                        counts: vec![100, 0],
+                        count: 100,
+                        sum: 0,
+                    },
+                },
+            ],
+        };
+        // 10 aggregated observations, the 10th in the ≤100 bucket.
+        assert_eq!(snap.quantile("lat", 900), Some(10));
+        assert_eq!(snap.quantile("lat", 1000), Some(100));
+        assert_eq!(snap.quantile("missing", 500), None);
+    }
 
     fn sample() -> Snapshot {
         Snapshot {

@@ -1,0 +1,278 @@
+//! A small blocking client for the daemon's binary protocol — used by
+//! the loopback tests, the benchmark harness, and scriptable callers.
+//!
+//! One request/one reply by default ([`Client::request`]); the split
+//! [`Client::send`] / [`Client::recv`] halves support pipelining many
+//! frames before reading any reply (the benchmark's open-loop mode).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::wire::{decode_reply, encode_request, peek_frame, ErrCode, FrameStatus, Reply, Request};
+
+/// Either transport, blocking.
+#[derive(Debug)]
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.write_all(buf),
+            Transport::Unix(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// A blocking connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    transport: Transport,
+    /// Reply bytes read but not yet decoded (frames can straddle reads).
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects over the Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            transport: Transport::Unix(UnixStream::connect(path)?),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Connects over TCP (`set_nodelay` on, as the protocol is
+    /// request/reply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        Ok(Client {
+            transport: Transport::Tcp(s),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request frame without waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write failure.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.transport.write_all(&encode_request(req))
+    }
+
+    /// Sends pre-encoded bytes verbatim (malformed-frame testing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.transport.write_all(bytes)
+    }
+
+    /// Blocks until one complete reply frame arrives and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, a server-side close mid-frame, or a reply that
+    /// fails to decode (both mapped to [`io::ErrorKind::InvalidData`]).
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match peek_frame(&self.buf) {
+                FrameStatus::Frame {
+                    ver,
+                    ftype,
+                    start,
+                    end,
+                } => {
+                    let reply =
+                        decode_reply(ver, ftype, &self.buf[start..end]).map_err(invalid_data)?;
+                    self.buf.drain(..end);
+                    return Ok(reply);
+                }
+                FrameStatus::NeedMore => {
+                    let n = self.transport.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed mid-frame",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                FrameStatus::BadLength(len) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply frame with unframeable length {len}"),
+                    ));
+                }
+                FrameStatus::Http => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "HTTP bytes on a binary-protocol connection",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Blocks until one complete reply frame arrives and hands its raw
+    /// type byte and payload to `visit` without decoding — the benchmark
+    /// harness scans batch replies in place instead of materializing a
+    /// `Vec<Generator>` per pair.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, a server-side close mid-frame, or unframeable
+    /// bytes (mapped to [`io::ErrorKind::InvalidData`]).
+    pub fn recv_with<R>(&mut self, visit: impl FnOnce(u8, &[u8]) -> R) -> io::Result<R> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match peek_frame(&self.buf) {
+                FrameStatus::Frame {
+                    ftype, start, end, ..
+                } => {
+                    let out = visit(ftype, &self.buf[start..end]);
+                    self.buf.drain(..end);
+                    return Ok(out);
+                }
+                FrameStatus::NeedMore => {
+                    let n = self.transport.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed mid-frame",
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                FrameStatus::BadLength(len) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply frame with unframeable length {len}"),
+                    ));
+                }
+                FrameStatus::Http => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "HTTP bytes on a binary-protocol connection",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One request, one reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] and [`Client::recv`].
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Scrapes the server-local metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a non-`METRICS_OK` reply.
+    pub fn metrics(&mut self, json: bool) -> io::Result<String> {
+        match self.request(&Request::Metrics { json })? {
+            Reply::MetricsOk(body) => Ok(body),
+            Reply::Error { code, detail } => Err(server_error(code, &detail)),
+            other => Err(invalid_data_reply(&other)),
+        }
+    }
+}
+
+fn invalid_data(code: ErrCode) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("reply did not decode: {}", code.as_str()),
+    )
+}
+
+fn server_error(code: ErrCode, detail: &str) -> io::Error {
+    io::Error::other(format!("server error {}: {detail}", code.as_str()))
+}
+
+fn invalid_data_reply(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply kind: {reply:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{spawn, Config};
+    use crate::wire::NetId;
+    use scg_core::{apply_path, CayleyNetwork, ScgClass};
+    use scg_perm::Perm;
+
+    #[test]
+    fn client_round_trips_and_pipelines() {
+        let path =
+            std::env::temp_dir().join(format!("scg-serve-client-{}.sock", std::process::id()));
+        let server = spawn(Config {
+            uds_path: path.clone(),
+            tcp: false,
+            shards: 1,
+        })
+        .expect("spawn");
+        let net_id = NetId {
+            class: ScgClass::MacroStar,
+            levels: 2,
+            box_size: 2,
+        };
+        let net = net_id.to_net().expect("MS(2,2)");
+        let k = net.degree_k();
+        let from = Perm::identity(k);
+        let rev: Vec<u8> = (1..=k as u8).rev().collect();
+        let to = Perm::from_symbols(&rev).expect("perm");
+
+        let mut client = Client::connect_uds(&path).expect("connect");
+        // Pipelined: three sends before any recv.
+        let req = Request::Route {
+            net: net_id,
+            from,
+            to,
+        };
+        for _ in 0..3 {
+            client.send(&req).expect("send");
+        }
+        for _ in 0..3 {
+            match client.recv().expect("recv") {
+                Reply::RouteOk { hops, .. } => {
+                    assert_eq!(apply_path(&from, &hops).expect("apply"), to);
+                }
+                other => panic!("expected RouteOk, got {other:?}"),
+            }
+        }
+        let text = client.metrics(false).expect("metrics");
+        assert!(text.contains("scg_serve_routes_total 3"));
+        server.shutdown();
+    }
+}

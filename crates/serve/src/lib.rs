@@ -1,0 +1,41 @@
+//! `scg-serve`: a zero-dependency epoll routing daemon for super Cayley
+//! graphs.
+//!
+//! The daemon answers a compact length-prefixed binary protocol
+//! ([`wire`]) over Unix-domain and loopback TCP sockets: single routes,
+//! packed route batches, fault reports, and metrics scrapes. Request
+//! handling is sharded one event loop per core ([`server`]), each shard
+//! owning its own [`scg_core::TopologyCache`] so the hot path takes no
+//! cross-core lock; plain-HTTP `GET /metrics` and `GET /healthz` are
+//! served as a fallback on the same listeners for `curl`-ability.
+//!
+//! The crate follows the workspace's zero-dependency idiom: the only
+//! FFI is a three-syscall epoll binding ([`epoll`]) against the libc
+//! that `std` already links.
+//!
+//! ```no_run
+//! use scg_serve::{spawn, Client, Config};
+//!
+//! let server = spawn(Config::new("/tmp/scg.sock"))?;
+//! let mut client = Client::connect_uds(server.uds_path())?;
+//! println!("{}", client.metrics(false)?);
+//! server.shutdown();
+//! # std::io::Result::Ok(())
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod client;
+pub mod conn;
+pub mod epoll;
+pub mod metrics;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use client::Client;
+pub use metrics::ServeMetrics;
+pub use server::{spawn, Config, RunningServer};
+pub use shard::{FaultJournal, ShardCore};
+pub use wire::{ErrCode, FrameType, NetId, Reply, Request};

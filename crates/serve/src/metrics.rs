@@ -1,0 +1,211 @@
+//! The server-local metrics registry and latency SLOs.
+//!
+//! Every daemon instance owns a private [`Registry`] — it *is* the
+//! payload of a `METRICS` request and of the HTTP `/metrics` fallback,
+//! not optional instrumentation, so it exists on both feature legs.
+//! Under the `obs` feature the counters are additionally mirrored into
+//! the process-wide registry so the daemon shows up next to the
+//! routing/topology hooks; mirroring touches no wire bytes (proven
+//! byte-for-byte by `tests/observability.rs`).
+//!
+//! SLOs are defined from the existing histogram machinery: the measured
+//! p50/p99 of the per-request service-time histograms are exported as
+//! gauges (`scg_serve_route_p50_micros`, …) next to fixed target gauges
+//! (`*_target_micros`), both refreshed at scrape time via
+//! [`Histogram::quantile_x1000`]. A scrape is SLO-clean when measured ≤
+//! target for every pair.
+
+use std::sync::Arc;
+
+use scg_obs::{Counter, Gauge, Histogram, Registry, Snapshot};
+
+use crate::wire::ErrCode;
+
+/// Service-time bucket bounds (µs): sub-µs to 1 s.
+pub const MICROS_BOUNDS: [u64; 17] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    1_000_000,
+];
+
+/// Hop-count buckets, matching `scg-core`'s routing hooks.
+pub const HOPS_BOUNDS: [u64; 10] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+
+/// Batch-size buckets (pairs per `ROUTE_BATCH`).
+pub const PAIRS_BOUNDS: [u64; 8] = [1, 8, 32, 128, 512, 1_024, 2_048, 4_096];
+
+/// SLO target: single-route p50 service time (µs, loopback).
+pub const SLO_ROUTE_P50_MICROS: u64 = 500;
+/// SLO target: single-route p99 service time (µs, loopback).
+pub const SLO_ROUTE_P99_MICROS: u64 = 5_000;
+/// SLO target: batch p50 service time (µs, loopback, ≤ 4096 pairs).
+pub const SLO_BATCH_P50_MICROS: u64 = 10_000;
+/// SLO target: batch p99 service time (µs, loopback, ≤ 4096 pairs).
+pub const SLO_BATCH_P99_MICROS: u64 = 100_000;
+
+/// Hot-path instruments, resolved once at server start so request
+/// handling never does a registry lookup.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Accepted connections, by transport.
+    pub conns_uds: Arc<Counter>,
+    /// Accepted connections, by transport.
+    pub conns_tcp: Arc<Counter>,
+    /// Currently open connections.
+    pub open_conns: Arc<Gauge>,
+    /// Requests by kind (route / batch / fault / metrics / http).
+    pub req_route: Arc<Counter>,
+    /// See [`ServeMetrics::req_route`].
+    pub req_batch: Arc<Counter>,
+    /// See [`ServeMetrics::req_route`].
+    pub req_fault: Arc<Counter>,
+    /// See [`ServeMetrics::req_route`].
+    pub req_metrics: Arc<Counter>,
+    /// HTTP fallback requests served.
+    pub req_http: Arc<Counter>,
+    /// Routed pairs (single + batched), successful only.
+    pub routes: Arc<Counter>,
+    /// Pairs refused with `NoRoute` (degraded mode).
+    pub refused: Arc<Counter>,
+    /// Routes that needed at least one detour.
+    pub detoured: Arc<Counter>,
+    /// Routes that needed the survivor-BFS fallback.
+    pub fallback: Arc<Counter>,
+    /// Hop counts of successful routes.
+    pub hops: Arc<Histogram>,
+    /// Pairs per batch frame.
+    pub batch_pairs: Arc<Histogram>,
+    /// Single-route service time (decode → reply queued), µs.
+    pub route_micros: Arc<Histogram>,
+    /// Batch service time (decode → reply queued), µs.
+    pub batch_micros: Arc<Histogram>,
+    /// Connections that tripped the high-water mark at least once.
+    pub backpressure_stalls: Arc<Counter>,
+    /// Largest per-connection write queue seen (bytes).
+    pub queue_peak: Arc<Gauge>,
+    /// Fault events that changed a fault set.
+    pub fault_events: Arc<Counter>,
+    slo_route_p50: Arc<Gauge>,
+    slo_route_p99: Arc<Gauge>,
+    slo_batch_p50: Arc<Gauge>,
+    slo_batch_p99: Arc<Gauge>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
+}
+
+impl ServeMetrics {
+    /// A fresh registry with every instrument registered.
+    #[must_use]
+    pub fn new() -> ServeMetrics {
+        let r = Registry::new();
+        // Fixed SLO targets, exported so scrapers can evaluate
+        // measured-vs-target without configuration.
+        r.gauge("scg_serve_slo_route_p50_target_micros", &[])
+            .set(SLO_ROUTE_P50_MICROS as i64);
+        r.gauge("scg_serve_slo_route_p99_target_micros", &[])
+            .set(SLO_ROUTE_P99_MICROS as i64);
+        r.gauge("scg_serve_slo_batch_p50_target_micros", &[])
+            .set(SLO_BATCH_P50_MICROS as i64);
+        r.gauge("scg_serve_slo_batch_p99_target_micros", &[])
+            .set(SLO_BATCH_P99_MICROS as i64);
+        let kind = |k: &str| r.counter("scg_serve_requests_total", &[("kind", k)]);
+        ServeMetrics {
+            conns_uds: r.counter("scg_serve_connections_total", &[("transport", "uds")]),
+            conns_tcp: r.counter("scg_serve_connections_total", &[("transport", "tcp")]),
+            open_conns: r.gauge("scg_serve_open_connections", &[]),
+            req_route: kind("route"),
+            req_batch: kind("route_batch"),
+            req_fault: kind("fault_report"),
+            req_metrics: kind("metrics"),
+            req_http: kind("http"),
+            routes: r.counter("scg_serve_routes_total", &[]),
+            refused: r.counter("scg_serve_route_refused_total", &[]),
+            detoured: r.counter("scg_serve_route_detoured_total", &[]),
+            fallback: r.counter("scg_serve_route_fallback_total", &[]),
+            hops: r.histogram("scg_serve_route_hops", &[], &HOPS_BOUNDS),
+            batch_pairs: r.histogram("scg_serve_batch_pairs", &[], &PAIRS_BOUNDS),
+            route_micros: r.histogram("scg_serve_route_micros", &[], &MICROS_BOUNDS),
+            batch_micros: r.histogram("scg_serve_batch_micros", &[], &MICROS_BOUNDS),
+            backpressure_stalls: r.counter("scg_serve_backpressure_stalls_total", &[]),
+            queue_peak: r.gauge("scg_serve_write_queue_peak_bytes", &[]),
+            fault_events: r.counter("scg_serve_fault_events_applied_total", &[]),
+            slo_route_p50: r.gauge("scg_serve_route_p50_micros", &[]),
+            slo_route_p99: r.gauge("scg_serve_route_p99_micros", &[]),
+            slo_batch_p50: r.gauge("scg_serve_batch_p50_micros", &[]),
+            slo_batch_p99: r.gauge("scg_serve_batch_p99_micros", &[]),
+            registry: r,
+        }
+    }
+
+    /// Typed-error counter for `code` (cold path; label resolved per
+    /// call).
+    pub fn inc_error(&self, code: ErrCode) {
+        self.registry
+            .counter("scg_serve_errors_total", &[("code", code.as_str())])
+            .inc();
+        #[cfg(feature = "obs")]
+        Registry::global()
+            .counter("scg_serve_errors_total", &[("code", code.as_str())])
+            .inc();
+    }
+
+    /// The local registry (for tests and the snapshot path).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Refreshes the measured-SLO gauges from the latency histograms and
+    /// snapshots the whole registry. This is what a `METRICS` request
+    /// and `/metrics` scrape serve.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let set = |g: &Gauge, h: &Histogram, q: u64| {
+            g.set(h.quantile_x1000(q).unwrap_or(0) as i64);
+        };
+        set(&self.slo_route_p50, &self.route_micros, 500);
+        set(&self.slo_route_p99, &self.route_micros, 990);
+        set(&self.slo_batch_p50, &self.batch_micros, 500);
+        set(&self.slo_batch_p99, &self.batch_micros, 990);
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_slo_fields() {
+        let m = ServeMetrics::new();
+        for _ in 0..99 {
+            m.route_micros.observe(3);
+        }
+        // Two outliers: rank ceil(101·0.99) = 100 lands on the first of
+        // them, so the measured p99 reports their 500 µs bucket.
+        m.route_micros.observe(400);
+        m.route_micros.observe(400);
+        let snap = m.snapshot();
+        let text = snap.to_text();
+        assert!(text.contains("scg_serve_route_p50_micros 5"));
+        assert!(text.contains("scg_serve_route_p99_micros 500"));
+        assert!(text.contains("scg_serve_slo_route_p99_target_micros 5000"));
+        assert!(text.contains("scg_serve_slo_batch_p99_target_micros 100000"));
+        assert_eq!(snap.quantile("scg_serve_route_micros", 500), Some(5));
+    }
+
+    #[test]
+    fn error_counter_labels_by_code() {
+        let m = ServeMetrics::new();
+        m.inc_error(ErrCode::Malformed);
+        m.inc_error(ErrCode::Malformed);
+        m.inc_error(ErrCode::NoRoute);
+        let text = m.snapshot().to_text();
+        assert!(text.contains("scg_serve_errors_total{code=\"malformed\"} 2"));
+        assert!(text.contains("scg_serve_errors_total{code=\"no_route\"} 1"));
+    }
+}

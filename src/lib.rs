@@ -24,6 +24,7 @@
 //! | [`emu`] | `scg-emu` | SDC/all-port emulation, Figure 1 schedules (Thms 4–5), simulator |
 //! | [`comm`] | `scg-comm` | multinode broadcast and total exchange (Corollaries 2–3) |
 //! | [`obs`] | `scg-obs` | zero-dependency metrics registry, snapshots, event tracing |
+//! | [`serve`] | `scg-serve` | epoll routing daemon: binary wire protocol, sharded caches, SLOs |
 //!
 //! # Quickstart
 //!
@@ -92,4 +93,12 @@ pub mod comm {
 /// `obs` cargo feature is enabled.
 pub mod obs {
     pub use scg_obs::*;
+}
+
+/// The routing daemon (`scg-serve`): a zero-dependency epoll event loop
+/// serving routes over a length-prefixed binary protocol on Unix-domain
+/// and TCP sockets, with per-shard topology caches, live fault
+/// ingestion, and latency SLOs (the `scg-serve` binary starts one).
+pub mod serve {
+    pub use scg_serve::*;
 }

@@ -270,3 +270,134 @@ fn trace_records_run_end_events() {
         "no sim.run.end event in the global trace"
     );
 }
+
+/// Behavior-neutrality for the serving stack: the daemon's reply bytes
+/// are a pure function of the request sequence, independent of the `obs`
+/// feature (which only *mirrors* the server-local registry into the
+/// global one). Every reply here is compared byte-for-byte against
+/// frames re-encoded from feature-independent expectations — the
+/// in-process router's hops, the known fault epoch, the typed refusal.
+/// CI runs this on both legs; a single diverging byte fails one of them.
+/// (`METRICS` bodies are excluded: histogram contents are timing-
+/// dependent on *any* leg, so they are checked structurally instead.)
+#[test]
+fn serve_replies_are_byte_identical_across_obs_legs() {
+    use supercayley::perm::Perm;
+    use supercayley::serve::wire::{encode_reply, BatchItem, ErrCode};
+    use supercayley::serve::{spawn, Client, Config, NetId, Reply, Request};
+
+    let sock = std::env::temp_dir().join(format!("scg-obs-serve-{}.sock", std::process::id()));
+    let server = spawn(Config {
+        uds_path: sock.clone(),
+        tcp: false,
+        shards: 1,
+    })
+    .expect("daemon spawns");
+    let net_id = NetId {
+        class: ScgClass::MacroStar,
+        levels: 2,
+        box_size: 2,
+    };
+    let net = net_id.to_net().expect("MS(2,2) constructs");
+    let mat = materialize(&net, SMALL_NET_CAP).expect("120 nodes under cap");
+    let mut rng = XorShift64::new(0x0B5_5EED);
+    let k = net.degree_k();
+    let mut client = Client::connect_uds(&sock).expect("connect");
+
+    // Fixed-seed pairs; expected hops from the in-process router, which
+    // compiles identically on both legs (the hooks only observe).
+    let pairs: Vec<(Perm, Perm)> = (0..8)
+        .map(|_| (Perm::random(k, &mut rng), Perm::random(k, &mut rng)))
+        .collect();
+    let expect_frame = |reply: &Reply| encode_reply(reply);
+    let recv_frame = |client: &mut Client| -> Vec<u8> {
+        client
+            .recv_with(|ftype, payload| {
+                let mut frame = ((payload.len() + 2) as u32).to_le_bytes().to_vec();
+                frame.push(1);
+                frame.push(ftype);
+                frame.extend_from_slice(payload);
+                frame
+            })
+            .expect("reply frame")
+    };
+
+    let (from, to) = pairs[0];
+    client
+        .send(&Request::Route {
+            net: net_id,
+            from,
+            to,
+        })
+        .expect("send route");
+    assert_eq!(
+        recv_frame(&mut client),
+        expect_frame(&Reply::RouteOk {
+            flags: 0,
+            hops: scg_route(&net, &from, &to).expect("route"),
+        }),
+        "ROUTE reply bytes diverged"
+    );
+
+    client
+        .send(&Request::RouteBatch {
+            net: net_id,
+            pairs: pairs.clone(),
+        })
+        .expect("send batch");
+    assert_eq!(
+        recv_frame(&mut client),
+        expect_frame(&Reply::RouteBatchOk(
+            pairs
+                .iter()
+                .map(|(f, t)| BatchItem {
+                    status: 0,
+                    flags: 0,
+                    hops: scg_route(&net, f, t).expect("route"),
+                })
+                .collect(),
+        )),
+        "ROUTE_BATCH reply bytes diverged"
+    );
+
+    // One fault: epoch advances 0 -> 1 deterministically; routing to the
+    // dead destination refuses with empty detail.
+    let victim = pairs[1].1;
+    let victim_node = mat.node_id(&victim).expect("node id");
+    client
+        .send(&Request::FaultReport {
+            net: net_id,
+            events: vec![supercayley::graph::ChaosEvent::FailNode(victim_node)],
+        })
+        .expect("send fault");
+    assert_eq!(
+        recv_frame(&mut client),
+        expect_frame(&Reply::FaultOk {
+            applied: 1,
+            epoch: 1,
+        }),
+        "FAULT_REPORT reply bytes diverged"
+    );
+    client
+        .send(&Request::Route {
+            net: net_id,
+            from: Perm::identity(k),
+            to: victim,
+        })
+        .expect("send refused route");
+    assert_eq!(
+        recv_frame(&mut client),
+        expect_frame(&Reply::Error {
+            code: ErrCode::NoRoute,
+            detail: String::new(),
+        }),
+        "typed-refusal bytes diverged"
+    );
+
+    // METRICS is structurally checked only (histogram contents are
+    // timing-dependent regardless of feature leg).
+    let text = client.metrics(false).expect("metrics");
+    assert!(text.contains("scg_serve_routes_total 9"));
+    assert!(text.contains("scg_serve_route_refused_total 1"));
+    server.shutdown();
+}

@@ -151,6 +151,41 @@ fn random_sweeps_match_perm_at_degrees_9_to_16() {
     }
 }
 
+/// Whatever leg the `compose` dispatch picks — the `pshufb` SIMD kernel
+/// under the opt-in `simd` feature on an SSSE3-capable CPU, the scalar
+/// nibble-gather otherwise — it is bit-identical to `compose_scalar`:
+/// exhaustively over every ordered pair of `S_7` (25 401 600 pairs,
+/// split across scoped threads like the reference sweep above), then by
+/// seeded sweep at every packed degree `9..=16`. On the default leg
+/// this pins dispatch ≡ scalar; under `--features simd` it is the
+/// differential proof for the vector kernel.
+#[test]
+fn compose_dispatch_is_bit_identical_to_scalar_everywhere() {
+    let group = packed_group(7);
+    let workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let chunk = group.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for lefts in group.chunks(chunk) {
+            let group = &group;
+            scope.spawn(move || {
+                for (a, pa) in lefts {
+                    for (b, pb) in group {
+                        assert_eq!(pa.compose(*pb), pa.compose_scalar(*pb), "{a} ∘ {b}");
+                    }
+                }
+            });
+        }
+    });
+    let mut rng = XorShift64::new(0x51D_C0DE);
+    for k in 9..=MAX_PACKED_DEGREE {
+        for _ in 0..500 {
+            let pa = PackedPerm::pack(&Perm::random(k, &mut rng)).unwrap();
+            let pb = PackedPerm::pack(&Perm::random(k, &mut rng)).unwrap();
+            assert_eq!(pa.compose(pb), pa.compose_scalar(pb), "k={k}: {pa} ∘ {pb}");
+        }
+    }
+}
+
 /// The packed `route_into` emits hop sequences byte-identical to the
 /// legacy path — the optimal star route expanded link by link through the
 /// plan's precompiled slices — on **every ordered pair** of `S_5` labels,
