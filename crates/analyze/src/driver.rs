@@ -1,19 +1,30 @@
-//! The lint driver: file discovery, test-region detection, suppression
-//! matching, and diagnostic assembly.
+//! The lint driver: file discovery, suppression matching, diagnostic
+//! assembly, and the workspace-level panic-reachability pass.
 //!
 //! The driver walks the workspace's *library* sources — `crates/<name>/src`
 //! for every crate except the bench harness, plus the root `src/` tree
-//! minus `src/bin` — lexes each file once, computes which lines are
-//! test-gated, runs every rule, and resolves `// scg-allow` suppressions.
-//! Files under `tests/`, `benches/`, and `examples/` are intentionally out
-//! of scope: the invariants protect production code paths.
+//! minus `src/bin` — lexes each file once, builds its
+//! [`SyntaxTree`](crate::syntax::SyntaxTree) (test regions, fn bodies,
+//! unsafe blocks, extern declarations), runs every per-file rule, resolves
+//! `// scg-allow` suppressions, and extracts call-graph summaries. A final
+//! cross-file pass runs SCG008 panic reachability from the wire-decode and
+//! routing entry points. Files under `tests/`, `benches/`, and `examples/`
+//! are intentionally out of scope: the invariants protect production code
+//! paths.
+//!
+//! With a cache path ([`analyze_workspace_cached`]) the per-file pass is
+//! skipped for files whose content hash is unchanged — see
+//! [`crate::cache`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::cache::{self, Cache, FileEntry};
+use crate::callgraph::{self, FnSummary};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::rules::{check_file, FileInfo, RuleId};
+use crate::syntax;
 
 /// A fully resolved finding: a rule violation plus its suppression state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +58,8 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files lexed and checked.
     pub files_scanned: usize,
+    /// Call-graph summaries of every scanned function (input to SCG008).
+    pub summaries: Vec<FnSummary>,
 }
 
 impl Analysis {
@@ -80,25 +93,123 @@ struct Suppression {
 /// or a source file cannot be read — the analyzer refuses to "pass" on a
 /// tree it could not actually see.
 pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    analyze_workspace_cached(root, None)
+}
+
+/// [`analyze_workspace`] with an incremental cache: files whose content
+/// hash matches the cache reuse their per-file results; the SCG008
+/// reachability pass always runs fresh over all summaries. The refreshed
+/// cache is written back to `cache_path` (best-effort — a read-only
+/// filesystem costs speed, not correctness).
+///
+/// # Errors
+///
+/// Same contract as [`analyze_workspace`]; cache problems are never
+/// errors.
+pub fn analyze_workspace_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> Result<Analysis, String> {
     let files = discover(root)?;
+    let mut old = cache_path.and_then(cache::load).unwrap_or_default();
+    let mut fresh = Cache::default();
     let mut analysis = Analysis::default();
     for (path, info) in files {
         let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        analyze_source(&src, &info, &mut analysis);
+        let hash = cache::fnv1a(src.as_bytes());
+        let entry = match old.entries.remove(&info.rel_path) {
+            Some(e) if e.hash == hash => e,
+            _ => {
+                let (diagnostics, summaries) = analyze_file(&src, &info);
+                FileEntry {
+                    hash,
+                    diagnostics,
+                    summaries,
+                }
+            }
+        };
+        analysis.files_scanned += 1;
+        analysis
+            .diagnostics
+            .extend(entry.diagnostics.iter().cloned());
+        analysis.summaries.extend(entry.summaries.iter().cloned());
+        fresh.entries.insert(info.rel_path.clone(), entry);
+    }
+    finish(&mut analysis, &dep_map(root));
+    if let Some(p) = cache_path {
+        match cache::save(p, &fresh) {
+            Ok(()) | Err(_) => {} // best-effort: a stale cache only costs speed
+        }
+    }
+    Ok(analysis)
+}
+
+/// Analyzes a set of in-memory sources as one workspace — the unit the
+/// SCG008 fixture tests drive. All files see each other through the call
+/// graph with an empty dependency map (same-crate resolution only, plus
+/// explicit `scg_*::` paths).
+#[must_use]
+pub fn analyze_sources(files: &[(FileInfo, &str)]) -> Analysis {
+    let mut analysis = Analysis::default();
+    for (info, src) in files {
+        analyze_source(src, info, &mut analysis);
+    }
+    let deps = files
+        .iter()
+        .map(|(info, _)| (info.crate_name.clone(), BTreeSet::new()))
+        .collect();
+    finish(&mut analysis, &deps);
+    analysis
+}
+
+/// Appends the workspace-level SCG008 diagnostics and sorts everything.
+fn finish(analysis: &mut Analysis, deps: &BTreeMap<String, BTreeSet<String>>) {
+    for f in callgraph::reachability(&analysis.summaries, deps, &callgraph::DEFAULT_ENTRIES) {
+        analysis.diagnostics.push(Diagnostic {
+            rule: RuleId::Scg008,
+            file: f.file,
+            line: f.line,
+            col: f.col,
+            message: f.message,
+            suppressed: None,
+        });
     }
     analysis
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(analysis)
 }
 
-/// Analyzes one in-memory source file (the unit the fixture tests drive).
+/// Analyzes one in-memory source file (the unit the per-file fixture
+/// tests drive), appending diagnostics and call-graph summaries.
 pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
-    let tokens = lex(src);
-    let test_lines = test_line_set(src, &tokens);
-    let mut suppressions = collect_suppressions(src, &tokens);
-    let violations = check_file(src, &tokens, info, &|line| test_lines.contains(&line));
+    let (diagnostics, summaries) = analyze_file(src, info);
     analysis.files_scanned += 1;
+    analysis.diagnostics.extend(diagnostics);
+    analysis.summaries.extend(summaries);
+}
+
+/// The per-file pass: lex, tree, rules, suppressions, summaries.
+fn analyze_file(src: &str, info: &FileInfo) -> (Vec<Diagnostic>, Vec<FnSummary>) {
+    let tokens = lex(src);
+    let tree = syntax::build(src, &tokens);
+    let mut suppressions = collect_suppressions(src, &tokens);
+    let violations = check_file(src, &tokens, info, &tree);
+
+    // SCG008 audit marks: justified allows feed the summary extraction,
+    // which reports back the lines actually consumed by a panic site.
+    let allow08: BTreeSet<u32> = suppressions
+        .iter()
+        .filter(|s| !s.reason.is_empty() && s.rules.contains(&RuleId::Scg008))
+        .map(|s| s.line)
+        .collect();
+    let (summaries, used08) = callgraph::summarize_file(src, &tokens, &tree, info, &allow08);
+    for s in &mut suppressions {
+        if s.rules.contains(&RuleId::Scg008) && used08.contains(&s.line) {
+            s.used = true;
+        }
+    }
+
+    let mut diagnostics = Vec::new();
     for v in violations {
         let reason = suppressions
             .iter_mut()
@@ -111,7 +222,7 @@ pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
                 s.used = true;
                 s.reason.clone()
             });
-        analysis.diagnostics.push(Diagnostic {
+        diagnostics.push(Diagnostic {
             rule: v.rule,
             file: info.rel_path.clone(),
             line: v.line,
@@ -123,11 +234,11 @@ pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
     // Suppression hygiene (SCG000): missing reasons and dead suppressions
     // are both findings — stale allows are how invariants rot.
     for s in &suppressions {
-        if test_lines.contains(&s.line) {
+        if tree.is_test_line(s.line) {
             continue;
         }
         if s.reason.is_empty() {
-            analysis.diagnostics.push(Diagnostic {
+            diagnostics.push(Diagnostic {
                 rule: RuleId::Scg000,
                 file: info.rel_path.clone(),
                 line: s.line,
@@ -137,7 +248,7 @@ pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
                 suppressed: None,
             });
         } else if !s.used {
-            analysis.diagnostics.push(Diagnostic {
+            diagnostics.push(Diagnostic {
                 rule: RuleId::Scg000,
                 file: info.rel_path.clone(),
                 line: s.line,
@@ -154,6 +265,46 @@ pub fn analyze_source(src: &str, info: &FileInfo, analysis: &mut Analysis) {
             });
         }
     }
+    diagnostics.sort_by_key(|d| (d.line, d.col, d.rule));
+    (diagnostics, summaries)
+}
+
+/// Parses every crate's `Cargo.toml` for its `scg-*` workspace
+/// dependencies (the call graph's inter-crate visibility).
+fn dep_map(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out = BTreeMap::new();
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        for entry in rd.flatten() {
+            let dir = entry.path();
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            out.insert(name.to_string(), parse_deps(&dir.join("Cargo.toml")));
+        }
+    }
+    out.insert(
+        "supercayley".to_string(),
+        parse_deps(&root.join("Cargo.toml")),
+    );
+    out
+}
+
+/// The `scg-<name>` lines of one manifest, as crate directory names.
+fn parse_deps(path: &Path) -> BTreeSet<String> {
+    fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .filter_map(|l| {
+                    let rest = l.trim().strip_prefix("scg-")?;
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    (!name.is_empty()).then_some(name)
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// Finds the library sources to lint: `(absolute path, file facts)` pairs.
@@ -229,105 +380,6 @@ fn collect_rs(
         }
     }
     Ok(())
-}
-
-/// The set of 1-based lines inside test-gated code: items annotated
-/// `#[test]`, `#[cfg(test)]`, or any attribute mentioning `test` outside a
-/// `not(..)` (so `#[cfg_attr(not(test), ...)]` does *not* exempt).
-fn test_line_set(src: &str, tokens: &[Token]) -> BTreeSet<u32> {
-    let sig: Vec<usize> = tokens
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
-        .map(|(i, _)| i)
-        .collect();
-    let txt = |i: usize| tokens[sig[i]].text(src);
-    let mut lines = BTreeSet::new();
-    let mut i = 0;
-    while i + 1 < sig.len() {
-        // Outer attribute start: `#` `[` (inner `#![...]` attributes gate
-        // the whole file's lint level, not a test region).
-        if !(txt(i) == "#" && txt(i + 1) == "[") {
-            i += 1;
-            continue;
-        }
-        let (is_test, after_attr) = scan_attr(src, tokens, &sig, i);
-        if !is_test {
-            i = after_attr;
-            continue;
-        }
-        let start_line = tokens[sig[i]].line;
-        let end = item_end(src, tokens, &sig, after_attr);
-        let end_line = tokens[sig[end.min(sig.len() - 1)]].line;
-        for l in start_line..=end_line {
-            lines.insert(l);
-        }
-        i = end + 1;
-    }
-    lines
-}
-
-/// Scans the attribute starting at significant index `i` (`#` `[` ...).
-/// Returns whether it test-gates its item, and the index just past `]`.
-fn scan_attr(src: &str, tokens: &[Token], sig: &[usize], i: usize) -> (bool, usize) {
-    let mut depth = 0usize;
-    let mut j = i + 1; // at `[`
-    let mut is_test = false;
-    while j < sig.len() {
-        let t = tokens[sig[j]].text(src);
-        match t {
-            "[" | "(" => depth += 1,
-            "]" | ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    return (is_test, j + 1);
-                }
-            }
-            "test" => {
-                // `not(test)` keeps the item in the lint set.
-                let negated = j >= 2
-                    && tokens[sig[j - 1]].text(src) == "("
-                    && tokens[sig[j - 2]].text(src) == "not";
-                if !negated {
-                    is_test = true;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    (is_test, j)
-}
-
-/// Finds the end (significant index) of the item starting at `i`: skips
-/// stacked attributes, then runs to the first `;` at depth 0 or the brace
-/// that closes the item's body.
-fn item_end(src: &str, tokens: &[Token], sig: &[usize], mut i: usize) -> usize {
-    // Skip further attributes on the same item.
-    while i + 1 < sig.len()
-        && tokens[sig[i]].text(src) == "#"
-        && tokens[sig[i + 1]].text(src) == "["
-    {
-        let (_, after) = scan_attr(src, tokens, sig, i);
-        i = after;
-    }
-    let mut depth = 0usize;
-    let mut j = i;
-    while j < sig.len() {
-        match tokens[sig[j]].text(src) {
-            ";" if depth == 0 => return j,
-            "{" => depth += 1,
-            "}" => {
-                depth = depth.saturating_sub(1);
-                if depth == 0 {
-                    return j;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    j.saturating_sub(1)
 }
 
 /// Parses every `scg-allow` comment in the file.

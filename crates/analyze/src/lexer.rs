@@ -134,6 +134,18 @@ fn is_ident_continue(c: char) -> bool {
 pub fn lex(src: &str) -> Vec<Token> {
     let mut cur = Cursor::new(src);
     let mut out = Vec::new();
+    // A shebang (`#!/usr/bin/env ...`) is only special on the very first
+    // byte, and only when it is not an inner attribute `#![..]`.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        cur.eat_while(|c| c != '\n');
+        out.push(Token {
+            kind: TokenKind::LineComment,
+            start: 0,
+            end: cur.pos,
+            line: 1,
+            col: 1,
+        });
+    }
     while let Some(c) = cur.peek() {
         if c.is_whitespace() {
             cur.bump();

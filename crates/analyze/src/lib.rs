@@ -11,15 +11,28 @@
 //! CI-enforced contract:
 //!
 //! * a hand-rolled, span-accurate Rust [`lexer`] (string/char/raw-string/
-//!   nested-comment aware — no `syn`, matching the workspace's
-//!   vendored-everything policy);
+//!   byte-string/nested-comment/shebang aware — no `syn`, matching the
+//!   workspace's vendored-everything policy);
+//! * a [`syntax`] pass that brace-matches the token stream into an item
+//!   tree — `mod`/`impl`/`fn` spans, `unsafe` blocks, `extern` blocks,
+//!   and `#[cfg(test)]` regions — so rules and the driver share one
+//!   structural view instead of per-rule line heuristics;
 //! * the [`rules`] engine — `SCG001` (no panicking constructs), `SCG002`
 //!   (no topology-cache bypass), `SCG003` (no lossy narrow-int `as` casts
 //!   in `perm`/`core`/`graph`), `SCG004` (atomic orderings need `// ord:`
-//!   justifications), `SCG005` (no `let _ =` discards) — plus `SCG000`
-//!   suppression hygiene;
+//!   justifications), `SCG005` (no `let _ =` discards or never-read `_`
+//!   bindings), `SCG006` (`unsafe` blocks need adjacent `// SAFETY:`
+//!   justifications), `SCG007` (extern "C" results must be checked),
+//!   `SCG009` (no blocking calls under a live lock guard in the serve
+//!   crate) — plus `SCG000` suppression hygiene;
+//! * the [`callgraph`] pass — per-function panic/call summaries resolved
+//!   through per-file `use` maps and the workspace dependency graph, then
+//!   a reachability sweep (`SCG008`) proving the wire-decode and routing
+//!   entry points cannot reach an unaudited panic;
 //! * the [`driver`] that walks library sources, exempts test-gated code,
 //!   and resolves justified `// scg-allow(SCG00x): reason` comments;
+//! * an incremental [`cache`] (content-hash keyed) so the CI deny gate
+//!   only re-analyzes files that actually changed;
 //! * [`report`] rendering: rustc-style text plus a JSON artifact built on
 //!   the shared [`scg_obs::json`] model and re-validated through the same
 //!   parser that checks `results/BENCH_*.json`.
@@ -48,7 +61,10 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod cache;
+pub mod callgraph;
 pub mod driver;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;

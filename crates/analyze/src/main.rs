@@ -1,7 +1,7 @@
 //! The `scg-analyze` binary: the workspace lint gate.
 //!
 //! ```text
-//! scg-analyze [--root <dir>] [--deny] [--json <path>] [--verbose]
+//! scg-analyze [--root <dir>] [--deny] [--json <path>] [--cache <path>] [--verbose]
 //! scg-analyze --list-rules
 //! scg-analyze --validate <report.json>
 //! ```
@@ -15,13 +15,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use scg_analyze::driver::analyze_workspace;
+use scg_analyze::driver::analyze_workspace_cached;
 use scg_analyze::report::{render_rules, render_text, to_json, validate_report};
 
 struct Args {
     root: PathBuf,
     deny: bool,
     json: Option<PathBuf>,
+    cache: Option<PathBuf>,
     verbose: bool,
     list_rules: bool,
     validate: Option<PathBuf>,
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         deny: false,
         json: None,
+        cache: None,
         verbose: false,
         list_rules: false,
         validate: None,
@@ -45,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--json" => {
                 args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--cache" => {
+                args.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a path")?));
             }
             "--verbose" => args.verbose = true,
             "--list-rules" => args.list_rules = true,
@@ -69,7 +74,7 @@ fn run() -> Result<bool, String> {
         println!("{}: ok ({} bytes)", path.display(), text.len());
         return Ok(true);
     }
-    let analysis = analyze_workspace(&args.root)?;
+    let analysis = analyze_workspace_cached(&args.root, args.cache.as_deref())?;
     print!("{}", render_text(&analysis, args.verbose));
     if let Some(path) = &args.json {
         let text = to_json(&analysis).encode();

@@ -15,7 +15,11 @@ use crate::driver::Analysis;
 use crate::rules::{RuleId, ALL_RULES};
 
 /// Schema tag stamped into every report.
-pub const SCHEMA: &str = "scg-analyze/v1";
+pub const SCHEMA: &str = "scg-analyze/v2";
+
+/// Integer schema version, mirrored in the report as `schema_version` so
+/// downstream tooling can gate on a number instead of parsing the tag.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Renders the human-readable diagnostics (one line per finding, rustc
 /// style), followed by a per-rule summary.
@@ -127,6 +131,10 @@ pub fn to_json(analysis: &Analysis) -> Json {
     }
     Json::Object(BTreeMap::from([
         ("schema".to_string(), Json::String(SCHEMA.to_string())),
+        (
+            "schema_version".to_string(),
+            Json::Int(i128::from(SCHEMA_VERSION)),
+        ),
         ("tool".to_string(), Json::String("scg-analyze".to_string())),
         (
             "files_scanned".to_string(),
@@ -159,6 +167,16 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         .map_err(|e| format!("{e}"))?;
     if schema != SCHEMA {
         return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = top
+        .get("schema_version")
+        .ok_or("missing \"schema_version\"")?
+        .as_u64(0)
+        .map_err(|e| format!("{e}"))?;
+    if version != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version is {version}, expected {SCHEMA_VERSION}"
+        ));
     }
     let files = top
         .get("files_scanned")

@@ -1,9 +1,10 @@
-//! The lint rules: workspace invariants as token-pattern checks.
+//! The lint rules: workspace invariants as token- and tree-pattern checks.
 //!
-//! Every rule walks the [`lexer`](crate::lexer) token stream of one file and
-//! reports violations with exact `line:col` spans. Rules never fire inside
-//! test code (`#[test]` functions, `#[cfg(test)]` modules — see
-//! [`crate::driver`]'s region detection) and each can be silenced per-site
+//! Every rule walks the [`lexer`](crate::lexer) token stream of one file —
+//! the flow rules additionally consult the brace-matched
+//! [`SyntaxTree`](crate::syntax::SyntaxTree) — and reports violations with
+//! exact `line:col` spans. Rules never fire inside test code (`#[test]`
+//! functions, `#[cfg(test)]` modules) and each can be silenced per-site
 //! with a justified suppression:
 //!
 //! ```text
@@ -12,9 +13,15 @@
 //!
 //! either trailing the offending line or alone on the line above. A
 //! suppression without a reason, or one that matches nothing, is itself
-//! reported (as `SCG000`).
+//! reported (as `SCG000`). `SCG008` (panic reachability) is a
+//! workspace-level rule emitted by the [`driver`](crate::driver) from the
+//! [`callgraph`](crate::callgraph); its `scg-allow` marks sit at the
+//! audited *panic site*, not at the entry point.
+
+use std::collections::BTreeSet;
 
 use crate::lexer::{Token, TokenKind};
+use crate::syntax::SyntaxTree;
 
 /// The identity of a rule (or of the suppression-hygiene meta check).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -33,18 +40,36 @@ pub enum RuleId {
     /// Atomic-ordering hygiene: non-`Relaxed` orderings, and `Relaxed` on
     /// plain loads/stores/exchanges, need an adjacent `// ord:` comment.
     Scg004,
-    /// No `let _ = ...` discards in library code (silently dropping a
-    /// `Result` is how routing errors vanish).
+    /// No `let _ = ...` discards and no never-read `_`-prefixed bindings
+    /// in library code (silently dropping a `Result` is how routing
+    /// errors vanish).
     Scg005,
+    /// Every `unsafe { .. }` block needs an adjacent `// SAFETY:`
+    /// justification.
+    Scg006,
+    /// Results of `extern "C"` calls must flow into a check (`cvt`-style)
+    /// rather than being dropped in statement position.
+    Scg007,
+    /// No unaudited panicking callee reachable from the wire-decode and
+    /// routing entry points (workspace-level; see
+    /// [`callgraph`](crate::callgraph)).
+    Scg008,
+    /// No blocking call inside the serve crate while a lock guard is
+    /// live (`lock()` bindings in event-loop bodies).
+    Scg009,
 }
 
 /// Every real rule, in report order (`SCG000` is emitted by the driver).
-pub const ALL_RULES: [RuleId; 5] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::Scg001,
     RuleId::Scg002,
     RuleId::Scg003,
     RuleId::Scg004,
     RuleId::Scg005,
+    RuleId::Scg006,
+    RuleId::Scg007,
+    RuleId::Scg008,
+    RuleId::Scg009,
 ];
 
 impl RuleId {
@@ -58,6 +83,10 @@ impl RuleId {
             RuleId::Scg003 => "SCG003",
             RuleId::Scg004 => "SCG004",
             RuleId::Scg005 => "SCG005",
+            RuleId::Scg006 => "SCG006",
+            RuleId::Scg007 => "SCG007",
+            RuleId::Scg008 => "SCG008",
+            RuleId::Scg009 => "SCG009",
         }
     }
 
@@ -71,6 +100,10 @@ impl RuleId {
             "SCG003" => Some(RuleId::Scg003),
             "SCG004" => Some(RuleId::Scg004),
             "SCG005" => Some(RuleId::Scg005),
+            "SCG006" => Some(RuleId::Scg006),
+            "SCG007" => Some(RuleId::Scg007),
+            "SCG008" => Some(RuleId::Scg008),
+            "SCG009" => Some(RuleId::Scg009),
             _ => None,
         }
     }
@@ -90,7 +123,11 @@ impl RuleId {
             }
             RuleId::Scg003 => "no lossy `as` casts to narrow integers in perm/core/graph",
             RuleId::Scg004 => "atomic orderings need an adjacent `// ord:` justification",
-            RuleId::Scg005 => "no `let _ =` discards in library code",
+            RuleId::Scg005 => "no `let _ =` discards or never-read `_`-bindings in library code",
+            RuleId::Scg006 => "every `unsafe` block needs an adjacent `// SAFETY:` justification",
+            RuleId::Scg007 => "extern \"C\" call results must flow into a check, not be dropped",
+            RuleId::Scg008 => "no unaudited panic reachable from wire-decode/routing entry points",
+            RuleId::Scg009 => "no blocking call in the serve crate while a lock guard is live",
         }
     }
 }
@@ -146,27 +183,32 @@ fn scg003_applies(crate_name: &str) -> bool {
     matches!(crate_name, "perm" | "core" | "graph")
 }
 
-/// Runs every rule over one lexed file. `is_test_line` reports whether a
-/// 1-based line sits inside test-gated code.
+/// Runs every per-file rule over one lexed file; the syntax `tree` carries
+/// test regions, unsafe blocks, extern declarations, and fn bodies.
 #[must_use]
 pub fn check_file(
     src: &str,
     tokens: &[Token],
     info: &FileInfo,
-    is_test_line: &dyn Fn(u32) -> bool,
+    tree: &SyntaxTree,
 ) -> Vec<Violation> {
-    let sig = significant(tokens);
+    let sig = &tree.sig;
     let mut out = Vec::new();
-    scg001(src, tokens, &sig, &mut out);
+    scg001(src, tokens, sig, &mut out);
     if !scg002_allowed(&info.rel_path) {
-        scg002(src, tokens, &sig, &mut out);
+        scg002(src, tokens, sig, &mut out);
     }
     if scg003_applies(&info.crate_name) {
-        scg003(src, tokens, &sig, &mut out);
+        scg003(src, tokens, sig, &mut out);
     }
-    scg004(src, tokens, &sig, &mut out);
-    scg005(src, tokens, &sig, &mut out);
-    out.retain(|v| !is_test_line(v.line));
+    scg004(src, tokens, sig, &mut out);
+    scg005(src, tokens, sig, tree, &mut out);
+    scg006(src, tokens, tree, &mut out);
+    scg007(src, tokens, sig, tree, &mut out);
+    if info.crate_name == "serve" {
+        scg009(src, tokens, tree, &mut out);
+    }
+    out.retain(|v| !tree.is_test_line(v.line));
     out.sort_by_key(|v| (v.line, v.col, v.rule));
     out
 }
@@ -359,13 +401,15 @@ fn has_ord_comment(src: &str, tokens: &[Token], line: u32) -> bool {
     })
 }
 
-/// SCG005 — `let _ =` discards.
-fn scg005(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) {
+/// SCG005 — `let _ =` discards and never-read `_`-prefixed bindings.
+fn scg005(src: &str, tokens: &[Token], sig: &[usize], tree: &SyntaxTree, out: &mut Vec<Violation>) {
     for i in 0..sig.len() {
         let Some(tok) = at(tokens, sig, i) else { break };
-        if tok.kind == TokenKind::Ident
-            && tok.text(src) == "let"
-            && text_at(src, tokens, sig, i + 1) == Some("_")
+        if tok.kind != TokenKind::Ident || tok.text(src) != "let" {
+            continue;
+        }
+        // `let _ = ..` — the plain discard.
+        if text_at(src, tokens, sig, i + 1) == Some("_")
             && at(tokens, sig, i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
             && is_punct(tokens, sig, i + 2, src, "=")
         {
@@ -377,6 +421,316 @@ fn scg005(src: &str, tokens: &[Token], sig: &[usize], out: &mut Vec<Violation>) 
                           handle or document it"
                     .to_string(),
             });
+            continue;
         }
+        // `let [mut] _name = ..` where `_name` is never read afterwards —
+        // the same discard wearing a binding.
+        let mut j = i + 1;
+        if text_at(src, tokens, sig, j) == Some("mut") {
+            j += 1;
+        }
+        let Some(bind) = at(tokens, sig, j) else {
+            continue;
+        };
+        let name = bind.text(src);
+        if bind.kind != TokenKind::Ident
+            || !name.starts_with('_')
+            || name == "_"
+            || !is_punct(tokens, sig, j + 1, src, "=")
+        {
+            continue;
+        }
+        // Scope of the read scan: the enclosing fn body, or the whole
+        // file for non-fn contexts (consts, statics).
+        let (lo, hi) = tree
+            .enclosing_fn(j)
+            .and_then(|f| f.body)
+            .unwrap_or((0, sig.len()));
+        let read = (lo..hi).filter(|&k| k != j).any(|k| {
+            at(tokens, sig, k).is_some_and(|t| t.kind == TokenKind::Ident && t.text(src) == name)
+        });
+        if !read {
+            out.push(Violation {
+                rule: RuleId::Scg005,
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`{name}` is never read — a discard wearing a binding; handle \
+                     the value or justify the drop"
+                ),
+            });
+        }
+    }
+}
+
+/// SCG006 — `unsafe` blocks need an adjacent `// SAFETY:` comment: on the
+/// block's first line, or in the contiguous comment run directly above.
+fn scg006(src: &str, tokens: &[Token], tree: &SyntaxTree, out: &mut Vec<Violation>) {
+    if tree.unsafe_blocks.is_empty() {
+        return;
+    }
+    // Per-line facts: does the line carry a SAFETY comment; is it
+    // comment-only (so an upward walk may continue through it).
+    let mut safety: BTreeSet<u32> = BTreeSet::new();
+    let mut has_code: BTreeSet<u32> = BTreeSet::new();
+    let mut has_any: BTreeSet<u32> = BTreeSet::new();
+    for t in tokens {
+        has_any.insert(t.line);
+        if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            if t.text(src).contains("SAFETY:") {
+                safety.insert(t.line);
+            }
+        } else {
+            has_code.insert(t.line);
+        }
+    }
+    for ub in &tree.unsafe_blocks {
+        if ub.is_test {
+            continue;
+        }
+        let mut justified = safety.contains(&ub.line);
+        let mut l = ub.line.saturating_sub(1);
+        while !justified && l >= 1 && has_any.contains(&l) && !has_code.contains(&l) {
+            justified = safety.contains(&l);
+            l -= 1;
+        }
+        if !justified {
+            out.push(Violation {
+                rule: RuleId::Scg006,
+                line: ub.line,
+                col: ub.col,
+                message: "`unsafe` block without an adjacent `// SAFETY:` justification"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// SCG007 — results of `extern "C"` calls must flow somewhere (a binding,
+/// an argument, a `cvt`-style check); a foreign call in statement
+/// position drops the status code on the floor.
+fn scg007(src: &str, tokens: &[Token], sig: &[usize], tree: &SyntaxTree, out: &mut Vec<Violation>) {
+    if tree.extern_decls.is_empty() {
+        return;
+    }
+    let names: BTreeSet<&str> = tree.extern_decls.iter().map(|d| d.name.as_str()).collect();
+    for i in 0..sig.len() {
+        let Some(tok) = at(tokens, sig, i) else { break };
+        if tok.kind != TokenKind::Ident
+            || !names.contains(tok.text(src))
+            || !is_punct(tokens, sig, i + 1, src, "(")
+        {
+            continue;
+        }
+        // Skip the foreign declaration itself and any shadowing method.
+        let prev = text_at(src, tokens, sig, i.wrapping_sub(1));
+        if prev == Some("fn") || prev == Some(".") {
+            continue;
+        }
+        // The consumer of the expression: hop over an `unsafe {` wrapper.
+        let mut s = i;
+        if is_punct(tokens, sig, s.wrapping_sub(1), src, "{")
+            && text_at(src, tokens, sig, s.wrapping_sub(2)) == Some("unsafe")
+        {
+            s -= 2;
+        }
+        let before = text_at(src, tokens, sig, s.wrapping_sub(1));
+        if s == 0 || matches!(before, Some(";" | "{" | "}")) {
+            out.push(Violation {
+                rule: RuleId::Scg007,
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "result of extern \"C\" `{}()` is discarded; route it through a \
+                     checked helper (`cvt`-style)",
+                    tok.text(src)
+                ),
+            });
+        }
+    }
+}
+
+/// Calls that park the calling thread (or can): forbidden while a lock
+/// guard is live in serve event-loop code.
+const BLOCKING: [&str; 12] = [
+    "accept",
+    "connect",
+    "join",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "write_all",
+];
+
+/// SCG009 — blocking calls while a `lock()` guard binding is live, scoped
+/// to the serve crate (the epoll event loops). A guard is a `let` whose
+/// initializer *ends* in `.lock()` (optionally `.expect(..)`/`.unwrap()`),
+/// and it lives until the enclosing block closes or `drop(guard)`.
+fn scg009(src: &str, tokens: &[Token], tree: &SyntaxTree, out: &mut Vec<Violation>) {
+    let sig = &tree.sig;
+    for f in &tree.fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if f.is_test {
+            continue;
+        }
+        let mut i = open + 1;
+        while i < close {
+            if at(tokens, sig, i).is_some_and(|t| t.kind == TokenKind::Ident)
+                && text_at(src, tokens, sig, i) == Some("let")
+            {
+                let (stmt_end, guard) = let_statement(src, tokens, sig, i, close);
+                if let Some(bind) = guard {
+                    check_guard_region(src, tokens, sig, stmt_end + 1, close, &bind, out);
+                }
+                i = stmt_end + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Scans the `let` statement starting at `i`: returns the index of its
+/// terminating `;` and the bound name when the initializer ends in a
+/// `.lock()` chain (a live guard).
+fn let_statement(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    i: usize,
+    limit: usize,
+) -> (usize, Option<String>) {
+    let mut j = i + 1;
+    if text_at(src, tokens, sig, j) == Some("mut") {
+        j += 1;
+    }
+    let bind = at(tokens, sig, j)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src).to_string());
+    // Find the terminating `;` at statement depth.
+    let mut depth = 0usize;
+    let mut end = i;
+    let mut k = i;
+    while k < limit {
+        match text_at(src, tokens, sig, k) {
+            Some("(" | "[" | "{") => depth += 1,
+            Some(")" | "]" | "}") => depth = depth.saturating_sub(1),
+            Some(";") if depth == 0 => {
+                end = k;
+                break;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if end == i {
+        return (limit, None);
+    }
+    // Guard iff a `.lock(` chain (plus optional `.expect`/`.unwrap`)
+    // reaches the `;` — a lock temporary consumed mid-expression dies at
+    // the statement end and holds nothing.
+    let mut m = i;
+    let mut guard = false;
+    while m < end {
+        if text_at(src, tokens, sig, m) == Some("lock")
+            && is_punct(tokens, sig, m.wrapping_sub(1), src, ".")
+            && is_punct(tokens, sig, m + 1, src, "(")
+        {
+            let mut after = skip_balanced(src, tokens, sig, m + 1, end + 1);
+            while is_punct(tokens, sig, after, src, ".")
+                && matches!(
+                    text_at(src, tokens, sig, after + 1),
+                    Some("expect" | "unwrap")
+                )
+                && is_punct(tokens, sig, after + 2, src, "(")
+            {
+                after = skip_balanced(src, tokens, sig, after + 2, end + 1);
+            }
+            if after == end {
+                guard = true;
+            }
+        }
+        m += 1;
+    }
+    (end, if guard { bind } else { None })
+}
+
+/// Skips past the balanced group opening at `i`; returns the index just
+/// past its closer.
+fn skip_balanced(src: &str, tokens: &[Token], sig: &[usize], i: usize, limit: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < limit {
+        match text_at(src, tokens, sig, j) {
+            Some("(" | "[" | "{") => depth += 1,
+            Some(")" | "]" | "}") => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Scans from just past a guard binding to the close of its enclosing
+/// block, flagging blocking calls; `drop(guard)` ends the region early.
+fn check_guard_region(
+    src: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    start: usize,
+    limit: usize,
+    bind: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < limit {
+        let Some(tok) = at(tokens, sig, j) else { break };
+        let t = tok.text(src);
+        match t {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                if depth == 0 && t == "}" {
+                    return; // enclosing block closed — guard dropped
+                }
+                depth = depth.saturating_sub(1);
+            }
+            "drop"
+                if is_punct(tokens, sig, j + 1, src, "(")
+                    && text_at(src, tokens, sig, j + 2) == Some(bind)
+                    && is_punct(tokens, sig, j + 3, src, ")") =>
+            {
+                return; // explicit early drop
+            }
+            _ if tok.kind == TokenKind::Ident
+                && is_punct(tokens, sig, j + 1, src, "(")
+                && (BLOCKING.contains(&t)
+                    || (t == "lock" && is_punct(tokens, sig, j.wrapping_sub(1), src, "."))) =>
+            {
+                out.push(Violation {
+                    rule: RuleId::Scg009,
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "`{t}()` while lock guard `{bind}` is live; shrink the lock \
+                         scope or drop the guard before blocking"
+                    ),
+                });
+            }
+            _ => {}
+        }
+        j += 1;
     }
 }

@@ -164,3 +164,86 @@ fn unterminated_literals_do_not_panic() {
         assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
     }
 }
+
+#[test]
+fn byte_strings_are_strings_not_idents() {
+    // `b"..."` shares its first char with an identifier; a naive scanner
+    // lexes `b` alone and then opens a plain string.
+    let src = r#"let a = b"bytes \" esc"; let b = 1;"#;
+    assert_eq!(find(src, TokenKind::Str), vec![r#"b"bytes \" esc""#]);
+    assert!(find(src, TokenKind::Ident).contains(&"b"));
+}
+
+#[test]
+fn raw_byte_strings_swallow_quotes_like_raw_strings() {
+    let src = r####"let a = br#"quote " and \ backslash"#; let ok = 1;"####;
+    assert_eq!(
+        find(src, TokenKind::RawStr),
+        vec![r####"br#"quote " and \ backslash"#"####]
+    );
+    assert!(find(src, TokenKind::Ident).contains(&"ok"));
+}
+
+#[test]
+fn raw_byte_string_without_hashes() {
+    let src = r#"let a = br"no hash"; let tail = 2;"#;
+    assert_eq!(find(src, TokenKind::RawStr), vec![r#"br"no hash""#]);
+    assert!(find(src, TokenKind::Ident).contains(&"tail"));
+}
+
+#[test]
+fn shebang_line_lexes_as_a_comment() {
+    // A `#!/usr/bin/env` line is not Rust punctuation — it must not leak
+    // `#` / `!` / `/` tokens into the rule engine.
+    let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::LineComment);
+    assert_eq!(toks[0].text(src), "#!/usr/bin/env run-cargo-script");
+    assert_eq!(toks[1].text(src), "fn");
+    assert_eq!(toks[1].line, 2);
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    // `#![warn(missing_docs)]` starts with `#!` but is an attribute; the
+    // shebang special case applies only when the third byte is not `[`.
+    let src = "#![warn(missing_docs)]\nfn f() {}\n";
+    let toks = lex(src);
+    assert_eq!((toks[0].kind, toks[0].text(src)), (TokenKind::Punct, "#"));
+    assert_eq!(toks[1].text(src), "!");
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::LineComment));
+}
+
+#[test]
+fn hash_bang_mid_file_is_not_a_shebang() {
+    // Only byte 0 can host a shebang; `#!` later is ordinary punctuation
+    // (e.g. a module-level inner attribute after a comment).
+    let src = "// header\n#![allow(dead_code)]\n";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::LineComment);
+    assert_eq!(toks[0].text(src), "// header");
+    assert_eq!((toks[1].kind, toks[1].text(src)), (TokenKind::Punct, "#"));
+}
+
+#[test]
+fn doc_comment_edge_cases() {
+    // `///`, `//!`, `////`, and a bare `//` at EOF are all line comments;
+    // `/** .. */` and `/*! .. */` are block comments.
+    let src = "/// outer doc\n//! inner doc\n//// rule\n/** block doc */ /*! inner block */ x\n//";
+    let line: Vec<&str> = find(src, TokenKind::LineComment);
+    assert_eq!(
+        line,
+        vec!["/// outer doc", "//! inner doc", "//// rule", "//"]
+    );
+    let block: Vec<&str> = find(src, TokenKind::BlockComment);
+    assert_eq!(block, vec!["/** block doc */", "/*! inner block */"]);
+    assert!(find(src, TokenKind::Ident).contains(&"x"));
+}
+
+#[test]
+fn empty_block_comment_is_not_swallowed() {
+    // `/**/` closes immediately; `/***/` is a doc block with one star.
+    let src = "/**/ a /***/ b";
+    assert_eq!(find(src, TokenKind::BlockComment), vec!["/**/", "/***/"]);
+    assert_eq!(find(src, TokenKind::Ident), vec!["a", "b"]);
+}

@@ -163,12 +163,16 @@ fn scg004_accepts_an_adjacent_ord_justification() {
     assert_eq!(analysis.count(RuleId::Scg004), 0);
 }
 
-/// The rendered diagnostics for the fixture, byte-for-byte. Any change to
-/// rule messages, span formatting, or ordering shows up as a golden diff.
+/// The rendered diagnostics for both fixtures, byte-for-byte. Any change
+/// to rule messages, span formatting, or ordering shows up as a golden
+/// diff.
 #[test]
 fn fixture_diagnostics_match_golden() {
-    let analysis = analyze_fixture();
-    let actual = render_text(&analysis, true);
+    let actual = format!(
+        "{}----\n{}",
+        render_text(&analyze_fixture(), true),
+        render_text(&analyze_serve_fixture(), true)
+    );
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnostics.txt");
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(golden_path, &actual).expect("golden path writable");
@@ -187,4 +191,171 @@ fn fixture_json_report_validates() {
     let analysis = analyze_fixture();
     let text = scg_analyze::report::to_json(&analysis).encode();
     validate_report(&text).expect("fixture report validates");
+}
+
+/// A serve-crate fixture seeding the flow rules: unsafe blocks without
+/// `// SAFETY:` (SCG006), discarded extern results (SCG007), a panic
+/// reachable from a wire-decode entry (SCG008), a blocking call under a
+/// live lock guard (SCG009), and a never-read `_`-binding (SCG005).
+const SERVE_FIXTURE: &str = r#"//! Serve-side fixture.
+
+extern "C" {
+    fn ffi_close(fd: i32) -> i32;
+}
+
+pub fn decode_request(buf: &[u8]) -> u32 {
+    frame_len(buf)
+}
+
+fn frame_len(buf: &[u8]) -> u32 {
+    assert!(buf.len() >= 4, "short frame");
+    u32::from(buf[0])
+}
+
+pub fn discards(fd: i32) {
+    let _poll_result = unsafe { ffi_close(fd) };
+    unsafe { ffi_close(fd) };
+}
+
+pub fn checked(fd: i32) -> i32 {
+    // SAFETY: fd is owned by the caller.
+    let r = unsafe { ffi_close(fd) };
+    r
+}
+
+pub fn blocking(m: &std::sync::Mutex<u32>, d: std::time::Duration) -> u32 {
+    // scg-allow(SCG001): fixture lock can only be poisoned by a test panic
+    let guard = m.lock().expect("lock");
+    std::thread::sleep(d);
+    let v = *guard;
+    drop(guard);
+    std::thread::sleep(d);
+    v
+}
+"#;
+
+fn analyze_serve_fixture() -> Analysis {
+    let info = FileInfo {
+        rel_path: "crates/serve/src/wire.rs".to_string(),
+        crate_name: "serve".to_string(),
+    };
+    scg_analyze::driver::analyze_sources(&[(info, SERVE_FIXTURE)])
+}
+
+#[test]
+fn scg005_flags_never_read_underscore_bindings() {
+    let analysis = analyze_serve_fixture();
+    // `_poll_result` on line 17 is bound and never read again (the span
+    // anchors at the `let`).
+    assert_eq!(spans_of(&analysis, RuleId::Scg005), vec![(17, 5, false)]);
+}
+
+#[test]
+fn scg005_spares_bindings_that_are_read() {
+    let src = "pub fn f() -> u32 {\n    let _kept = 1;\n    _kept + 1\n}\n";
+    let info = FileInfo {
+        rel_path: "crates/perm/src/x.rs".to_string(),
+        crate_name: "perm".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source(src, &info, &mut analysis);
+    assert_eq!(analysis.count(RuleId::Scg005), 0);
+}
+
+#[test]
+fn scg006_fires_on_unsafe_without_adjacent_safety_comment() {
+    let analysis = analyze_serve_fixture();
+    // Line 17 (`let _poll_result = unsafe { .. }`) and line 18 (the
+    // statement-position block) both lack a `// SAFETY:`; line 23 has one
+    // on the contiguous comment line above and stays clean.
+    assert_eq!(
+        spans_of(&analysis, RuleId::Scg006),
+        vec![(17, 24, false), (18, 5, false)]
+    );
+}
+
+#[test]
+fn scg006_accepts_same_line_safety_comment() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p } // SAFETY: caller contract\n}\n";
+    let info = FileInfo {
+        rel_path: "crates/perm/src/x.rs".to_string(),
+        crate_name: "perm".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source(src, &info, &mut analysis);
+    assert_eq!(analysis.count(RuleId::Scg006), 0);
+}
+
+#[test]
+fn scg007_fires_only_on_discarded_extern_results() {
+    let analysis = analyze_serve_fixture();
+    // Line 18 discards `ffi_close`'s return; lines 17 and 23 bind it.
+    assert_eq!(spans_of(&analysis, RuleId::Scg007), vec![(18, 14, false)]);
+}
+
+#[test]
+fn scg008_reports_the_panic_chain_from_the_entry() {
+    let analysis = analyze_serve_fixture();
+    // The finding anchors at the entry fn, with the call chain and the
+    // panic site spelled out in the message.
+    assert_eq!(spans_of(&analysis, RuleId::Scg008), vec![(7, 8, false)]);
+    let d = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == RuleId::Scg008)
+        .expect("SCG008 diagnostic");
+    assert_eq!(
+        d.message,
+        "panic reachable from entry `decode_request`: decode_request → frame_len — \
+         assert! at crates/serve/src/wire.rs:12"
+    );
+}
+
+#[test]
+fn scg008_audit_mark_silences_the_chain_and_counts_as_used() {
+    let audited = SERVE_FIXTURE.replace(
+        "    assert!(buf.len() >= 4, \"short frame\");",
+        "    // scg-allow(SCG008): length is pre-checked by peek_frame\n    \
+         assert!(buf.len() >= 4, \"short frame\");",
+    );
+    let info = FileInfo {
+        rel_path: "crates/serve/src/wire.rs".to_string(),
+        crate_name: "serve".to_string(),
+    };
+    let analysis = scg_analyze::driver::analyze_sources(&[(info, &audited)]);
+    assert_eq!(analysis.count(RuleId::Scg008), 0);
+    // The audit mark was consumed by the panic site — no SCG000 hygiene
+    // finding for an unused allow.
+    assert_eq!(analysis.count(RuleId::Scg000), 0);
+}
+
+#[test]
+fn scg009_fires_between_guard_acquisition_and_drop() {
+    let analysis = analyze_serve_fixture();
+    // Line 30 sleeps while `guard` (line 29) is live; line 33, after
+    // `drop(guard)`, is clean.
+    assert_eq!(spans_of(&analysis, RuleId::Scg009), vec![(30, 18, false)]);
+    let d = analysis
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == RuleId::Scg009)
+        .expect("SCG009 diagnostic");
+    assert!(d
+        .message
+        .contains("`sleep()` while lock guard `guard` is live"));
+}
+
+#[test]
+fn scg009_is_scoped_to_the_serve_crate() {
+    let src = "pub fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    \
+               // scg-allow(SCG001): fixture\n    \
+               let g = m.lock().expect(\"l\");\n    \
+               std::thread::sleep(std::time::Duration::from_millis(1));\n    *g\n}\n";
+    let info = FileInfo {
+        rel_path: "crates/graph/src/x.rs".to_string(),
+        crate_name: "graph".to_string(),
+    };
+    let mut analysis = Analysis::default();
+    analyze_source(src, &info, &mut analysis);
+    assert_eq!(analysis.count(RuleId::Scg009), 0);
 }

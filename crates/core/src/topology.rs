@@ -85,6 +85,7 @@ impl Materialized {
             });
         }
         #[cfg(feature = "obs")]
+        // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
         let _timer = crate::obs_hooks::materialize_timer(&net.name(), n);
         type BoxedAction = Box<dyn Fn(&Perm) -> Perm + Sync>;
         let gens = net.generators().to_vec();

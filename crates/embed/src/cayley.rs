@@ -53,6 +53,7 @@ impl CayleyEmbedding {
             });
         }
         #[cfg(feature = "obs")]
+        // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
         let _timer = crate::obs_hooks::build_timer(&guest.name());
         let plan = route_plan(host)?;
         // Each guest generator's expansion is a precompiled arena slice.

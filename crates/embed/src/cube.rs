@@ -36,6 +36,7 @@ pub fn cube_dimension_for(k: usize) -> u32 {
 ///   within `cap` nodes.
 pub fn hypercube_into_tn(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
     #[cfg(feature = "obs")]
+    // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
     let _timer = crate::obs_hooks::build_timer("hypercube");
     let tn = TranspositionNetwork::new(k)?;
     let host = materialize(&tn, cap)?.graph().clone();
@@ -88,6 +89,7 @@ pub fn hypercube_into_scg(host: &SuperCayleyGraph, cap: u64) -> Result<Embedding
 /// * [`EmbedError::Core`] — invalid `k` or star too large within `cap`.
 pub fn hypercube_into_star(k: usize, cap: u64) -> Result<Embedding, EmbedError> {
     #[cfg(feature = "obs")]
+    // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
     let _timer = crate::obs_hooks::build_timer("hypercube");
     let star = scg_core::StarGraph::new(k)?;
     let host = materialize(&star, cap)?.graph().clone();

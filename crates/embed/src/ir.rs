@@ -517,6 +517,7 @@ impl EmbeddingIr {
             }
         }
         #[cfg(feature = "obs")]
+        // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
         let _timer = crate::obs_hooks::reembed_timer();
         let mut arena: Vec<NodeId> = Vec::with_capacity(self.path_arena.len());
         let mut offsets: Vec<u32> = Vec::with_capacity(self.path_offsets.len());
@@ -586,6 +587,7 @@ impl EmbeddingIr {
             });
         }
         #[cfg(feature = "obs")]
+        // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
         let _timer = crate::obs_hooks::reembed_timer();
         // Current per-host load, maintained across remaps so simultaneous
         // orphans spread out instead of piling onto one survivor.

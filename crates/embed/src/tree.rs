@@ -44,6 +44,7 @@ pub fn tree_into_star(
         });
     }
     #[cfg(feature = "obs")]
+    // scg-allow(SCG005): RAII scope timer; the binding keeps the guard alive
     let _timer = crate::obs_hooks::build_timer("tree");
     let host = materialize(&star, DEFAULT_NET_CAP)?.graph().clone();
     let guest = complete_binary_tree(height);

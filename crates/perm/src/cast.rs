@@ -20,6 +20,7 @@ use crate::perm::MAX_DEGREE;
 #[inline]
 #[must_use]
 pub fn sym_u8(x: usize) -> u8 {
+    // scg-allow(SCG008): decode paths validate every symbol against the degree before narrowing
     assert!(x <= MAX_DEGREE, "symbol/position {x} exceeds MAX_DEGREE");
     x as u8 // scg-allow(SCG003): asserted ≤ MAX_DEGREE = 20 on the line above
 }

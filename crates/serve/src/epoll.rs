@@ -141,8 +141,10 @@ impl Poller {
         let mut ev = EpollEvent { events: 0, data: 0 };
         // SAFETY: as in `ctl`; EPOLL_CTL_DEL ignores the event but old
         // kernels require a non-null pointer.
-        // Failure here means the fd is already gone — nothing to undo.
-        let _ignored = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+        if let Err(_already_gone) = cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })
+        {
+            // The kernel auto-removes closed fds; nothing to undo.
+        }
     }
 
     /// Blocks up to `timeout_ms` (−1 = forever) and returns the ready
@@ -153,10 +155,10 @@ impl Poller {
     /// The raw `epoll_wait` error; `EINTR` is retried internally.
     pub fn wait(&mut self, timeout_ms: i32) -> io::Result<&[Readiness]> {
         let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let cap = MAX_EVENTS as i32;
         let n = loop {
             // SAFETY: `buf` holds MAX_EVENTS records and outlives the call.
-            let r =
-                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+            let r = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), cap, timeout_ms) };
             if r >= 0 {
                 break r as usize;
             }
@@ -181,7 +183,8 @@ impl Poller {
 impl Drop for Poller {
     fn drop(&mut self) {
         // SAFETY: we own epfd and close it exactly once.
-        let _ignored = unsafe { close(self.epfd) };
+        // scg-allow(SCG007): Drop cannot surface an error; ownership rules out double-close
+        unsafe { close(self.epfd) };
     }
 }
 

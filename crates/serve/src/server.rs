@@ -98,14 +98,14 @@ impl RunningServer {
         self.stop.store(true, Ordering::SeqCst);
         for wake in &mut self.wakes {
             // Best-effort poke; a dead shard already exited its loop.
-            let _ignored = wake.write(&[1]);
+            drop(wake.write(&[1]));
         }
         for t in self.threads.drain(..) {
             // A panicked shard already printed its message; joining the
             // corpse is still the right cleanup.
-            let _ignored = t.join();
+            drop(t.join());
         }
-        let _ignored = fs::remove_file(&self.uds_path);
+        drop(fs::remove_file(&self.uds_path));
     }
 }
 
@@ -132,7 +132,7 @@ impl Inbox {
 
     fn poke(&self) {
         // scg-allow(SCG001): documented panic — poisoned by another panicking thread only
-        let _ignored = self.wake.lock().expect("wake lock").write(&[1]);
+        drop(self.wake.lock().expect("wake lock").write(&[1]));
     }
 }
 
@@ -148,7 +148,7 @@ pub fn spawn(config: Config) -> io::Result<RunningServer> {
         config.shards
     };
     // A stale socket file from a dead server would fail the bind.
-    let _ignored = fs::remove_file(&config.uds_path);
+    drop(fs::remove_file(&config.uds_path));
     let uds = UnixListener::bind(&config.uds_path)?;
     uds.set_nonblocking(true)?;
     let tcp = if config.tcp {
